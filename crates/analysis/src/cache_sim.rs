@@ -1,0 +1,503 @@
+//! Trace-driven cache simulation (§7).
+//!
+//! Replays a [`TraceSet`] twice — once ignoring ECS (any cached answer
+//! serves any client, as a pre-ECS resolver would) and once obeying the
+//! source/scope prefixes from the trace — and reports, per resolver, the
+//! peak cache size in each mode (the *blow-up factor* is their ratio,
+//! Figure 1/2) and the hit rates (Figure 3).
+//!
+//! The simulation follows the paper's assumptions: resolvers honor
+//! authoritative TTLs exactly and never evict early.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::IpAddr;
+
+use dns_wire::{IpPrefix, Name, RecordType};
+use netsim::SimTime;
+use workload::{TraceRecord, TraceSet};
+
+/// Configuration for one simulation run.
+#[derive(Debug, Clone)]
+pub struct CacheSimConfig {
+    /// Override every record's TTL (Figure 1 sweeps 20/40/60 s). `None`
+    /// keeps trace TTLs.
+    pub ttl_override: Option<u32>,
+    /// Keep only records whose client passes this percentage-based sample
+    /// (hash of client address + `sample_seed`, kept if `< sample_pct`).
+    /// 100 keeps everything. Records without a client are always kept.
+    pub sample_pct: u8,
+    /// Seed for the client sample hash.
+    pub sample_seed: u64,
+}
+
+impl Default for CacheSimConfig {
+    fn default() -> Self {
+        CacheSimConfig {
+            ttl_override: None,
+            sample_pct: 100,
+            sample_seed: 0,
+        }
+    }
+}
+
+/// Per-resolver outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolverCacheResult {
+    /// The resolver.
+    pub resolver: IpAddr,
+    /// Peak live entries obeying ECS.
+    pub max_size_ecs: usize,
+    /// Peak live entries ignoring ECS.
+    pub max_size_no_ecs: usize,
+    /// Hits/lookups obeying ECS.
+    pub hits_ecs: u64,
+    /// Hits/lookups ignoring ECS.
+    pub hits_no_ecs: u64,
+    /// Total lookups (same in both modes).
+    pub lookups: u64,
+}
+
+impl ResolverCacheResult {
+    /// `max_size_ecs / max_size_no_ecs` (the Figure-1 metric). 1.0 when the
+    /// denominator is zero.
+    pub fn blowup_factor(&self) -> f64 {
+        if self.max_size_no_ecs == 0 {
+            1.0
+        } else {
+            self.max_size_ecs as f64 / self.max_size_no_ecs as f64
+        }
+    }
+
+    /// Hit rate obeying ECS.
+    pub fn hit_rate_ecs(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits_ecs as f64 / self.lookups as f64
+        }
+    }
+
+    /// Hit rate ignoring ECS.
+    pub fn hit_rate_no_ecs(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits_no_ecs as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Whole-trace outcome.
+#[derive(Debug, Clone)]
+pub struct CacheSimResult {
+    /// Per-resolver results, in resolver-address order.
+    pub per_resolver: Vec<ResolverCacheResult>,
+}
+
+impl CacheSimResult {
+    /// All blow-up factors.
+    pub fn blowup_factors(&self) -> Vec<f64> {
+        self.per_resolver.iter().map(|r| r.blowup_factor()).collect()
+    }
+
+    /// Aggregate hit rate obeying ECS.
+    pub fn overall_hit_rate_ecs(&self) -> f64 {
+        let (h, l) = self
+            .per_resolver
+            .iter()
+            .fold((0u64, 0u64), |(h, l), r| (h + r.hits_ecs, l + r.lookups));
+        if l == 0 {
+            0.0
+        } else {
+            h as f64 / l as f64
+        }
+    }
+
+    /// Aggregate hit rate ignoring ECS.
+    pub fn overall_hit_rate_no_ecs(&self) -> f64 {
+        let (h, l) = self
+            .per_resolver
+            .iter()
+            .fold((0u64, 0u64), |(h, l), r| (h + r.hits_no_ecs, l + r.lookups));
+        if l == 0 {
+            0.0
+        } else {
+            h as f64 / l as f64
+        }
+    }
+}
+
+/// Interned cache key: (resolver id, name id, qtype).
+type Key = (u32, u32, RecordType);
+/// One live entry: scope prefix (None for non-ECS answers) and expiry.
+type LiveEntry = (Option<IpPrefix>, SimTime);
+
+/// Interned-key cache state for one mode.
+struct ModeState {
+    /// Key → live entries.
+    entries: HashMap<Key, Vec<LiveEntry>>,
+    /// Expiry heap: (expiry, key). A key may appear multiple times.
+    heap: BinaryHeap<Reverse<(SimTime, Key)>>,
+    live: usize,
+    max_live_per_resolver: HashMap<u32, usize>,
+    live_per_resolver: HashMap<u32, usize>,
+    hits: HashMap<u32, u64>,
+}
+
+impl ModeState {
+    fn new() -> Self {
+        ModeState {
+            entries: HashMap::new(),
+            heap: BinaryHeap::new(),
+            live: 0,
+            max_live_per_resolver: HashMap::new(),
+            live_per_resolver: HashMap::new(),
+            hits: HashMap::new(),
+        }
+    }
+
+    fn purge(&mut self, now: SimTime) {
+        while let Some(Reverse((exp, key))) = self.heap.peek().copied() {
+            if exp > now {
+                break;
+            }
+            self.heap.pop();
+            if let Some(list) = self.entries.get_mut(&key) {
+                let before = list.len();
+                list.retain(|(_, e)| *e > now);
+                let removed = before - list.len();
+                if removed > 0 {
+                    self.live -= removed;
+                    *self.live_per_resolver.entry(key.0).or_default() -= removed;
+                }
+                if list.is_empty() {
+                    self.entries.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Returns true on hit.
+    fn lookup(&mut self, key: Key, source: Option<&IpPrefix>, now: SimTime) -> bool {
+        let hit = self
+            .entries
+            .get(&key)
+            .map(|list| {
+                list.iter().any(|(scope, exp)| {
+                    *exp > now
+                        && match (scope, source) {
+                            (None, _) => true, // non-ECS entry serves all
+                            (Some(p), Some(s)) => {
+                                p.is_default_route() || p.covers(s)
+                            }
+                            (Some(p), None) => p.is_default_route(),
+                        }
+                })
+            })
+            .unwrap_or(false);
+        if hit {
+            *self.hits.entry(key.0).or_default() += 1;
+        }
+        hit
+    }
+
+    fn insert(&mut self, key: Key, scope: Option<IpPrefix>, expiry: SimTime) {
+        let list = self.entries.entry(key).or_default();
+        list.push((scope, expiry));
+        self.heap.push(Reverse((expiry, key)));
+        self.live += 1;
+        let lr = self.live_per_resolver.entry(key.0).or_default();
+        *lr += 1;
+        let mx = self.max_live_per_resolver.entry(key.0).or_default();
+        *mx = (*mx).max(*lr);
+    }
+}
+
+/// The simulator.
+pub struct CacheSimulator {
+    config: CacheSimConfig,
+}
+
+impl CacheSimulator {
+    /// Creates a simulator.
+    pub fn new(config: CacheSimConfig) -> Self {
+        CacheSimulator { config }
+    }
+
+    /// Runs both modes over the trace.
+    pub fn run(&self, trace: &TraceSet) -> CacheSimResult {
+        let mut name_ids: HashMap<Name, u32> = HashMap::new();
+        let mut resolver_ids: HashMap<IpAddr, u32> = HashMap::new();
+        let mut resolvers: Vec<IpAddr> = Vec::new();
+
+        let mut ecs_mode = ModeState::new();
+        let mut plain_mode = ModeState::new();
+        let mut lookups: HashMap<u32, u64> = HashMap::new();
+
+        for rec in &trace.records {
+            if !self.keep(rec) {
+                continue;
+            }
+            let rid = *resolver_ids.entry(rec.resolver).or_insert_with(|| {
+                resolvers.push(rec.resolver);
+                (resolvers.len() - 1) as u32
+            });
+            let next_name_id = name_ids.len() as u32;
+            let nid = *name_ids.entry(rec.qname.clone()).or_insert(next_name_id);
+            let key = (rid, nid, rec.qtype);
+            let now = SimTime::from_micros(rec.at_micros);
+            let ttl = self.config.ttl_override.unwrap_or(rec.ttl);
+            let expiry = now + netsim::SimDuration::from_secs(ttl as u64);
+
+            *lookups.entry(rid).or_default() += 1;
+
+            // Plain mode: ECS ignored entirely.
+            plain_mode.purge(now);
+            if !plain_mode.lookup(key, None, now) {
+                plain_mode.insert(key, None, expiry);
+            }
+
+            // ECS mode: obey source/scope from the trace.
+            ecs_mode.purge(now);
+            let source = rec.ecs_source;
+            if !ecs_mode.lookup(key, source.as_ref(), now) {
+                let entry_prefix = match (source, rec.response_scope) {
+                    (Some(src), Some(scope)) => Some(src.truncate(scope.min(src.len()))),
+                    (Some(src), None) => {
+                        // Query carried ECS, response did not: cacheable for
+                        // everyone per RFC 7871 §7.3.
+                        let _ = src;
+                        None
+                    }
+                    (None, _) => None,
+                };
+                ecs_mode.insert(key, entry_prefix, expiry);
+            }
+        }
+
+        let mut per_resolver: Vec<ResolverCacheResult> = resolvers
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                let rid = i as u32;
+                ResolverCacheResult {
+                    resolver: *addr,
+                    max_size_ecs: ecs_mode
+                        .max_live_per_resolver
+                        .get(&rid)
+                        .copied()
+                        .unwrap_or(0),
+                    max_size_no_ecs: plain_mode
+                        .max_live_per_resolver
+                        .get(&rid)
+                        .copied()
+                        .unwrap_or(0),
+                    hits_ecs: ecs_mode.hits.get(&rid).copied().unwrap_or(0),
+                    hits_no_ecs: plain_mode.hits.get(&rid).copied().unwrap_or(0),
+                    lookups: lookups.get(&rid).copied().unwrap_or(0),
+                }
+            })
+            .collect();
+        per_resolver.sort_by_key(|r| r.resolver);
+        CacheSimResult { per_resolver }
+    }
+
+    fn keep(&self, rec: &TraceRecord) -> bool {
+        if self.config.sample_pct >= 100 {
+            return true;
+        }
+        match rec.client {
+            None => true,
+            Some(client) => {
+                use std::hash::{Hash, Hasher};
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                client.hash(&mut h);
+                self.config.sample_seed.hash(&mut h);
+                (h.finish() % 100) < self.config.sample_pct as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        Name::from_ascii(s).unwrap()
+    }
+
+    fn prefix(s: &str, len: u8) -> IpPrefix {
+        IpPrefix::v4(s.parse().unwrap(), len).unwrap()
+    }
+
+    fn rec(
+        at_secs: u64,
+        name_s: &str,
+        subnet: &str,
+        scope: u8,
+        ttl: u32,
+    ) -> TraceRecord {
+        TraceRecord {
+            at_micros: at_secs * 1_000_000,
+            resolver: IpAddr::V4(Ipv4Addr::new(9, 9, 9, 9)),
+            qname: name(name_s),
+            qtype: RecordType::A,
+            ecs_source: Some(prefix(subnet, 24)),
+            response_scope: Some(scope),
+            ttl,
+            client: Some(IpAddr::V4(subnet.parse().unwrap())),
+        }
+    }
+
+    fn run(records: Vec<TraceRecord>) -> CacheSimResult {
+        let mut t = TraceSet::new("t");
+        t.records = records;
+        t.sort_by_time();
+        CacheSimulator::new(CacheSimConfig::default()).run(&t)
+    }
+
+    #[test]
+    fn ecs_splits_cache_by_subnet() {
+        // Three subnets query the same name within one TTL window.
+        let r = run(vec![
+            rec(0, "a.example.com", "10.1.1.0", 24, 60),
+            rec(1, "a.example.com", "10.1.2.0", 24, 60),
+            rec(2, "a.example.com", "10.1.3.0", 24, 60),
+        ]);
+        let res = &r.per_resolver[0];
+        assert_eq!(res.max_size_no_ecs, 1);
+        assert_eq!(res.max_size_ecs, 3);
+        assert!((res.blowup_factor() - 3.0).abs() < 1e-9);
+        // Plain mode: 2 hits; ECS mode: 0 hits.
+        assert_eq!(res.hits_no_ecs, 2);
+        assert_eq!(res.hits_ecs, 0);
+        assert_eq!(res.lookups, 3);
+    }
+
+    #[test]
+    fn coarse_scope_shares_across_subnets() {
+        // Scope 16: both /24s in the same /16 share the entry.
+        let r = run(vec![
+            rec(0, "a.example.com", "10.1.1.0", 16, 60),
+            rec(1, "a.example.com", "10.1.2.0", 16, 60),
+        ]);
+        let res = &r.per_resolver[0];
+        assert_eq!(res.max_size_ecs, 1);
+        assert_eq!(res.hits_ecs, 1);
+    }
+
+    #[test]
+    fn entries_expire_and_shrink_peak() {
+        // Second query arrives after the first expired: no concurrency.
+        let r = run(vec![
+            rec(0, "a.example.com", "10.1.1.0", 24, 20),
+            rec(30, "a.example.com", "10.1.2.0", 24, 20),
+        ]);
+        let res = &r.per_resolver[0];
+        assert_eq!(res.max_size_ecs, 1);
+        assert_eq!(res.max_size_no_ecs, 1);
+        assert_eq!(res.hits_ecs, 0);
+        assert_eq!(res.hits_no_ecs, 0);
+    }
+
+    #[test]
+    fn ttl_override_changes_concurrency() {
+        let records = vec![
+            rec(0, "a.example.com", "10.1.1.0", 24, 20),
+            rec(30, "a.example.com", "10.1.2.0", 24, 20),
+        ];
+        let mut t = TraceSet::new("t");
+        t.records = records;
+        let r = CacheSimulator::new(CacheSimConfig {
+            ttl_override: Some(60),
+            ..CacheSimConfig::default()
+        })
+        .run(&t);
+        // With 60s TTL the two entries now overlap.
+        assert_eq!(r.per_resolver[0].max_size_ecs, 2);
+    }
+
+    #[test]
+    fn same_subnet_hits_in_both_modes() {
+        let r = run(vec![
+            rec(0, "a.example.com", "10.1.1.0", 24, 60),
+            rec(5, "a.example.com", "10.1.1.0", 24, 60),
+        ]);
+        let res = &r.per_resolver[0];
+        assert_eq!(res.hits_ecs, 1);
+        assert_eq!(res.hits_no_ecs, 1);
+        assert_eq!(res.max_size_ecs, 1);
+    }
+
+    #[test]
+    fn distinct_names_never_share() {
+        let r = run(vec![
+            rec(0, "a.example.com", "10.1.1.0", 24, 60),
+            rec(1, "b.example.com", "10.1.1.0", 24, 60),
+        ]);
+        let res = &r.per_resolver[0];
+        assert_eq!(res.max_size_ecs, 2);
+        assert_eq!(res.max_size_no_ecs, 2);
+    }
+
+    #[test]
+    fn non_ecs_records_shared_in_ecs_mode() {
+        let mut a = rec(0, "a.example.com", "10.1.1.0", 24, 60);
+        a.ecs_source = None;
+        a.response_scope = None;
+        let mut b = rec(1, "a.example.com", "10.1.2.0", 24, 60);
+        b.ecs_source = None;
+        b.response_scope = None;
+        let r = run(vec![a, b]);
+        let res = &r.per_resolver[0];
+        assert_eq!(res.max_size_ecs, 1);
+        assert_eq!(res.hits_ecs, 1);
+    }
+
+    #[test]
+    fn client_sampling_filters() {
+        let records: Vec<TraceRecord> = (0..100)
+            .map(|i| rec(i, "a.example.com", &format!("10.1.{}.0", i % 250), 24, 60))
+            .collect();
+        let mut t = TraceSet::new("t");
+        t.records = records;
+        let full = CacheSimulator::new(CacheSimConfig::default()).run(&t);
+        let half = CacheSimulator::new(CacheSimConfig {
+            sample_pct: 50,
+            ..CacheSimConfig::default()
+        })
+        .run(&t);
+        let full_lookups = full.per_resolver[0].lookups;
+        let half_lookups = half.per_resolver[0].lookups;
+        assert_eq!(full_lookups, 100);
+        assert!(half_lookups < 75 && half_lookups > 25, "{half_lookups}");
+    }
+
+    #[test]
+    fn multiple_resolvers_tracked_separately() {
+        let mut a = rec(0, "a.example.com", "10.1.1.0", 24, 60);
+        let mut b = rec(1, "a.example.com", "10.1.2.0", 24, 60);
+        a.resolver = IpAddr::V4(Ipv4Addr::new(1, 1, 1, 1));
+        b.resolver = IpAddr::V4(Ipv4Addr::new(2, 2, 2, 2));
+        let r = run(vec![a, b]);
+        assert_eq!(r.per_resolver.len(), 2);
+        assert!(r.per_resolver.iter().all(|res| res.max_size_ecs == 1));
+    }
+
+    #[test]
+    fn blowup_factor_of_empty_resolver_is_one() {
+        let res = ResolverCacheResult {
+            resolver: IpAddr::V4(Ipv4Addr::new(1, 1, 1, 1)),
+            max_size_ecs: 0,
+            max_size_no_ecs: 0,
+            hits_ecs: 0,
+            hits_no_ecs: 0,
+            lookups: 0,
+        };
+        assert_eq!(res.blowup_factor(), 1.0);
+        assert_eq!(res.hit_rate_ecs(), 0.0);
+    }
+}

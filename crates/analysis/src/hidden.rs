@@ -1,0 +1,250 @@
+//! Hidden-resolver detection and distance analysis (§8.2, Figures 4–5).
+//!
+//! ECS accidentally exposed a previously unobservable component: when a
+//! resolver derives its ECS prefix from the *immediate sender* of a query,
+//! and that sender is an intermediary ("hidden") resolver, the prefix in
+//! the authoritative's log covers neither the probed forwarder nor the
+//! egress resolver. Comparing the forwarder→hidden distance (F-H) against
+//! forwarder→recursive (F-R) shows whether ECS helped or hurt the
+//! authoritative's understanding of client location.
+
+use std::net::IpAddr;
+
+use authoritative::QueryLogEntry;
+use dns_wire::IpPrefix;
+use netsim::GeoPoint;
+
+use crate::stats::Cdf;
+
+/// One (forwarder, hidden, recursive) combination with geolocated members.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceCombo {
+    /// Forwarder position.
+    pub forwarder: GeoPoint,
+    /// Hidden-resolver position (geolocated from the ECS prefix).
+    pub hidden: GeoPoint,
+    /// Egress (recursive) resolver position.
+    pub recursive: GeoPoint,
+    /// Whether the egress belongs to the major public service.
+    pub via_public_service: bool,
+}
+
+impl DistanceCombo {
+    /// Forwarder→hidden distance (km).
+    pub fn f_h_km(&self) -> f64 {
+        self.forwarder.distance_km(&self.hidden)
+    }
+
+    /// Forwarder→recursive distance (km).
+    pub fn f_r_km(&self) -> f64 {
+        self.forwarder.distance_km(&self.recursive)
+    }
+}
+
+/// Detects hidden-resolver prefixes in an authoritative scan log: ECS
+/// prefixes that cover neither the probed forwarder (recovered from the
+/// scan-encoded hostname by the caller) nor the egress resolver.
+///
+/// `forwarder_of` maps a log entry to the forwarder address that the scan
+/// probe targeted (the paper encodes it in the hostname).
+pub fn hidden_prefixes<F>(log: &[QueryLogEntry], forwarder_of: F) -> Vec<IpPrefix>
+where
+    F: Fn(&QueryLogEntry) -> Option<IpAddr>,
+{
+    let mut out: Vec<IpPrefix> = log
+        .iter()
+        .filter_map(|e| {
+            let ecs = e.ecs.as_ref()?;
+            let prefix = ecs.source_prefix();
+            if prefix.is_default_route() || prefix.is_non_routable() {
+                return None;
+            }
+            let fwd = forwarder_of(e)?;
+            if prefix.contains(fwd) || prefix.contains(e.resolver) {
+                None
+            } else {
+                Some(prefix)
+            }
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The Figure-4/5 summary for a set of combinations.
+#[derive(Debug, Clone)]
+pub struct HiddenResolverReport {
+    /// Combos where the hidden resolver is FARTHER from the forwarder than
+    /// the recursive is (below the diagonal — ECS actively hurts; paper: 8%
+    /// for the MP resolver, 7.8% for others).
+    pub below_diagonal: usize,
+    /// Combos where both are equidistant within tolerance (paper: 1.3% /
+    /// 19.5%).
+    pub on_diagonal: usize,
+    /// Combos where the hidden resolver is closer (ECS helps; paper:
+    /// 90.7% / 72.7%).
+    pub above_diagonal: usize,
+    /// CDF of F-H distances.
+    pub f_h_cdf: Cdf,
+    /// CDF of F-R distances.
+    pub f_r_cdf: Cdf,
+    /// The raw (F-H, F-R) points for binning/plotting.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Analyses a set of combos with a distance tolerance (km) for the
+/// diagonal.
+pub struct HiddenAnalysis {
+    /// Equidistance tolerance in km.
+    pub tolerance_km: f64,
+}
+
+impl Default for HiddenAnalysis {
+    fn default() -> Self {
+        HiddenAnalysis { tolerance_km: 50.0 }
+    }
+}
+
+impl HiddenAnalysis {
+    /// Produces the report.
+    pub fn analyze(&self, combos: &[DistanceCombo]) -> HiddenResolverReport {
+        let mut below = 0;
+        let mut on = 0;
+        let mut above = 0;
+        let mut points = Vec::with_capacity(combos.len());
+        for c in combos {
+            let fh = c.f_h_km();
+            let fr = c.f_r_km();
+            points.push((fh, fr));
+            if (fh - fr).abs() <= self.tolerance_km {
+                on += 1;
+            } else if fh > fr {
+                below += 1; // hidden farther → ECS delivers a worse proxy
+            } else {
+                above += 1;
+            }
+        }
+        HiddenResolverReport {
+            below_diagonal: below,
+            on_diagonal: on,
+            above_diagonal: above,
+            f_h_cdf: Cdf::new(points.iter().map(|(x, _)| *x).collect()),
+            f_r_cdf: Cdf::new(points.iter().map(|(_, y)| *y).collect()),
+            points,
+        }
+    }
+}
+
+impl HiddenResolverReport {
+    /// Total combos.
+    pub fn total(&self) -> usize {
+        self.below_diagonal + self.on_diagonal + self.above_diagonal
+    }
+
+    /// Fraction below the diagonal (ECS harmful).
+    pub fn harmful_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.below_diagonal as f64 / self.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::{EcsOption, Name, RecordType};
+    use netsim::geo::city;
+    use netsim::SimTime;
+    use std::net::Ipv4Addr;
+
+    fn combo(f: &str, h: &str, r: &str) -> DistanceCombo {
+        DistanceCombo {
+            forwarder: city(f).unwrap().pos,
+            hidden: city(h).unwrap().pos,
+            recursive: city(r).unwrap().pos,
+            via_public_service: true,
+        }
+    }
+
+    #[test]
+    fn santiago_italy_case_is_below_diagonal() {
+        // The paper's flagship example: forwarder and recursive both in
+        // Santiago, hidden in Italy 12,000 km away.
+        let c = combo("Santiago", "Milan", "Santiago");
+        assert!(c.f_h_km() > 10_000.0);
+        assert!(c.f_r_km() < 50.0);
+        let report = HiddenAnalysis::default().analyze(&[c]);
+        assert_eq!(report.below_diagonal, 1);
+        assert_eq!(report.harmful_fraction(), 1.0);
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        let combos = vec![
+            // Hidden nearby, recursive far → above (ECS helps).
+            combo("Beijing", "Beijing", "Guangzhou"),
+            // Hidden far, recursive near → below (ECS hurts).
+            combo("Beijing", "Guangzhou", "Beijing"),
+            // Both in the same city → on diagonal.
+            combo("Shanghai", "Shanghai", "Shanghai"),
+        ];
+        let r = HiddenAnalysis::default().analyze(&combos);
+        assert_eq!(r.above_diagonal, 1);
+        assert_eq!(r.below_diagonal, 1);
+        assert_eq!(r.on_diagonal, 1);
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.points.len(), 3);
+        assert!(r.f_h_cdf.len() == 3 && r.f_r_cdf.len() == 3);
+    }
+
+    #[test]
+    fn hidden_prefix_detection() {
+        let fwd: IpAddr = "100.70.1.1".parse().unwrap();
+        let egress: IpAddr = "9.9.9.9".parse().unwrap();
+        let hidden_net = Ipv4Addr::new(77, 7, 7, 0);
+        let make = |ecs: Option<EcsOption>| QueryLogEntry {
+            at: SimTime::ZERO,
+            resolver: egress,
+            qname: Name::from_ascii("x.probe.example").unwrap(),
+            qtype: RecordType::A,
+            ecs,
+            response_scope: None,
+            answers: Vec::new(),
+        };
+        let log = vec![
+            // Covers neither forwarder nor egress → hidden.
+            make(Some(EcsOption::from_v4(hidden_net, 24))),
+            // Covers the forwarder → not hidden.
+            make(Some(EcsOption::from_v4(Ipv4Addr::new(100, 70, 1, 0), 24))),
+            // Covers the egress → not hidden.
+            make(Some(EcsOption::from_v4(Ipv4Addr::new(9, 9, 9, 0), 24))),
+            // Non-routable → excluded.
+            make(Some(EcsOption::from_v4(Ipv4Addr::new(127, 0, 0, 0), 24))),
+            // No ECS → excluded.
+            make(None),
+        ];
+        let prefixes = hidden_prefixes(&log, |_| Some(fwd));
+        assert_eq!(prefixes.len(), 1);
+        assert_eq!(prefixes[0].addr(), IpAddr::V4(hidden_net));
+    }
+
+    #[test]
+    fn duplicate_hidden_prefixes_deduped() {
+        let egress: IpAddr = "9.9.9.9".parse().unwrap();
+        let make = || QueryLogEntry {
+            at: SimTime::ZERO,
+            resolver: egress,
+            qname: Name::from_ascii("x.probe.example").unwrap(),
+            qtype: RecordType::A,
+            ecs: Some(EcsOption::from_v4(Ipv4Addr::new(77, 7, 7, 0), 24)),
+            response_scope: None,
+            answers: Vec::new(),
+        };
+        let log = vec![make(), make(), make()];
+        let prefixes = hidden_prefixes(&log, |_| "100.70.1.1".parse().ok());
+        assert_eq!(prefixes.len(), 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Shared statistics: empirical CDFs, percentiles, 2-D binning.
+
+/// An empirical CDF over `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are dropped).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.retain(|v| v.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|v| *v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), by nearest-rank.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(f64::NAN)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(f64::NAN)
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// `(x, F(x))` points for plotting/printing: one per sample, thinned to
+    /// at most `max_points`.
+    pub fn points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || max_points == 0 {
+            return Vec::new();
+        }
+        let n = self.sorted.len();
+        let step = n.div_ceil(max_points);
+        let mut out = Vec::new();
+        for i in (0..n).step_by(step.max(1)) {
+            out.push((self.sorted[i], (i + 1) as f64 / n as f64));
+        }
+        if out.last().map(|(x, _)| *x) != Some(self.sorted[n - 1]) {
+            out.push((self.sorted[n - 1], 1.0));
+        }
+        out
+    }
+}
+
+/// Common percentile summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// 10th percentile.
+    pub p10: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Computes the summary from samples.
+    pub fn of(samples: Vec<f64>) -> Self {
+        let cdf = Cdf::new(samples);
+        Percentiles {
+            p10: cdf.quantile(0.10),
+            p50: cdf.quantile(0.50),
+            p90: cdf.quantile(0.90),
+            p99: cdf.quantile(0.99),
+            max: cdf.max(),
+        }
+    }
+}
+
+/// A 2-D histogram ("hexbin substitute") over (x, y) points — used for the
+/// Figure 4/5 distance scatter summaries.
+#[derive(Debug, Clone)]
+pub struct Bins2d {
+    /// Bin edges are uniform on [0, x_max] × [0, y_max].
+    pub nx: usize,
+    /// Number of y bins.
+    pub ny: usize,
+    /// Upper bound of x.
+    pub x_max: f64,
+    /// Upper bound of y.
+    pub y_max: f64,
+    /// Counts in row-major order (`y * nx + x`).
+    pub counts: Vec<u64>,
+}
+
+impl Bins2d {
+    /// Builds a 2-D histogram from points.
+    pub fn new(points: &[(f64, f64)], nx: usize, ny: usize) -> Self {
+        let x_max = points.iter().map(|(x, _)| *x).fold(1e-9, f64::max);
+        let y_max = points.iter().map(|(_, y)| *y).fold(1e-9, f64::max);
+        let mut counts = vec![0u64; nx * ny];
+        for &(x, y) in points {
+            let xi = (((x / x_max) * nx as f64) as usize).min(nx - 1);
+            let yi = (((y / y_max) * ny as f64) as usize).min(ny - 1);
+            counts[yi * nx + xi] += 1;
+        }
+        Bins2d {
+            nx,
+            ny,
+            x_max,
+            y_max,
+            counts,
+        }
+    }
+
+    /// Total points binned.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_basics() {
+        let c = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.min(), 1.0);
+        assert_eq!(c.max(), 4.0);
+        assert!((c.mean() - 2.5).abs() < 1e-9);
+        assert!((c.at(2.0) - 0.5).abs() < 1e-9);
+        assert!((c.at(0.5) - 0.0).abs() < 1e-9);
+        assert!((c.at(9.0) - 1.0).abs() < 1e-9);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+        assert_eq!(c.quantile(0.5), 3.0); // nearest rank of 1.5 -> idx 2
+    }
+
+    #[test]
+    fn cdf_handles_empty_and_nan() {
+        let c = Cdf::new(vec![f64::NAN, f64::INFINITY]);
+        assert!(c.is_empty());
+        assert_eq!(c.at(1.0), 0.0);
+        assert!(c.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn cdf_points_thin_correctly() {
+        let c = Cdf::new((0..1000).map(|i| i as f64).collect());
+        let pts = c.points(50);
+        assert!(pts.len() <= 52);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        // Monotone.
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn percentiles() {
+        let p = Percentiles::of((1..=100).map(|i| i as f64).collect());
+        assert!((49.0..=51.0).contains(&p.p50), "{}", p.p50);
+        assert_eq!(p.max, 100.0);
+        assert!(p.p90 >= 89.0 && p.p90 <= 91.0);
+    }
+
+    #[test]
+    fn bins2d_counts_everything() {
+        let points: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, (i * 7 % 100) as f64)).collect();
+        let b = Bins2d::new(&points, 10, 10);
+        assert_eq!(b.total(), 100);
+        assert_eq!(b.counts.len(), 100);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the trace-driven cache simulator.
+
+use analysis::{CacheSimConfig, CacheSimulator};
+use dns_wire::{IpPrefix, Name, RecordType};
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr};
+use workload::{TraceRecord, TraceSet};
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        0u64..600_000_000,            // at_micros, up to 10 min
+        0u8..3,                       // resolver index
+        0u8..6,                       // name index
+        0u32..40,                     // subnet index
+        prop_oneof![Just(8u8), Just(16), Just(24)], // scope
+        prop_oneof![Just(20u32), Just(60), Just(300)], // ttl
+    )
+        .prop_map(|(at, res, nm, subnet, scope, ttl)| {
+            let subnet_addr = Ipv4Addr::from(0x0A00_0000 | (subnet << 8));
+            TraceRecord {
+                at_micros: at,
+                resolver: IpAddr::V4(Ipv4Addr::new(9, 9, 9, res + 1)),
+                qname: Name::from_ascii(&format!("h{nm}.example.com")).unwrap(),
+                qtype: RecordType::A,
+                ecs_source: Some(IpPrefix::v4(subnet_addr, 24).unwrap()),
+                response_scope: Some(scope),
+                ttl,
+                client: Some(IpAddr::V4(Ipv4Addr::from(
+                    u32::from(subnet_addr) | 7,
+                ))),
+            }
+        })
+}
+
+fn arb_trace() -> impl Strategy<Value = TraceSet> {
+    proptest::collection::vec(arb_record(), 1..300).prop_map(|mut records| {
+        records.sort_by_key(|r| r.at_micros);
+        let mut t = TraceSet::new("prop");
+        t.records = records;
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Metamorphic: when every query for a given name comes from a single
+    /// subnet, scoped caching degenerates to plain caching — the two modes
+    /// must agree exactly. (The general "ECS only costs" inequality is
+    /// FALSE: with mixed TTLs a later-inserted scoped entry can outlive
+    /// the shared plain entry and serve a hit the plain cache misses.
+    /// This test pins the case where no such divergence is possible.)
+    #[test]
+    fn single_subnet_per_name_degenerates_to_plain(trace in arb_trace()) {
+        let mut t = trace;
+        // Rewrite each record's subnet to a function of its name, so a
+        // name is only ever queried from one subnet.
+        for r in &mut t.records {
+            let tag = (r.qname.canonical().bytes().map(|b| b as u32).sum::<u32>() % 40) << 8;
+            let subnet = Ipv4Addr::from(0x0A00_0000 | tag);
+            r.ecs_source = Some(IpPrefix::v4(subnet, 24).unwrap());
+            r.client = Some(IpAddr::V4(Ipv4Addr::from(u32::from(subnet) | 7)));
+        }
+        let result = CacheSimulator::new(CacheSimConfig::default()).run(&t);
+        for r in &result.per_resolver {
+            prop_assert_eq!(r.max_size_ecs, r.max_size_no_ecs);
+            prop_assert_eq!(r.hits_ecs, r.hits_no_ecs);
+            prop_assert!((r.blowup_factor() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Metamorphic: zero-scope responses are shareable by everyone, so the
+    /// two modes agree exactly.
+    #[test]
+    fn zero_scope_degenerates_to_plain(trace in arb_trace()) {
+        let mut t = trace;
+        for r in &mut t.records {
+            r.response_scope = Some(0);
+        }
+        let result = CacheSimulator::new(CacheSimConfig::default()).run(&t);
+        for r in &result.per_resolver {
+            prop_assert_eq!(r.max_size_ecs, r.max_size_no_ecs);
+            prop_assert_eq!(r.hits_ecs, r.hits_no_ecs);
+        }
+    }
+
+    /// Lookup counts are conserved: every record is exactly one lookup for
+    /// its resolver, in both modes.
+    #[test]
+    fn lookups_conserved(trace in arb_trace()) {
+        let result = CacheSimulator::new(CacheSimConfig::default()).run(&trace);
+        let total: u64 = result.per_resolver.iter().map(|r| r.lookups).sum();
+        prop_assert_eq!(total as usize, trace.len());
+    }
+
+    /// With a uniform forced TTL, lengthening it never reduces peak
+    /// concurrency: every entry's lifetime strictly contains its shorter
+    /// counterpart, and longer lifetimes can only turn misses into hits
+    /// (which never add entries).
+    ///
+    /// Note this needs the *uniform* override on both sides — with mixed
+    /// per-record TTLs the hit/miss pattern can shift in ways that move
+    /// the peak either way.
+    #[test]
+    fn longer_uniform_ttl_never_shrinks_plain_peak(trace in arb_trace()) {
+        let short = CacheSimulator::new(CacheSimConfig {
+            ttl_override: Some(20),
+            ..CacheSimConfig::default()
+        })
+        .run(&trace);
+        let long = CacheSimulator::new(CacheSimConfig {
+            ttl_override: Some(120),
+            ..CacheSimConfig::default()
+        })
+        .run(&trace);
+        for (s, l) in short.per_resolver.iter().zip(long.per_resolver.iter()) {
+            prop_assert_eq!(s.resolver, l.resolver);
+            // In plain mode the entry set is exactly "one live entry per
+            // recently-queried name", which grows monotonically with TTL.
+            prop_assert!(l.max_size_no_ecs >= s.max_size_no_ecs);
+            // Hits only increase with TTL in plain mode.
+            prop_assert!(l.hits_no_ecs >= s.hits_no_ecs);
+        }
+    }
+
+    /// Client sampling keeps a subset: lookups under sampling never exceed
+    /// the full run, and 100% sampling is identical to no sampling.
+    #[test]
+    fn sampling_is_a_subset(trace in arb_trace(), pct in 0u8..=100) {
+        let full = CacheSimulator::new(CacheSimConfig::default()).run(&trace);
+        let sampled = CacheSimulator::new(CacheSimConfig {
+            sample_pct: pct,
+            ..CacheSimConfig::default()
+        })
+        .run(&trace);
+        let full_lookups: u64 = full.per_resolver.iter().map(|r| r.lookups).sum();
+        let sampled_lookups: u64 = sampled.per_resolver.iter().map(|r| r.lookups).sum();
+        prop_assert!(sampled_lookups <= full_lookups);
+        if pct == 100 {
+            prop_assert_eq!(sampled_lookups, full_lookups);
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! CDN edge-selection behaviour for an authoritative server.
+//!
+//! Reproduces the mapping policies the paper measured:
+//!
+//! * **proximity selection** from a geolocation database when usable client
+//!   information is available;
+//! * **minimum source-prefix thresholds** (§8.3): CDN-1 only uses ECS
+//!   prefixes of ≥ 24 bits and falls back to a small coarse edge set below
+//!   that; CDN-2 uses prefixes of ≥ 21 bits and falls back to
+//!   resolver-address-based mapping below that;
+//! * **unroutable-prefix confusion** (§8.1, Table 2): servers that, instead
+//!   of following the RFC's SHOULD (treat as the resolver's own identity),
+//!   hash the meaningless prefix into an arbitrary, often intercontinental
+//!   edge.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::net::IpAddr;
+
+use dns_wire::{EcsOption, IpPrefix};
+use netsim::GeoPoint;
+use topology::CdnFootprint;
+
+use crate::geodb::GeoDb;
+
+/// What a CDN does with ECS prefixes shorter than its minimum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShortPrefixFallback {
+    /// CDN-1 style: return edges from a small fixed set, ignoring proximity
+    /// entirely. `set_size` edges are drawn from the footprint at even
+    /// spacing (the paper observed 5–14 distinct answers).
+    CoarseSet {
+        /// Size of the degraded edge set.
+        set_size: usize,
+    },
+    /// CDN-2 style: ignore ECS and map by the resolver's own address, with
+    /// scope 0 (one answer for everyone via that resolver).
+    ResolverBased,
+}
+
+/// How the CDN maps clients to edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeSelection {
+    /// ECS source prefixes shorter than this are not used for proximity.
+    pub min_source_prefix_v4: u8,
+    /// IPv6 equivalent of `min_source_prefix_v4`.
+    pub min_source_prefix_v6: u8,
+    /// Behaviour below the threshold.
+    pub fallback: ShortPrefixFallback,
+}
+
+/// What the CDN does with non-routable ECS prefixes (loopback, RFC 1918,
+/// link-local).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnroutablePolicy {
+    /// RFC 7871 SHOULD: treat the query as carrying the resolver's own
+    /// identity (i.e. map by resolver address).
+    TreatAsResolver,
+    /// The Table-2 behaviour: the meaningless prefix participates in
+    /// mapping as if it were real, yielding an arbitrary edge.
+    Arbitrary,
+}
+
+/// Full CDN behaviour attached to an authoritative server.
+#[derive(Debug, Clone)]
+pub struct CdnBehavior {
+    /// Deployed edges.
+    pub footprint: CdnFootprint,
+    /// Selection policy.
+    pub selection: EdgeSelection,
+    /// Unroutable-prefix policy.
+    pub unroutable: UnroutablePolicy,
+    /// TTL of edge answers (the paper's CDN used 20 s).
+    pub edge_ttl: u32,
+    /// Number of edge addresses per answer (the paper saw e.g. 16 from
+    /// Google; 1 is common for small CDNs).
+    pub answer_count: usize,
+}
+
+impl CdnBehavior {
+    /// CDN-1 of §8.3: proximity for /24+, coarse set below; 20 s TTL.
+    pub fn cdn1(footprint: CdnFootprint) -> Self {
+        CdnBehavior {
+            footprint,
+            selection: EdgeSelection {
+                min_source_prefix_v4: 24,
+                min_source_prefix_v6: 48,
+                fallback: ShortPrefixFallback::CoarseSet { set_size: 8 },
+            },
+            unroutable: UnroutablePolicy::TreatAsResolver,
+            edge_ttl: 20,
+            answer_count: 1,
+        }
+    }
+
+    /// CDN-2 of §8.3: proximity for /21+, resolver-based below.
+    pub fn cdn2(footprint: CdnFootprint) -> Self {
+        CdnBehavior {
+            footprint,
+            selection: EdgeSelection {
+                min_source_prefix_v4: 21,
+                min_source_prefix_v6: 42,
+                fallback: ShortPrefixFallback::ResolverBased,
+            },
+            unroutable: UnroutablePolicy::TreatAsResolver,
+            edge_ttl: 20,
+            answer_count: 1,
+        }
+    }
+
+    /// A Google-like large CDN that maps unroutable prefixes arbitrarily
+    /// (the Table-2 experiment) and returns many answers.
+    pub fn table2_cdn(footprint: CdnFootprint) -> Self {
+        CdnBehavior {
+            footprint,
+            selection: EdgeSelection {
+                min_source_prefix_v4: 8,
+                min_source_prefix_v6: 16,
+                fallback: ShortPrefixFallback::ResolverBased,
+            },
+            unroutable: UnroutablePolicy::Arbitrary,
+            edge_ttl: 300,
+            answer_count: 16,
+        }
+    }
+
+    /// Selects edges for a query.
+    ///
+    /// `ecs` is the effective ECS option (already gated by whitelisting),
+    /// `resolver` is the query source address, and `geodb` locates prefixes
+    /// and resolvers. Returns the answer addresses and the ECS scope to
+    /// advertise (None = answer was not ECS-tailored, scope 0).
+    pub fn select(
+        &self,
+        ecs: Option<&EcsOption>,
+        resolver: IpAddr,
+        geodb: &GeoDb,
+    ) -> (Vec<IpAddr>, Option<u8>) {
+        match ecs {
+            Some(opt) if opt.source_prefix_len() > 0 => {
+                let prefix = opt.source_prefix();
+                if prefix.is_non_routable() {
+                    return match self.unroutable {
+                        UnroutablePolicy::TreatAsResolver => {
+                            (self.by_resolver(resolver, geodb), Some(0))
+                        }
+                        UnroutablePolicy::Arbitrary => {
+                            // The meaningless prefix hashes to an arbitrary
+                            // edge; scope echoes the source prefix length so
+                            // the poor answer is even cached per-subnet.
+                            (
+                                self.arbitrary_for(&prefix),
+                                Some(opt.source_prefix_len()),
+                            )
+                        }
+                    };
+                }
+                let min = match prefix.is_v4() {
+                    true => self.selection.min_source_prefix_v4,
+                    false => self.selection.min_source_prefix_v6,
+                };
+                if opt.source_prefix_len() >= min {
+                    match geodb.locate_prefix(&prefix) {
+                        Some(pos) => (self.by_position(&pos), Some(min)),
+                        // Unknown prefix: fall back to resolver mapping but
+                        // still advertise the scope (we "used" the info).
+                        None => (self.by_resolver(resolver, geodb), Some(min)),
+                    }
+                } else {
+                    match &self.selection.fallback {
+                        ShortPrefixFallback::CoarseSet { set_size } => {
+                            (self.coarse_for(&prefix, *set_size), Some(0))
+                        }
+                        ShortPrefixFallback::ResolverBased => {
+                            (self.by_resolver(resolver, geodb), Some(0))
+                        }
+                    }
+                }
+            }
+            // No ECS, or explicit /0 ("no information"): resolver mapping.
+            _ => (self.by_resolver(resolver, geodb), ecs.map(|_| 0)),
+        }
+    }
+
+    /// Proximity answers for a known position.
+    fn by_position(&self, pos: &GeoPoint) -> Vec<IpAddr> {
+        let mut ranked: Vec<&topology::EdgeServerSpec> = self.footprint.edges.iter().collect();
+        ranked.sort_by(|a, b| {
+            a.pos
+                .distance_km(pos)
+                .partial_cmp(&b.pos.distance_km(pos))
+                .expect("finite distances")
+        });
+        ranked
+            .into_iter()
+            .take(self.answer_count.max(1))
+            .map(|e| e.addr)
+            .collect()
+    }
+
+    /// Resolver-address-based answers (the pre-ECS status quo).
+    fn by_resolver(&self, resolver: IpAddr, geodb: &GeoDb) -> Vec<IpAddr> {
+        match geodb.locate(resolver) {
+            Some(pos) => self.by_position(&pos),
+            None => self.arbitrary_for(&IpPrefix::host(resolver)),
+        }
+    }
+
+    /// Arbitrary (hash-based) answers for a prefix.
+    fn arbitrary_for(&self, prefix: &IpPrefix) -> Vec<IpAddr> {
+        let mut h = DefaultHasher::new();
+        prefix.hash(&mut h);
+        let mut out = Vec::with_capacity(self.answer_count.max(1));
+        let mut key = h.finish();
+        for _ in 0..self.answer_count.max(1) {
+            if let Some(i) = self.footprint.arbitrary_edge(key) {
+                out.push(self.footprint.edges[i].addr);
+            }
+            key = key.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        }
+        out.dedup();
+        out
+    }
+
+    /// Coarse-set answers: pick from `set_size` evenly spaced edges by
+    /// prefix hash — variety without proximity.
+    fn coarse_for(&self, prefix: &IpPrefix, set_size: usize) -> Vec<IpAddr> {
+        let n = self.footprint.edges.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let set_size = set_size.clamp(1, n);
+        let stride = n / set_size;
+        let mut h = DefaultHasher::new();
+        prefix.hash(&mut h);
+        let start = (h.finish() % set_size as u64) as usize;
+        (0..self.answer_count.max(1))
+            .map(|k| self.footprint.edges[((start + k) % set_size) * stride.max(1) % n].addr)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::geo::{city, CITIES};
+    use std::net::Ipv4Addr;
+    use topology::EdgeServerSpec;
+
+    fn footprint() -> CdnFootprint {
+        CdnFootprint {
+            edges: CITIES
+                .iter()
+                .enumerate()
+                .map(|(i, c)| EdgeServerSpec {
+                    addr: IpAddr::V4(Ipv4Addr::new(203, 0, (i / 250) as u8, (i % 250) as u8 + 1)),
+                    pos: c.pos,
+                    city: c.name.to_string(),
+                })
+                .collect(),
+        }
+    }
+
+    fn db_with(prefix: &str, len: u8, cityname: &str) -> GeoDb {
+        let mut db = GeoDb::new();
+        db.insert(
+            IpPrefix::v4(prefix.parse().unwrap(), len).unwrap(),
+            city(cityname).unwrap().pos,
+        );
+        db
+    }
+
+    fn edge_city(cdn: &CdnBehavior, addr: IpAddr) -> &str {
+        &cdn
+            .footprint
+            .edges
+            .iter()
+            .find(|e| e.addr == addr)
+            .unwrap()
+            .city
+    }
+
+    #[test]
+    fn long_prefix_gets_proximity() {
+        let cdn = CdnBehavior::cdn1(footprint());
+        let mut db = db_with("192.0.2.0", 24, "Cleveland");
+        db.insert(
+            IpPrefix::v4("8.8.8.8".parse().unwrap(), 32).unwrap(),
+            city("Mountain View").unwrap().pos,
+        );
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24);
+        let (answers, scope) = cdn.select(Some(&ecs), "8.8.8.8".parse().unwrap(), &db);
+        assert_eq!(scope, Some(24));
+        // Nearest edge to Cleveland in the city table is... Cleveland itself.
+        assert_eq!(edge_city(&cdn, answers[0]), "Cleveland");
+    }
+
+    #[test]
+    fn short_prefix_cdn1_loses_proximity() {
+        let cdn = CdnBehavior::cdn1(footprint());
+        let db = db_with("192.0.0.0", 16, "Cleveland");
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 0, 0), 16);
+        let (answers, scope) = cdn.select(Some(&ecs), "8.8.8.8".parse().unwrap(), &db);
+        assert_eq!(scope, Some(0));
+        assert_eq!(answers.len(), 1);
+        // The coarse set has 8 members; across many prefixes we must see a
+        // small, bounded set of answers.
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..=255u8 {
+            if i == 168 {
+                continue; // 192.168/16 is non-routable and takes another path
+            }
+            let ecs = EcsOption::from_v4(Ipv4Addr::new(192, i, 0, 0), 16);
+            let (a, _) = cdn.select(Some(&ecs), "8.8.8.8".parse().unwrap(), &db);
+            distinct.insert(a[0]);
+        }
+        assert!(distinct.len() <= 8, "{}", distinct.len());
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn short_prefix_cdn2_uses_resolver() {
+        let cdn = CdnBehavior::cdn2(footprint());
+        let mut db = db_with("192.0.0.0", 20, "Cleveland");
+        db.insert(
+            IpPrefix::v4("9.9.9.0".parse().unwrap(), 24).unwrap(),
+            city("Toronto").unwrap().pos,
+        );
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 0, 0), 20);
+        let (answers, scope) = cdn.select(Some(&ecs), "9.9.9.1".parse().unwrap(), &db);
+        assert_eq!(scope, Some(0));
+        // Mapped near the resolver (Toronto), not the client (Cleveland).
+        assert_eq!(edge_city(&cdn, answers[0]), "Toronto");
+        // At /21 proximity kicks in.
+        let mut db21 = db;
+        db21.insert(
+            IpPrefix::v4("192.0.0.0".parse().unwrap(), 21).unwrap(),
+            city("Cleveland").unwrap().pos,
+        );
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 0, 0), 21);
+        let (answers, scope) = cdn.select(Some(&ecs), "9.9.9.1".parse().unwrap(), &db21);
+        assert_eq!(scope, Some(21));
+        assert_eq!(edge_city(&cdn, answers[0]), "Cleveland");
+    }
+
+    #[test]
+    fn unroutable_arbitrary_maps_far() {
+        let cdn = CdnBehavior::table2_cdn(footprint());
+        let mut db = GeoDb::new();
+        db.insert(
+            IpPrefix::v4("132.0.2.0".parse().unwrap(), 24).unwrap(),
+            city("Cleveland").unwrap().pos,
+        );
+        // Loopback /32, loopback /24, link-local /24 — all map, and not via
+        // the resolver's location.
+        let resolver: IpAddr = "132.0.2.7".parse().unwrap();
+        let prefixes = [
+            EcsOption::from_v4(Ipv4Addr::new(127, 0, 0, 1), 32),
+            EcsOption::from_v4(Ipv4Addr::new(127, 0, 0, 0), 24),
+            EcsOption::from_v4(Ipv4Addr::new(169, 254, 252, 0), 24),
+        ];
+        let mut answers = Vec::new();
+        for p in &prefixes {
+            let (a, scope) = cdn.select(Some(p), resolver, &db);
+            assert!(!a.is_empty());
+            assert_eq!(scope, Some(p.source_prefix_len()));
+            answers.push(a[0]);
+        }
+        // The three unroutable prefixes give three different first answers
+        // (matching Table 2's non-overlapping sets).
+        answers.sort();
+        answers.dedup();
+        assert!(answers.len() >= 2, "expected distinct arbitrary mappings");
+    }
+
+    #[test]
+    fn unroutable_rfc_policy_uses_resolver() {
+        let cdn = CdnBehavior::cdn1(footprint());
+        let db = db_with("9.9.9.0", 24, "Toronto");
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(127, 0, 0, 1), 32);
+        let (answers, scope) = cdn.select(Some(&ecs), "9.9.9.1".parse().unwrap(), &db);
+        assert_eq!(scope, Some(0));
+        assert_eq!(edge_city(&cdn, answers[0]), "Toronto");
+    }
+
+    #[test]
+    fn no_ecs_maps_by_resolver_without_scope() {
+        let cdn = CdnBehavior::cdn1(footprint());
+        let db = db_with("9.9.9.0", 24, "Chicago");
+        let (answers, scope) = cdn.select(None, "9.9.9.1".parse().unwrap(), &db);
+        assert_eq!(scope, None);
+        assert_eq!(edge_city(&cdn, answers[0]), "Chicago");
+    }
+
+    #[test]
+    fn zero_source_prefix_is_no_information() {
+        let cdn = CdnBehavior::cdn1(footprint());
+        let db = db_with("9.9.9.0", 24, "Chicago");
+        let ecs = EcsOption::no_info_v4();
+        let (answers, scope) = cdn.select(Some(&ecs), "9.9.9.1".parse().unwrap(), &db);
+        // Mapped by resolver; scope 0 signals "same answer for everyone".
+        assert_eq!(scope, Some(0));
+        assert_eq!(edge_city(&cdn, answers[0]), "Chicago");
+    }
+
+    #[test]
+    fn answer_count_respected() {
+        let mut cdn = CdnBehavior::cdn1(footprint());
+        cdn.answer_count = 4;
+        let db = db_with("192.0.2.0", 24, "Paris");
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24);
+        let (answers, _) = cdn.select(Some(&ecs), "9.9.9.1".parse().unwrap(), &db);
+        assert_eq!(answers.len(), 4);
+        // All four are the nearest-four to Paris; first is Paris itself.
+        assert_eq!(edge_city(&cdn, answers[0]), "Paris");
+    }
+}

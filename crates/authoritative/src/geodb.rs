@@ -1,0 +1,146 @@
+//! Prefix → location database: the EdgeScape substitute.
+//!
+//! CDNs geolocate the client subnet (or, absent ECS, the resolver address)
+//! to pick a nearby edge. We model this as a longest-prefix-match table
+//! from [`IpPrefix`] to [`GeoPoint`], populated during world wiring from
+//! the ground-truth positions of every simulated entity.
+//!
+//! Real geolocation databases are imperfect; callers that want to model
+//! that feed jittered positions in (see `topology::asn::jitter_position`).
+
+use dns_wire::IpPrefix;
+use netsim::GeoPoint;
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// Longest-prefix-match geolocation database.
+#[derive(Debug, Clone, Default)]
+pub struct GeoDb {
+    /// Entries bucketed by prefix length for LPM: `tables[len]` maps the
+    /// masked prefix address to a position.
+    v4: Vec<HashMap<IpAddr, GeoPoint>>,
+    v6: Vec<HashMap<IpAddr, GeoPoint>>,
+}
+
+impl GeoDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        GeoDb {
+            v4: (0..=32).map(|_| HashMap::new()).collect(),
+            v6: (0..=128).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    /// Inserts a prefix with its position (replacing any previous entry for
+    /// the identical prefix).
+    pub fn insert(&mut self, prefix: IpPrefix, pos: GeoPoint) {
+        let table = if prefix.is_v4() { &mut self.v4 } else { &mut self.v6 };
+        table[prefix.len() as usize].insert(prefix.addr(), pos);
+    }
+
+    /// Longest-prefix-match lookup for an address.
+    pub fn locate(&self, addr: IpAddr) -> Option<GeoPoint> {
+        let (table, max) = match addr {
+            IpAddr::V4(_) => (&self.v4, 32u8),
+            IpAddr::V6(_) => (&self.v6, 128u8),
+        };
+        for len in (0..=max).rev() {
+            let masked = dns_wire::prefix::mask_addr(addr, len);
+            if let Some(pos) = table[len as usize].get(&masked) {
+                return Some(*pos);
+            }
+        }
+        None
+    }
+
+    /// Locates the prefix carried in an ECS option: looks up the prefix's
+    /// network address. A /0 prefix never matches (no information).
+    pub fn locate_prefix(&self, prefix: &IpPrefix) -> Option<GeoPoint> {
+        if prefix.is_default_route() {
+            return None;
+        }
+        self.locate(prefix.addr())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.v4.iter().map(|t| t.len()).sum::<usize>()
+            + self.v6.iter().map(|t| t.len()).sum::<usize>()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn p(s: &str, len: u8) -> IpPrefix {
+        IpPrefix::v4(s.parse().unwrap(), len).unwrap()
+    }
+
+    fn gp(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon)
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut db = GeoDb::new();
+        db.insert(p("10.0.0.0", 8), gp(0.0, 0.0));
+        db.insert(p("10.1.0.0", 16), gp(10.0, 10.0));
+        db.insert(p("10.1.2.0", 24), gp(20.0, 20.0));
+        let addr = IpAddr::V4(Ipv4Addr::new(10, 1, 2, 3));
+        assert_eq!(db.locate(addr).unwrap(), gp(20.0, 20.0));
+        let addr = IpAddr::V4(Ipv4Addr::new(10, 1, 9, 9));
+        assert_eq!(db.locate(addr).unwrap(), gp(10.0, 10.0));
+        let addr = IpAddr::V4(Ipv4Addr::new(10, 9, 9, 9));
+        assert_eq!(db.locate(addr).unwrap(), gp(0.0, 0.0));
+        let addr = IpAddr::V4(Ipv4Addr::new(11, 0, 0, 1));
+        assert_eq!(db.locate(addr), None);
+    }
+
+    #[test]
+    fn locate_prefix_uses_network_address() {
+        let mut db = GeoDb::new();
+        db.insert(p("192.0.2.0", 24), gp(41.0, -81.0));
+        // A /25 inside the /24 matches via LPM.
+        let q = p("192.0.2.128", 25);
+        assert_eq!(db.locate_prefix(&q).unwrap(), gp(41.0, -81.0));
+        // A /16 containing the /24 does not match (its network address
+        // 192.0.0.0 is outside any entry).
+        let q = p("192.0.0.0", 16);
+        assert_eq!(db.locate_prefix(&q), None);
+        // Default route carries no information.
+        let q = p("0.0.0.0", 0);
+        assert_eq!(db.locate_prefix(&q), None);
+    }
+
+    #[test]
+    fn v6_supported() {
+        let mut db = GeoDb::new();
+        let prefix = IpPrefix::v6("2001:db8::".parse().unwrap(), 48).unwrap();
+        db.insert(prefix, gp(1.0, 2.0));
+        let addr: IpAddr = "2001:db8::42".parse().unwrap();
+        assert_eq!(db.locate(addr).unwrap(), gp(1.0, 2.0));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn exact_host_entries() {
+        let mut db = GeoDb::new();
+        db.insert(p("198.51.100.7", 32), gp(5.0, 5.0));
+        db.insert(p("198.51.100.0", 24), gp(6.0, 6.0));
+        assert_eq!(
+            db.locate(IpAddr::V4(Ipv4Addr::new(198, 51, 100, 7))).unwrap(),
+            gp(5.0, 5.0)
+        );
+        assert_eq!(
+            db.locate(IpAddr::V4(Ipv4Addr::new(198, 51, 100, 8))).unwrap(),
+            gp(6.0, 6.0)
+        );
+    }
+}

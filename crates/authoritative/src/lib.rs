@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! Authoritative DNS servers for the ECS study.
+//!
+//! Three server personalities cover everything the paper measures against:
+//!
+//! * a **plain zone server** ([`server::AuthServer`] with no CDN behaviour):
+//!   serves static records, optionally echoing ECS with a configurable
+//!   scope policy — this is the authors' *experimental authoritative
+//!   nameserver* from the Scan dataset (which answered with scope
+//!   `L = S − 4`);
+//! * a **CDN authoritative** ([`cdn::CdnBehavior`] attached to the server):
+//!   selects edge servers by client proximity using a geolocation database
+//!   ([`geodb::GeoDb`], our EdgeScape substitute), applies per-resolver ECS
+//!   whitelisting like the major CDN of the paper, and reproduces the
+//!   CDN-1/CDN-2 minimum-source-prefix behaviours of §8.3 and the
+//!   unroutable-prefix confusion of §8.1 (Table 2);
+//! * a **flattening DNS provider** ([`flatten::FlatteningServer`]): hosts a
+//!   customer zone whose apex is CDN-accelerated via backend resolution of
+//!   the CDN CNAME (§8.4, Figure 8), with configurable ECS forwarding.
+//!
+//! All servers log every query they see ([`server::QueryLogEntry`]); the
+//! logs are the raw material for the paper's passive analyses.
+//!
+//! ```
+//! use authoritative::{AuthServer, EcsHandling, ScopePolicy, Zone};
+//! use dns_wire::{EcsOption, Message, Name, Question};
+//! use netsim::SimTime;
+//!
+//! // The paper's experimental scan server: open ECS, scope = source − 4.
+//! let mut zone = Zone::new(Name::from_ascii("probe.example").unwrap());
+//! zone.add_a(
+//!     Name::from_ascii("www.probe.example").unwrap(),
+//!     60,
+//!     std::net::Ipv4Addr::new(198, 51, 100, 1),
+//! ).unwrap();
+//! let mut server = AuthServer::new(zone, EcsHandling::open(ScopePolicy::SourceMinusK(4)));
+//!
+//! let mut q = Message::query(1, Question::a(Name::from_ascii("www.probe.example").unwrap()));
+//! q.set_ecs(EcsOption::from_v4(std::net::Ipv4Addr::new(192, 0, 2, 0), 24));
+//! let resp = server.handle(&q, "9.9.9.9".parse().unwrap(), SimTime::ZERO);
+//! assert_eq!(resp.ecs().unwrap().scope_prefix_len(), 20);
+//! ```
+
+pub mod cdn;
+pub mod flatten;
+pub mod geodb;
+pub mod server;
+pub mod zone;
+
+pub use cdn::{CdnBehavior, EdgeSelection, ShortPrefixFallback, UnroutablePolicy};
+pub use flatten::FlatteningServer;
+pub use geodb::GeoDb;
+pub use server::{AuthServer, EcsHandling, QueryLogEntry, ScopePolicy};
+pub use zone::{Zone, ZoneError};

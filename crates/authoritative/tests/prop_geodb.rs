@@ -1,0 +1,67 @@
+//! Property test: the GeoDb's longest-prefix match agrees with a naive
+//! reference implementation.
+
+use authoritative::GeoDb;
+use dns_wire::IpPrefix;
+use netsim::GeoPoint;
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr};
+
+fn naive_lookup(entries: &[(IpPrefix, GeoPoint)], addr: IpAddr) -> Option<GeoPoint> {
+    entries
+        .iter()
+        .filter(|(p, _)| p.contains(addr))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(_, pos)| *pos)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lpm_matches_naive(
+        raw_entries in proptest::collection::vec((any::<u32>(), 0u8..=32, -80.0f64..80.0, -179.0f64..179.0), 0..40),
+        probes in proptest::collection::vec(any::<u32>(), 1..20),
+    ) {
+        let mut db = GeoDb::new();
+        let mut entries: Vec<(IpPrefix, GeoPoint)> = Vec::new();
+        for (addr, len, lat, lon) in raw_entries {
+            let p = IpPrefix::v4(Ipv4Addr::from(addr), len).unwrap();
+            let pos = GeoPoint::new(lat, lon);
+            // Later duplicates replace earlier ones in both implementations.
+            entries.retain(|(q, _)| *q != p);
+            entries.push((p, pos));
+            db.insert(p, pos);
+        }
+        for probe in probes {
+            let addr = IpAddr::V4(Ipv4Addr::from(probe));
+            let got = db.locate(addr);
+            let want = naive_lookup(&entries, addr);
+            // Positions compare exactly: both sides stored identical f64s.
+            prop_assert_eq!(
+                got.map(|g| (g.lat, g.lon)),
+                want.map(|w| (w.lat, w.lon)),
+                "probe {}", addr
+            );
+        }
+    }
+
+    #[test]
+    fn locate_prefix_never_uses_shorter_entries_of_other_networks(
+        base in any::<u32>(),
+        len in 9u8..=24,
+    ) {
+        // An entry at `base/len`; querying the sibling network at the same
+        // length must not match it.
+        let mut db = GeoDb::new();
+        let p = IpPrefix::v4(Ipv4Addr::from(base), len).unwrap();
+        db.insert(p, GeoPoint::new(1.0, 2.0));
+        let sibling_addr = u32::from_be_bytes(match p.addr() {
+            IpAddr::V4(a) => a.octets(),
+            _ => unreachable!(),
+        }) ^ (1u32 << (32 - len));
+        let sibling = IpPrefix::v4(Ipv4Addr::from(sibling_addr), len).unwrap();
+        prop_assert_eq!(db.locate_prefix(&sibling), None);
+        prop_assert!(db.locate_prefix(&p).is_some());
+    }
+}

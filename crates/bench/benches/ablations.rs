@@ -1,0 +1,183 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **scope granularity** — how the authoritative's scope policy changes
+//!   resolver cache cost (coarser scopes = fewer entries, worse tailoring);
+//! * **probing strategy** — upstream query volume under each §6.1 strategy
+//!   (the Chen et al. "8× query volume" effect, by strategy);
+//! * **edge-selection policy** — proximity vs coarse-set vs resolver-based
+//!   cost per query at the CDN.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr};
+
+use analysis::{CacheSimConfig, CacheSimulator};
+use authoritative::{CdnBehavior, GeoDb};
+use dns_wire::{EcsOption, IpPrefix};
+use netsim::geo::CITIES;
+use topology::{CdnFootprint, EdgeServerSpec};
+use workload::PublicCdnTraceGen;
+
+/// Ablation 1: replay the same trace with the response scope forced to
+/// various granularities and compare peak ECS cache size.
+fn ablation_scope_granularity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/scope_granularity");
+    g.sample_size(10);
+    let base = PublicCdnTraceGen {
+        resolvers: 10,
+        subnets_per_resolver: 40,
+        hostnames: 100,
+        queries: 100_000,
+        duration: netsim::SimDuration::from_secs(600),
+        ..PublicCdnTraceGen::default()
+    }
+    .generate();
+    let mut printed: HashMap<u8, usize> = HashMap::new();
+    for scope in [24u8, 16, 8] {
+        let mut trace = base.clone();
+        for r in &mut trace.records {
+            r.response_scope = Some(scope);
+        }
+        let sim = CacheSimulator::new(CacheSimConfig::default());
+        let peak: usize = sim
+            .run(&trace)
+            .per_resolver
+            .iter()
+            .map(|r| r.max_size_ecs)
+            .sum();
+        printed.insert(scope, peak);
+        g.bench_with_input(BenchmarkId::new("replay", scope), &scope, |b, _| {
+            b.iter(|| sim.run(black_box(&trace)).per_resolver.len())
+        });
+    }
+    let mut scopes: Vec<_> = printed.into_iter().collect();
+    scopes.sort();
+    println!("\nablation: total peak ECS cache entries by forced scope:");
+    for (scope, peak) in scopes {
+        println!("  scope /{scope:<2} → {peak}");
+    }
+    g.finish();
+}
+
+/// Ablation 2: edge-selection policy cost per query.
+fn ablation_edge_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/edge_selection");
+    let footprint = CdnFootprint {
+        edges: CITIES
+            .iter()
+            .enumerate()
+            .flat_map(|(i, city)| {
+                (0..8u8).map(move |k| EdgeServerSpec {
+                    addr: IpAddr::V4(Ipv4Addr::new(203, (i / 30) as u8, (i % 30) as u8, k + 1)),
+                    pos: city.pos,
+                    city: city.name.to_string(),
+                })
+            })
+            .collect(),
+    };
+    let mut geodb = GeoDb::new();
+    geodb.insert(
+        IpPrefix::v4(Ipv4Addr::new(100, 70, 1, 0), 24).unwrap(),
+        CITIES[0].pos,
+    );
+    geodb.insert(
+        IpPrefix::v4(Ipv4Addr::new(9, 9, 9, 0), 24).unwrap(),
+        CITIES[1].pos,
+    );
+    let resolver: IpAddr = "9.9.9.9".parse().unwrap();
+    let long_ecs = EcsOption::from_v4(Ipv4Addr::new(100, 70, 1, 0), 24);
+    let short_ecs = EcsOption::from_v4(Ipv4Addr::new(100, 64, 0, 0), 16);
+
+    let cdn1 = CdnBehavior::cdn1(footprint.clone());
+    g.bench_function("proximity_scan", |b| {
+        b.iter(|| cdn1.select(Some(black_box(&long_ecs)), resolver, &geodb))
+    });
+    g.bench_function("coarse_set_fallback", |b| {
+        b.iter(|| cdn1.select(Some(black_box(&short_ecs)), resolver, &geodb))
+    });
+    let cdn2 = CdnBehavior::cdn2(footprint);
+    g.bench_function("resolver_based_fallback", |b| {
+        b.iter(|| cdn2.select(Some(black_box(&short_ecs)), resolver, &geodb))
+    });
+    g.finish();
+}
+
+/// Ablation 3: upstream query volume by probing strategy. Counts (not
+/// times) the 8×-style amplification; the bench times the resolution loop.
+fn ablation_probing_volume(c: &mut Criterion) {
+    use authoritative::{AuthServer, EcsHandling, ScopePolicy, Zone};
+    use dns_wire::{Message, Name, Question};
+    use netsim::SimTime;
+    use resolver::{ProbingStrategy, Resolver, ResolverConfig};
+
+    let mut g = c.benchmark_group("ablation/probing_volume");
+    g.sample_size(10);
+
+    let apex = Name::from_ascii("cdn.example").unwrap();
+    let hostname = apex.child("www").unwrap();
+    let make_auth = || {
+        let mut zone = Zone::new(apex.clone());
+        zone.add_a(hostname.clone(), 20, Ipv4Addr::new(198, 51, 100, 1))
+            .unwrap();
+        AuthServer::new(zone, EcsHandling::open(ScopePolicy::MatchSource))
+    };
+    let strategies: Vec<(&str, ProbingStrategy)> = vec![
+        ("always", ProbingStrategy::Always),
+        (
+            "hostname_probe_bypass",
+            ProbingStrategy::HostnameProbe {
+                hostnames: std::collections::HashSet::from([hostname.clone()]),
+            },
+        ),
+        ("every_3rd", ProbingStrategy::EveryKth { k: 3 }),
+    ];
+    let mut volumes = Vec::new();
+    for (label, strategy) in strategies {
+        let mut auth = make_auth();
+        let mut r = Resolver::new(ResolverConfig {
+            probing: strategy.clone(),
+            ..ResolverConfig::rfc_compliant("9.9.9.9".parse().unwrap())
+        });
+        // 1000 queries from 20 subnets over 100 virtual seconds.
+        let mut served = 0u64;
+        for i in 0..1000u64 {
+            let client = IpAddr::V4(Ipv4Addr::from(0x0A00_0000 | (((i % 20) as u32) << 8) | 7));
+            let q = Message::query(1, Question::a(hostname.clone()));
+            r.resolve_msg(&q, client, SimTime::from_micros(i * 100_000), &mut auth);
+            served += 1;
+        }
+        volumes.push((label, r.stats().upstream_queries, served));
+        g.bench_function(label, |b| {
+            let mut auth = make_auth();
+            let mut r = Resolver::new(ResolverConfig {
+                probing: strategy.clone(),
+                ..ResolverConfig::rfc_compliant("9.9.9.9".parse().unwrap())
+            });
+            auth.set_logging(false);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let client =
+                    IpAddr::V4(Ipv4Addr::from(0x0A00_0000 | (((i % 20) as u32) << 8) | 7));
+                let q = Message::query(1, Question::a(hostname.clone()));
+                r.resolve_msg(&q, client, SimTime::from_micros(i * 100_000), &mut auth)
+            })
+        });
+    }
+    println!("\nablation: upstream amplification by probing strategy (1000 client queries):");
+    for (label, upstream, served) in volumes {
+        println!(
+            "  {label:<24} {upstream:>5} upstream queries ({:.1}% of client volume)",
+            upstream as f64 / served as f64 * 100.0
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_scope_granularity,
+    ablation_edge_selection,
+    ablation_probing_volume
+);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Microbenchmarks of the ECS-aware cache: lookup/insert costs as the
+//! per-name entry count grows (the §7 blow-up, felt as CPU).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dns_wire::{EcsOption, Name, Rdata, Record, RecordType};
+use netsim::SimTime;
+use resolver::{CacheCompliance, EcsCache};
+use std::net::{IpAddr, Ipv4Addr};
+
+fn filled_cache(entries_per_name: u32) -> (EcsCache, Name) {
+    let mut cache = EcsCache::new(CacheCompliance::Honor);
+    let name = Name::from_ascii("www.example.com").unwrap();
+    let rec = vec![Record::new(
+        name.clone(),
+        600,
+        Rdata::A(Ipv4Addr::new(203, 0, 113, 1)),
+    )];
+    for i in 0..entries_per_name {
+        let subnet = Ipv4Addr::from(0x0A00_0000 | (i << 8));
+        let ecs = EcsOption::from_v4(subnet, 24).with_scope(24);
+        cache.insert(
+            name.clone(),
+            RecordType::A,
+            rec.clone(),
+            Some(ecs),
+            600,
+            SimTime::ZERO,
+        );
+    }
+    (cache, name)
+}
+
+fn bench_lookup_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache/lookup_vs_entries_per_name");
+    for entries in [1u32, 4, 16, 64, 256] {
+        let (mut cache, name) = filled_cache(entries);
+        // The hit probe: a client inside the last-inserted subnet.
+        let hit_client = IpAddr::V4(Ipv4Addr::from(0x0A00_0000 | ((entries - 1) << 8) | 7));
+        // The miss probe: a client outside every cached scope.
+        let miss_client = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 7));
+        g.bench_with_input(BenchmarkId::new("hit", entries), &entries, |b, _| {
+            b.iter(|| {
+                cache.lookup(
+                    black_box(&name),
+                    RecordType::A,
+                    hit_client,
+                    SimTime::from_secs(1),
+                )
+            })
+        });
+        let (mut cache, name) = filled_cache(entries);
+        g.bench_with_input(BenchmarkId::new("miss", entries), &entries, |b, _| {
+            b.iter(|| {
+                cache.lookup(
+                    black_box(&name),
+                    RecordType::A,
+                    miss_client,
+                    SimTime::from_secs(1),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache/insert");
+    let name = Name::from_ascii("www.example.com").unwrap();
+    let rec = vec![Record::new(
+        name.clone(),
+        600,
+        Rdata::A(Ipv4Addr::new(203, 0, 113, 1)),
+    )];
+    g.bench_function("scoped_insert", |b| {
+        let mut cache = EcsCache::new(CacheCompliance::Honor);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let ecs = EcsOption::from_v4(Ipv4Addr::from(i << 8), 24).with_scope(24);
+            cache.insert(
+                name.clone(),
+                RecordType::A,
+                rec.clone(),
+                Some(ecs),
+                600,
+                SimTime::ZERO,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_compliance_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache/compliance_mode_lookup");
+    for (label, mode) in [
+        ("honor", CacheCompliance::Honor),
+        ("ignore_scope", CacheCompliance::IgnoreScope),
+        ("cap22", CacheCompliance::CapPrefix(22)),
+    ] {
+        let mut cache = EcsCache::new(mode);
+        let name = Name::from_ascii("www.example.com").unwrap();
+        let rec = vec![Record::new(
+            name.clone(),
+            600,
+            Rdata::A(Ipv4Addr::new(203, 0, 113, 1)),
+        )];
+        for i in 0..64u32 {
+            let ecs = EcsOption::from_v4(Ipv4Addr::from(0x0A00_0000 | (i << 8)), 24)
+                .with_scope(24);
+            cache.insert(
+                name.clone(),
+                RecordType::A,
+                rec.clone(),
+                Some(ecs),
+                600,
+                SimTime::ZERO,
+            );
+        }
+        let client = IpAddr::V4(Ipv4Addr::new(10, 0, 31, 7));
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                cache.lookup(
+                    black_box(&name),
+                    RecordType::A,
+                    client,
+                    SimTime::from_secs(1),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookup_scaling, bench_insert, bench_compliance_modes);
+criterion_main!(benches);

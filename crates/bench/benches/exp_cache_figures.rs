@@ -1,0 +1,90 @@
+//! Regenerates Figures 1–3 (the §7 cache analyses) as benchmarks. Each
+//! iteration replays the trace through the cache simulator; the first
+//! iteration prints the reproduced series.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ecs_study::experiments::{fig1, fig2, fig3};
+use std::sync::Once;
+use workload::{AllNamesTraceGen, PublicCdnTraceGen};
+
+static P1: Once = Once::new();
+static P2: Once = Once::new();
+static P3: Once = Once::new();
+
+fn small_public_trace() -> PublicCdnTraceGen {
+    PublicCdnTraceGen {
+        resolvers: 15,
+        subnets_per_resolver: 40,
+        hostnames: 100,
+        queries: 150_000,
+        duration: netsim::SimDuration::from_secs(600),
+        ..PublicCdnTraceGen::default()
+    }
+}
+
+fn small_allnames_trace() -> AllNamesTraceGen {
+    AllNamesTraceGen {
+        v4_subnets: 250,
+        v6_subnets: 50,
+        slds: 250,
+        queries: 150_000,
+        ..AllNamesTraceGen::default()
+    }
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig1_blowup_cdf");
+    g.sample_size(10);
+    let config = fig1::Config {
+        trace: small_public_trace(),
+        ttls: vec![20, 40, 60],
+    };
+    g.throughput(Throughput::Elements(150_000 * 3));
+    g.bench_function("three_ttl_sweep", |b| {
+        b.iter(|| {
+            let (out, report) = fig1::run(&config);
+            P1.call_once(|| println!("\n{report}"));
+            out.series.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig2_blowup_vs_population");
+    g.sample_size(10);
+    let config = fig2::Config {
+        trace: small_allnames_trace(),
+        fractions: vec![20, 60, 100],
+        samples: 2,
+    };
+    g.bench_function("population_sweep", |b| {
+        b.iter(|| {
+            let (out, report) = fig2::run(&config);
+            P2.call_once(|| println!("\n{report}"));
+            out.points.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig3_hit_rate");
+    g.sample_size(10);
+    let config = fig3::Config {
+        trace: small_allnames_trace(),
+        fractions: vec![20, 60, 100],
+        samples: 2,
+    };
+    g.bench_function("hit_rate_sweep", |b| {
+        b.iter(|| {
+            let (out, report) = fig3::run(&config);
+            P3.call_once(|| println!("\n{report}"));
+            out.points.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1, bench_fig2, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Regenerates the behaviour classifications (§5, §6.1, §6.3) as
+//! benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecs_study::experiments::{cache_behavior, discovery, probing};
+use std::sync::Once;
+
+static PP: Once = Once::new();
+static PC: Once = Once::new();
+static PD: Once = Once::new();
+
+fn bench_probing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("classification/probing");
+    g.sample_size(10);
+    let config = probing::Config {
+        scale: 80,
+        queries_per_resolver: 200,
+        ..probing::Config::default()
+    };
+    g.bench_function("day_of_traffic_and_classify", |b| {
+        b.iter(|| {
+            let (out, report) = probing::run(&config);
+            PP.call_once(|| println!("\n{report}"));
+            out.accuracy
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache_behavior(c: &mut Criterion) {
+    let mut g = c.benchmark_group("classification/cache_compliance");
+    g.sample_size(10);
+    let config = cache_behavior::Config { scale: 4 };
+    g.bench_function("paired_probe_methodology", |b| {
+        b.iter(|| {
+            let (out, report) = cache_behavior::run(&config);
+            PC.call_once(|| println!("\n{report}"));
+            out.accuracy
+        })
+    });
+    g.finish();
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("classification/discovery_overlap");
+    g.sample_size(10);
+    let config = discovery::Config {
+        scale: 10,
+        ..discovery::Config::default()
+    };
+    g.bench_function("passive_vs_active", |b| {
+        b.iter(|| {
+            let (out, report) = discovery::run(&config);
+            PD.call_once(|| println!("\n{report}"));
+            out.overlap.both
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_probing, bench_cache_behavior, bench_discovery);
+criterion_main!(benches);

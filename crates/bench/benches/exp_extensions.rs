@@ -1,0 +1,70 @@
+//! Benches for the extension experiments (§9 future work implemented):
+//! adaptive prefix lengths, query amplification, whitelist comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecs_study::experiments::{adaptive, amplification, whitelist};
+use std::sync::Once;
+
+static PA: Once = Once::new();
+static PM: Once = Once::new();
+static PW: Once = Once::new();
+
+fn bench_adaptive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions/adaptive_prefix");
+    g.sample_size(10);
+    let config = adaptive::Config {
+        probes: 120,
+        queries_per_probe: 2,
+        seed: 0,
+    };
+    g.bench_function("four_condition_sweep", |b| {
+        b.iter(|| {
+            let (out, report) = adaptive::run(&config);
+            PA.call_once(|| println!("\n{report}"));
+            out.conditions.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_amplification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions/amplification");
+    g.sample_size(10);
+    let config = amplification::Config {
+        subnets: 60,
+        queries: 60_000,
+        hostnames: 40,
+        duration_secs: 600,
+        ..amplification::Config::default()
+    };
+    g.bench_function("ecs_vs_plain_workload", |b| {
+        b.iter(|| {
+            let (out, report) = amplification::run(&config);
+            PM.call_once(|| println!("\n{report}"));
+            out.factor()
+        })
+    });
+    g.finish();
+}
+
+fn bench_whitelist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions/whitelist_comparison");
+    g.sample_size(10);
+    let config = whitelist::Config {
+        subnets: 60,
+        queries: 30_000,
+        duration_secs: 600,
+        seed: 0,
+    };
+    g.bench_function("whitelisted_vs_not", |b| {
+        b.iter(|| {
+            let (out, report) = whitelist::run(&config);
+            PW.call_once(|| println!("\n{report}"));
+            out.conditions.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_adaptive, bench_amplification, bench_whitelist);
+criterion_main!(benches);

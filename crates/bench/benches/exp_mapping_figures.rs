@@ -1,0 +1,70 @@
+//! Regenerates the mapping-quality artifacts (Figures 4–8) as benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecs_study::experiments::{fig45, fig67, fig8};
+use std::sync::Once;
+
+static P45: Once = Once::new();
+static P6: Once = Once::new();
+static P7: Once = Once::new();
+static P8: Once = Once::new();
+
+fn bench_fig45(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig45_hidden_distance");
+    g.sample_size(10);
+    let mut config = fig45::Config::fig4();
+    config.world.forwarders = 800;
+    g.bench_function("world_and_distance_analysis", |b| {
+        b.iter(|| {
+            let (out, report) = fig45::run(&config);
+            P45.call_once(|| println!("\n{report}"));
+            out.combos
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig67(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig67_prefix_quality");
+    g.sample_size(10);
+    let cfg6 = fig67::Config {
+        probes: 200,
+        ..fig67::Config::fig6()
+    };
+    g.bench_function("cdn1_sweep", |b| {
+        b.iter(|| {
+            let (out, report) = fig67::run(&cfg6);
+            P6.call_once(|| println!("\n{report}"));
+            out.by_length.len()
+        })
+    });
+    let cfg7 = fig67::Config {
+        probes: 200,
+        ..fig67::Config::fig7()
+    };
+    g.bench_function("cdn2_sweep", |b| {
+        b.iter(|| {
+            let (out, report) = fig67::run(&cfg7);
+            P7.call_once(|| println!("\n{report}"));
+            out.by_length.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig8_cname_flattening");
+    g.sample_size(30);
+    let config = fig8::Config::default();
+    g.bench_function("flattening_walkthrough", |b| {
+        b.iter(|| {
+            let (out, report) = fig8::run(&config);
+            P8.call_once(|| println!("\n{report}"));
+            out.apex_total_ms
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig45, bench_fig67, bench_fig8);
+criterion_main!(benches);

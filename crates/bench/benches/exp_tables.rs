@@ -1,0 +1,44 @@
+//! Regenerates the paper's tables as benchmarks: each iteration runs the
+//! full experiment pipeline at reduced scale, and the first iteration
+//! prints the reproduced rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecs_study::experiments::{table1, table2};
+use std::sync::Once;
+
+static PRINT_T1: Once = Once::new();
+static PRINT_T2: Once = Once::new();
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables/table1_prefix_lengths");
+    g.sample_size(10);
+    let config = table1::Config {
+        scale: 30,
+        ..table1::Config::default()
+    };
+    g.bench_function("scan_and_tabulate", |b| {
+        b.iter(|| {
+            let (out, report) = table1::run(&config);
+            PRINT_T1.call_once(|| println!("\n{report}"));
+            out.table.resolver_count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables/table2_unroutable_prefixes");
+    g.sample_size(20);
+    let config = table2::Config::default();
+    g.bench_function("five_variant_probe", |b| {
+        b.iter(|| {
+            let (out, report) = table2::run(&config);
+            PRINT_T2.call_once(|| println!("\n{report}"));
+            out.rows.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Microbenchmarks of the DNS wire format: the per-packet cost floor under
+//! every experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dns_wire::{EcsOption, Message, Name, Question, Rdata, Record};
+use std::net::Ipv4Addr;
+
+fn sample_query() -> Message {
+    let mut m = Message::query(
+        0x1234,
+        Question::a(Name::from_ascii("www.subdomain.example.com").unwrap()),
+    );
+    m.set_edns(4096);
+    m.set_ecs(EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24));
+    m
+}
+
+fn sample_response() -> Message {
+    let q = sample_query();
+    let mut r = Message::response_to(&q);
+    r.flags.aa = true;
+    let owner = Name::from_ascii("www.subdomain.example.com").unwrap();
+    r.answers.push(Record::new(
+        owner.clone(),
+        20,
+        Rdata::Cname(Name::from_ascii("edge.cdn.example.net").unwrap()),
+    ));
+    for i in 0..8 {
+        r.answers.push(Record::new(
+            Name::from_ascii("edge.cdn.example.net").unwrap(),
+            20,
+            Rdata::A(Ipv4Addr::new(203, 0, 113, i + 1)),
+        ));
+    }
+    r.answers.push(Record::new(
+        owner,
+        20,
+        Rdata::Txt(vec![b"served-by=bench".to_vec()]),
+    ));
+    r.set_edns(4096);
+    r.set_ecs(EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(24));
+    r
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire/encode");
+    let query = sample_query();
+    let resp = sample_response();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("query_with_ecs", |b| {
+        b.iter(|| black_box(&query).to_bytes().unwrap())
+    });
+    g.bench_function("response_10rr_compressed", |b| {
+        b.iter(|| black_box(&resp).to_bytes().unwrap())
+    });
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire/decode");
+    let query = sample_query().to_bytes().unwrap();
+    let resp = sample_response().to_bytes().unwrap();
+    g.throughput(Throughput::Bytes(resp.len() as u64));
+    g.bench_function("query_with_ecs", |b| {
+        b.iter(|| Message::from_bytes(black_box(&query)).unwrap())
+    });
+    g.bench_function("response_10rr_compressed", |b| {
+        b.iter(|| Message::from_bytes(black_box(&resp)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_ecs_option(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire/ecs_option");
+    let opt = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(16);
+    let wire = opt.to_wire().unwrap();
+    g.bench_function("encode", |b| b.iter(|| black_box(&opt).to_wire().unwrap()));
+    g.bench_function("decode", |b| {
+        b.iter(|| EcsOption::from_wire(black_box(&wire)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_name(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire/name");
+    g.bench_function("parse_ascii", |b| {
+        b.iter(|| Name::from_ascii(black_box("cdn.images.subdomain.example.com")).unwrap())
+    });
+    let n = Name::from_ascii("cdn.images.subdomain.example.com").unwrap();
+    g.bench_function("canonicalize", |b| b.iter(|| black_box(&n).canonical()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_ecs_option, bench_name);
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! Property-based round-trip tests for the wire format.
+
+use dns_wire::{
+    EcsOption, Flags, Message, Name, Opcode, Question, Rcode, Rdata, Record, RecordClass,
+    RecordType, SoaData,
+};
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,14}[a-z0-9])?").unwrap()
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 0..6)
+        .prop_map(|labels| Name::from_ascii(&labels.join(".")).unwrap())
+}
+
+fn arb_v4() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_v6() -> impl Strategy<Value = Ipv6Addr> {
+    any::<u128>().prop_map(Ipv6Addr::from)
+}
+
+fn arb_ecs() -> impl Strategy<Value = EcsOption> {
+    prop_oneof![
+        (arb_v4(), 0u8..=32, 0u8..=32)
+            .prop_map(|(a, s, sc)| EcsOption::from_v4(a, s).with_scope(sc)),
+        (arb_v6(), 0u8..=128, 0u8..=128)
+            .prop_map(|(a, s, sc)| EcsOption::from_v6(a, s).with_scope(sc)),
+    ]
+}
+
+fn arb_rdata() -> impl Strategy<Value = Rdata> {
+    prop_oneof![
+        arb_v4().prop_map(Rdata::A),
+        arb_v6().prop_map(Rdata::Aaaa),
+        arb_name().prop_map(Rdata::Cname),
+        arb_name().prop_map(Rdata::Ns),
+        arb_name().prop_map(Rdata::Ptr),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..3)
+            .prop_map(Rdata::Txt),
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>()).prop_map(|(m, r, serial, t)| {
+            Rdata::Soa(SoaData {
+                mname: m,
+                rname: r,
+                serial,
+                refresh: t,
+                retry: t / 2,
+                expire: t.wrapping_mul(2),
+                minimum: 300,
+            })
+        }),
+        (256u16..400, proptest::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(rtype, data)| Rdata::Unknown { rtype, data }),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), 0u32..1_000_000, arb_rdata()).prop_map(|(n, ttl, rd)| Record::new(n, ttl, rd))
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        arb_name(),
+        prop_oneof![Just(RecordType::A), Just(RecordType::Aaaa), Just(RecordType::Txt)],
+        proptest::collection::vec(arb_record(), 0..5),
+        proptest::collection::vec(arb_record(), 0..3),
+        proptest::option::of(arb_ecs()),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(id, qname, qtype, answers, auths, ecs, qr, aa)| {
+            let mut m = Message::query(id, Question::new(qname, qtype, RecordClass::In));
+            m.flags = Flags {
+                qr,
+                aa,
+                rd: true,
+                ra: qr,
+                ..Flags::default()
+            };
+            m.opcode = Opcode::Query;
+            m.rcode = Rcode::NoError;
+            m.answers = answers;
+            m.authorities = auths;
+            if let Some(e) = ecs {
+                m.set_ecs(e);
+            }
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn name_roundtrips(name in arb_name()) {
+        let mut w = dns_wire::wire::WireWriter::new();
+        name.write(&mut w).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut r = dns_wire::wire::WireReader::new(&bytes);
+        prop_assert_eq!(Name::read(&mut r).unwrap(), name);
+    }
+
+    #[test]
+    fn ecs_option_roundtrips(ecs in arb_ecs()) {
+        let wire = ecs.to_wire().unwrap();
+        let back = EcsOption::from_wire(&wire).unwrap();
+        prop_assert_eq!(back, ecs);
+    }
+
+    #[test]
+    fn ecs_address_is_always_masked(addr in arb_v4(), len in 0u8..=32) {
+        let ecs = EcsOption::from_v4(addr, len);
+        let masked = dns_wire::prefix::mask_addr(IpAddr::V4(addr), len);
+        prop_assert_eq!(ecs.addr(), masked);
+        // Wire form never carries more octets than the prefix needs.
+        let wire = ecs.to_wire().unwrap();
+        prop_assert_eq!(wire.len(), 4 + (len as usize).div_ceil(8));
+    }
+
+    #[test]
+    fn message_roundtrips(msg in arb_message()) {
+        let bytes = msg.to_bytes().unwrap();
+        let back = Message::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        // Any input must either parse or fail cleanly; reserialization of a
+        // successful parse must parse again to the same message.
+        if let Ok(m) = Message::from_bytes(&data) {
+            if let Ok(bytes) = m.to_bytes() {
+                let again = Message::from_bytes(&bytes).unwrap();
+                prop_assert_eq!(again, m);
+            }
+        }
+    }
+
+    #[test]
+    fn truncating_any_valid_message_fails_cleanly(msg in arb_message(), cut in 0usize..100) {
+        let bytes = msg.to_bytes().unwrap();
+        if cut < bytes.len() {
+            let _ = Message::from_bytes(&bytes[..bytes.len() - cut - 1]);
+            // No panic is the property.
+        }
+    }
+
+    #[test]
+    fn prefix_truncate_is_monotone(addr in arb_v4(), a in 0u8..=32, b in 0u8..=32) {
+        let p = dns_wire::IpPrefix::v4(addr, a).unwrap();
+        let t = p.truncate(b);
+        prop_assert!(t.len() <= p.len());
+        prop_assert!(t.covers(&p));
+    }
+
+    #[test]
+    fn prefix_contains_its_own_addresses(addr in arb_v4(), len in 0u8..=32, other in arb_v4()) {
+        let p = dns_wire::IpPrefix::v4(addr, len).unwrap();
+        prop_assert!(p.contains(IpAddr::V4(addr)));
+        // Containment agrees with leading-bit equality.
+        if len > 0 && len < 32 {
+            let lhs = u32::from(addr) >> (32 - len);
+            let rhs = u32::from(other) >> (32 - len);
+            prop_assert_eq!(p.contains(IpAddr::V4(other)), lhs == rhs);
+        }
+    }
+}

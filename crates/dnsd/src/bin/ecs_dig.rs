@@ -1,0 +1,84 @@
+//! `ecs-dig` — a dig-style client that can attach ECS options.
+//!
+//! ```text
+//! ecs-dig <server[:port]> <name> [--ecs ADDR/LEN]
+//! ```
+
+use dns_wire::{EcsOption, IpPrefix, Name};
+use dnsd::DigClient;
+use std::net::{SocketAddr, ToSocketAddrs};
+
+fn usage() -> ! {
+    eprintln!("usage: ecs-dig <server[:port]> <name> [--ecs ADDR/LEN]");
+    std::process::exit(2);
+}
+
+fn parse_server(s: &str) -> Option<SocketAddr> {
+    if let Ok(mut addrs) = s.to_socket_addrs() {
+        return addrs.next();
+    }
+    // Bare address without port: default to 53.
+    format!("{s}:53").to_socket_addrs().ok()?.next()
+}
+
+fn parse_ecs(s: &str) -> Option<EcsOption> {
+    let (addr, len) = s.split_once('/')?;
+    let addr: std::net::IpAddr = addr.parse().ok()?;
+    let len: u8 = len.parse().ok()?;
+    let prefix = IpPrefix::new(addr, len).ok()?;
+    Some(EcsOption::from_prefix(prefix))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let Some(server) = parse_server(&args[0]) else {
+        eprintln!("ecs-dig: cannot resolve server '{}'", args[0]);
+        std::process::exit(2);
+    };
+    let Ok(name) = Name::from_ascii(&args[1]) else {
+        eprintln!("ecs-dig: invalid name '{}'", args[1]);
+        std::process::exit(2);
+    };
+    let mut ecs = None;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ecs" => {
+                let Some(v) = args.get(i + 1) else { usage() };
+                let Some(e) = parse_ecs(v) else {
+                    eprintln!("ecs-dig: invalid ECS '{v}' (want ADDR/LEN)");
+                    std::process::exit(2);
+                };
+                ecs = Some(e);
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    let mut dig = match DigClient::new() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ecs-dig: {e}");
+            std::process::exit(1);
+        }
+    };
+    match dig.query_a(server, &name, ecs) {
+        Ok(resp) => {
+            println!(";; status: {:?}, answers: {}", resp.rcode, resp.answers.len());
+            if let Some(opt) = resp.ecs() {
+                println!(";; ECS: {opt}");
+            }
+            for r in &resp.answers {
+                println!("{}\t{}\t{}\t{:?}", r.name, r.ttl, r.rtype(), r.rdata);
+            }
+        }
+        Err(e) => {
+            eprintln!("ecs-dig: {e}");
+            std::process::exit(1);
+        }
+    }
+}

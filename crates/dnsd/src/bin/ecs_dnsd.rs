@@ -1,0 +1,72 @@
+//! `ecs-dnsd` — serve a demo ECS-aware CDN zone over UDP.
+//!
+//! ```text
+//! ecs-dnsd [bind-addr]        # default 127.0.0.1:5353
+//! ```
+//!
+//! The demo zone is `cdn.example` with `www.cdn.example` accelerated by a
+//! CDN-1-style footprint (edges in every city of the built-in table,
+//! proximity mapping for /24+ ECS prefixes, coarse fallback below). The
+//! geolocation database knows the documentation/test prefixes
+//! `192.0.2.0/24` (Cleveland), `198.51.100.0/24` (Tokyo), and
+//! `203.0.113.0/24` (Frankfurt), so `ecs-dig` queries with those ECS
+//! prefixes demonstrably change the answer.
+
+use authoritative::{AuthServer, CdnBehavior, EcsHandling, GeoDb, ScopePolicy, Zone};
+use dns_wire::{IpPrefix, Name};
+use dnsd::UdpAuthServer;
+use netsim::geo::{city, CITIES};
+use std::net::{IpAddr, Ipv4Addr};
+use topology::{CdnFootprint, EdgeServerSpec};
+
+fn main() {
+    let bind = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:5353".to_string());
+
+    let footprint = CdnFootprint {
+        edges: CITIES
+            .iter()
+            .enumerate()
+            .map(|(i, c)| EdgeServerSpec {
+                addr: IpAddr::V4(Ipv4Addr::new(203, 0, 113, i as u8 + 1)),
+                pos: c.pos,
+                city: c.name.to_string(),
+            })
+            .collect(),
+    };
+    let mut geodb = GeoDb::new();
+    for (prefix, cityname) in [
+        ("192.0.2.0", "Cleveland"),
+        ("198.51.100.0", "Tokyo"),
+        ("203.0.113.0", "Frankfurt"),
+    ] {
+        geodb.insert(
+            IpPrefix::v4(prefix.parse().expect("valid"), 24).expect("<=32"),
+            city(cityname).expect("known").pos,
+        );
+    }
+    let auth = AuthServer::new(
+        Zone::new(Name::from_ascii("cdn.example").expect("valid")),
+        EcsHandling::open(ScopePolicy::MatchSource),
+    )
+    .with_cdn(CdnBehavior::cdn1(footprint), geodb);
+
+    let server = match UdpAuthServer::bind(&bind, auth) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ecs-dnsd: cannot bind {bind}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("bound socket");
+    println!("ecs-dnsd: serving cdn.example on {addr}");
+    println!("try:  ecs-dig {addr} www.cdn.example --ecs 192.0.2.0/24");
+    // Serve forever on this thread.
+    loop {
+        if let Err(e) = server.serve_once() {
+            eprintln!("ecs-dnsd: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The UDP server: an [`AuthServer`] behind a real socket.
+
+use std::io;
+use std::net::{ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use authoritative::AuthServer;
+use dns_wire::Message;
+use netsim::SimTime;
+use parking_lot::Mutex;
+
+/// Maximum UDP datagram we accept (RFC 6891 recommends supporting 4096).
+const MAX_DATAGRAM: usize = 4096;
+
+/// An authoritative DNS server bound to a UDP socket.
+///
+/// The server maps wall-clock time onto the [`SimTime`] axis the
+/// authoritative logic uses (microseconds since server start), so TTL
+/// bookkeeping and query logs behave identically to the simulator.
+pub struct UdpAuthServer {
+    socket: UdpSocket,
+    auth: Arc<Mutex<AuthServer>>,
+    started: Instant,
+    stop: Arc<AtomicBool>,
+}
+
+/// Handle to a spawned server thread.
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    /// Shared access to the server state (query log inspection).
+    pub auth: Arc<Mutex<AuthServer>>,
+}
+
+impl ServerHandle {
+    /// Signals the serve loop to stop and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl UdpAuthServer {
+    /// Binds to an address (e.g. `"127.0.0.1:5353"`; port 0 picks one).
+    pub fn bind<A: ToSocketAddrs>(addr: A, auth: AuthServer) -> io::Result<Self> {
+        let socket = UdpSocket::bind(addr)?;
+        // A short read timeout keeps the serve loop responsive to shutdown.
+        socket.set_read_timeout(Some(Duration::from_millis(50)))?;
+        Ok(UdpAuthServer {
+            socket,
+            auth: Arc::new(Mutex::new(auth)),
+            started: Instant::now(),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Shared access to the wrapped authoritative server.
+    pub fn auth(&self) -> Arc<Mutex<AuthServer>> {
+        self.auth.clone()
+    }
+
+    /// Serves one datagram if one arrives before the read timeout.
+    /// Returns `Ok(true)` when a query was handled.
+    pub fn serve_once(&self) -> io::Result<bool> {
+        let mut buf = [0u8; MAX_DATAGRAM];
+        let (n, peer) = match self.socket.recv_from(&mut buf) {
+            Ok(r) => r,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(false)
+            }
+            Err(e) => return Err(e),
+        };
+        // Malformed packets are dropped, as real servers drop them.
+        let Ok(query) = Message::from_bytes(&buf[..n]) else {
+            return Ok(false);
+        };
+        if query.is_response() {
+            return Ok(false);
+        }
+        let now = SimTime::from_micros(self.started.elapsed().as_micros() as u64);
+        let resp = self.auth.lock().handle(&query, peer.ip(), now);
+        if let Ok(bytes) = resp.to_bytes() {
+            let _ = self.socket.send_to(&bytes, peer);
+        }
+        Ok(true)
+    }
+
+    /// Runs the serve loop until [`ServerHandle::shutdown`].
+    pub fn spawn(self) -> ServerHandle {
+        let stop = self.stop.clone();
+        let auth = self.auth.clone();
+        let thread = std::thread::spawn(move || {
+            while !self.stop.load(Ordering::SeqCst) {
+                if let Err(e) = self.serve_once() {
+                    eprintln!("ecs-dnsd: socket error: {e}");
+                    break;
+                }
+            }
+        });
+        ServerHandle {
+            stop,
+            thread: Some(thread),
+            auth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use authoritative::{EcsHandling, ScopePolicy, Zone};
+    use dns_wire::{EcsOption, Name, Question};
+    use std::net::Ipv4Addr;
+
+    fn demo_auth() -> AuthServer {
+        let mut zone = Zone::new(Name::from_ascii("demo.example").unwrap());
+        zone.add_a(
+            Name::from_ascii("www.demo.example").unwrap(),
+            60,
+            Ipv4Addr::new(198, 51, 100, 1),
+        )
+        .unwrap();
+        AuthServer::new(zone, EcsHandling::open(ScopePolicy::SourceMinusK(4)))
+    }
+
+    #[test]
+    fn serves_over_loopback() {
+        let server = UdpAuthServer::bind("127.0.0.1:0", demo_auth()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.spawn();
+
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut q = Message::query(
+            0x4242,
+            Question::a(Name::from_ascii("www.demo.example").unwrap()),
+        );
+        q.set_ecs(EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24));
+        client.send_to(&q.to_bytes().unwrap(), addr).unwrap();
+
+        let mut buf = [0u8; 4096];
+        let (n, _) = client.recv_from(&mut buf).unwrap();
+        let resp = Message::from_bytes(&buf[..n]).unwrap();
+        assert_eq!(resp.id, 0x4242);
+        assert_eq!(resp.answer_addrs().len(), 1);
+        assert_eq!(resp.ecs().unwrap().scope_prefix_len(), 20);
+
+        // Query log captured the client.
+        assert_eq!(handle.auth.lock().log().len(), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn drops_garbage_and_responses() {
+        let server = UdpAuthServer::bind("127.0.0.1:0", demo_auth()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.spawn();
+
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_millis(300)))
+            .unwrap();
+        // Garbage.
+        client.send_to(&[0xFF, 0x00, 0x01], addr).unwrap();
+        // A response message (must be ignored).
+        let q = Message::query(1, Question::a(Name::from_ascii("x.demo.example").unwrap()));
+        let mut resp = Message::response_to(&q);
+        resp.flags.qr = true;
+        client.send_to(&resp.to_bytes().unwrap(), addr).unwrap();
+
+        let mut buf = [0u8; 512];
+        assert!(client.recv_from(&mut buf).is_err(), "no reply expected");
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,125 @@
+//! Figure 2 (§7.1): cache blow-up factor vs client-population fraction,
+//! over the All-Names trace (single busy resolver, real TTLs and scopes).
+//!
+//! Paper: the blow-up grows from ~1.7 at 10% of clients to 4.3 at 100%,
+//! without flattening — busier resolvers pay more.
+
+use analysis::{CacheSimConfig, CacheSimulator};
+use workload::AllNamesTraceGen;
+
+use crate::report::Report;
+
+/// Parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Trace generator.
+    pub trace: AllNamesTraceGen,
+    /// Client fractions to sweep (percent).
+    pub fractions: Vec<u8>,
+    /// Random samples per fraction (paper: 3).
+    pub samples: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            trace: AllNamesTraceGen::default(),
+            fractions: vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
+            samples: 3,
+        }
+    }
+}
+
+/// Result: (fraction, mean blow-up).
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Series points.
+    pub points: Vec<(u8, f64)>,
+}
+
+/// Runs the experiment.
+pub fn run(config: &Config) -> (Outcome, Report) {
+    let trace = config.trace.generate();
+    let mut points = Vec::new();
+    for &pct in &config.fractions {
+        let mut acc = 0.0;
+        for seed in 0..config.samples {
+            let sim = CacheSimulator::new(CacheSimConfig {
+                sample_pct: pct,
+                sample_seed: seed as u64,
+                ..CacheSimConfig::default()
+            });
+            let result = sim.run(&trace);
+            // Single-resolver trace: one entry.
+            acc += result
+                .per_resolver
+                .first()
+                .map(|r| r.blowup_factor())
+                .unwrap_or(1.0);
+        }
+        points.push((pct, acc / config.samples as f64));
+    }
+
+    let mut report = Report::new("fig2", "cache blow-up vs client population");
+    let first = points.first().map(|(_, b)| *b).unwrap_or(1.0);
+    let last = points.last().map(|(_, b)| *b).unwrap_or(1.0);
+    report.row(
+        "blow-up at full population",
+        "4.3",
+        format!("{last:.2}"),
+        last > 2.0,
+    );
+    report.row(
+        "grows with population",
+        "monotone ↑ (1.7 → 4.3)",
+        format!("{first:.2} → {last:.2}"),
+        last > first,
+    );
+    // No flattening: the last step still increases.
+    if points.len() >= 2 {
+        let prev = points[points.len() - 2].1;
+        report.row(
+            "no flattening at 100%",
+            "still rising",
+            format!("{prev:.2} → {last:.2}"),
+            last >= prev * 0.98,
+        );
+    }
+    let mut detail = String::from("pct  blow-up\n");
+    for (pct, b) in &points {
+        detail.push_str(&format!("{pct:>3}  {b:.2}\n"));
+    }
+    report.detail = detail;
+    (Outcome { points }, report)
+}
+
+/// Default-parameter entry point.
+pub fn run_default() -> Report {
+    run(&Config::default()).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blowup_grows_with_population() {
+        let config = Config {
+            trace: AllNamesTraceGen {
+                v4_subnets: 300,
+                v6_subnets: 60,
+                slds: 300,
+                queries: 120_000,
+                ..AllNamesTraceGen::default()
+            },
+            fractions: vec![10, 50, 100],
+            samples: 2,
+        };
+        let (out, _report) = run(&config);
+        assert_eq!(out.points.len(), 3);
+        let b10 = out.points[0].1;
+        let b100 = out.points[2].1;
+        assert!(b100 > b10, "{b10} vs {b100}");
+        assert!(b100 > 1.5, "{b100}");
+    }
+}

@@ -1,0 +1,256 @@
+//! §8.3 Figures 6–7: mapping quality vs ECS source prefix length.
+//!
+//! 800 simulated RIPE-Atlas-style probes spread across the world; a lab
+//! machine submits queries directly to each CDN's authoritative server
+//! with ECS prefixes derived from the probes' addresses, truncated to each
+//! length in the sweep. For every response we measure the probe→edge
+//! connect time (one RTT). CDN-1 only uses prefixes of ≥ 24 bits (below
+//! that: a small fixed edge set — 5–14 distinct answers vs 400); CDN-2
+//! needs ≥ 21 bits (below that: resolver-based mapping, a single answer).
+
+use std::collections::BTreeMap;
+use std::net::{IpAddr, Ipv4Addr};
+
+use analysis::{ConnectTimeSample, MappingQuality};
+use authoritative::{AuthServer, CdnBehavior, EcsHandling, GeoDb, ScopePolicy, Zone};
+use dns_wire::{EcsOption, IpPrefix, Message, Name, Question};
+use netsim::geo::{city, CITIES};
+use netsim::{GeoPoint, LatencyModel, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use topology::asn::jitter_position;
+
+use crate::experiments::table2::world_footprint;
+use crate::report::Report;
+
+/// Which CDN model to exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CdnModel {
+    /// CDN-1: /24 minimum, coarse-set fallback.
+    Cdn1,
+    /// CDN-2: /21 minimum, resolver-based fallback.
+    Cdn2,
+}
+
+/// Parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Which CDN.
+    pub cdn: CdnModel,
+    /// Number of probes (paper: 800).
+    pub probes: usize,
+    /// Source prefix lengths to sweep.
+    pub lengths: Vec<u8>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Figure 6 defaults.
+    pub fn fig6() -> Self {
+        Config {
+            cdn: CdnModel::Cdn1,
+            probes: 800,
+            lengths: (16..=24).collect(),
+            seed: 0,
+        }
+    }
+
+    /// Figure 7 defaults.
+    pub fn fig7() -> Self {
+        Config {
+            cdn: CdnModel::Cdn2,
+            probes: 800,
+            lengths: (20..=24).collect(),
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome: per prefix length, the mapping quality.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Length → quality summary.
+    pub by_length: BTreeMap<u8, MappingQuality>,
+}
+
+/// Runs the experiment.
+pub fn run(config: &Config) -> (Outcome, Report) {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let footprint = world_footprint();
+
+    // Probes: world-spread positions with /24-aligned unique addresses.
+    let probes: Vec<(Ipv4Addr, GeoPoint)> = (0..config.probes)
+        .map(|i| {
+            let c = CITIES[rng.gen_range(0..CITIES.len())];
+            let pos = jitter_position(c.pos, 300.0, &mut rng);
+            // /21-aligned blocks so no two probes share any prefix the
+            // CDNs use for proximity (≥ /21), keeping the geolocation
+            // database collision-free.
+            let addr = Ipv4Addr::new(39, (i / 31) as u8, ((i % 31) * 8) as u8, 7);
+            (addr, pos)
+        })
+        .collect();
+
+    // Geolocation database: the CDN knows probe prefixes at every
+    // granularity it might be queried at (a real geo DB aggregates, but
+    // the probes here are /24-homogeneous so coarser entries are exact).
+    let mut geodb = GeoDb::new();
+    let lab_addr: IpAddr = "129.22.150.78".parse().expect("valid");
+    let lab_pos = city("Cleveland").expect("known").pos;
+    geodb.insert(IpPrefix::new(lab_addr, 24).expect("<=32"), lab_pos);
+    for (addr, pos) in &probes {
+        for len in 16..=24u8 {
+            geodb.insert(
+                IpPrefix::v4(*addr, len).expect("<=32"),
+                *pos,
+            );
+        }
+    }
+
+    let behavior = match config.cdn {
+        CdnModel::Cdn1 => CdnBehavior::cdn1(footprint.clone()),
+        CdnModel::Cdn2 => CdnBehavior::cdn2(footprint.clone()),
+    };
+    let apex = Name::from_ascii("cdn.example").expect("valid");
+    let qname = apex.child("www").expect("valid");
+    let mut server = AuthServer::new(
+        Zone::new(apex),
+        EcsHandling::open(ScopePolicy::MatchSource),
+    )
+    .with_cdn(behavior, geodb);
+    server.set_logging(false);
+
+    let latency = LatencyModel::default();
+    let mut by_length = BTreeMap::new();
+    for &len in &config.lengths {
+        let mut samples = Vec::with_capacity(probes.len());
+        for (addr, pos) in &probes {
+            let mut q = Message::query(1, Question::a(qname.clone()));
+            q.set_ecs(EcsOption::from_v4(*addr, len));
+            let resp = server.handle(&q, lab_addr, SimTime::ZERO);
+            let first = resp.answer_addrs()[0];
+            let edge = footprint
+                .edges
+                .iter()
+                .find(|e| e.addr == first)
+                .expect("answer from footprint");
+            samples.push(ConnectTimeSample {
+                probe: *pos,
+                edge_addr: first,
+                edge: edge.pos,
+            });
+        }
+        by_length.insert(len, MappingQuality::from_samples(&samples, &latency));
+    }
+
+    // Report.
+    let (id, title) = match config.cdn {
+        CdnModel::Cdn1 => ("fig6", "mapping quality vs prefix length (CDN-1)"),
+        CdnModel::Cdn2 => ("fig7", "mapping quality vs prefix length (CDN-2)"),
+    };
+    let mut report = Report::new(id, title);
+    let q24 = &by_length[&24];
+    let cliff_len = match config.cdn {
+        CdnModel::Cdn1 => 23,
+        CdnModel::Cdn2 => 20,
+    };
+    let q_below = &by_length[&cliff_len];
+    report.row(
+        "unique first answers at /24",
+        match config.cdn {
+            CdnModel::Cdn1 => "400",
+            CdnModel::Cdn2 => "41-42",
+        },
+        q24.unique_first_answers,
+        q24.unique_first_answers > 20,
+    );
+    report.row(
+        format!("unique first answers at /{cliff_len}"),
+        match config.cdn {
+            CdnModel::Cdn1 => "5-14",
+            CdnModel::Cdn2 => "1",
+        },
+        q_below.unique_first_answers,
+        q_below.unique_first_answers < q24.unique_first_answers / 2,
+    );
+    report.row(
+        format!("median connect time cliff /{} → /{cliff_len}", cliff_len + 1),
+        "huge degradation",
+        format!("{:.0} ms → {:.0} ms", q24.median_ms, q_below.median_ms),
+        q_below.median_ms > q24.median_ms * 2.0,
+    );
+    // No further degradation below the cliff.
+    let shortest = &by_length[config.lengths.first().expect("non-empty sweep")];
+    report.row(
+        "no visible change below the cliff",
+        "flat",
+        format!(
+            "median {:.0} ms at /{} vs {:.0} ms at /{}",
+            shortest.median_ms,
+            config.lengths.first().expect("non-empty"),
+            q_below.median_ms,
+            cliff_len
+        ),
+        (shortest.median_ms - q_below.median_ms).abs() < q_below.median_ms * 0.5,
+    );
+    let mut detail = String::from("len  median(ms)  p90(ms)  unique-answers\n");
+    for (len, q) in &by_length {
+        detail.push_str(&format!(
+            "/{len:<3} {:>8.0}  {:>8.0}  {}\n",
+            q.median_ms,
+            q.connect_cdf.quantile(0.9),
+            q.unique_first_answers
+        ));
+    }
+    report.detail = detail;
+    (Outcome { by_length }, report)
+}
+
+/// Figure-6 entry point.
+pub fn run_default_cdn1() -> Report {
+    run(&Config::fig6()).1
+}
+
+/// Figure-7 entry point.
+pub fn run_default_cdn2() -> Report {
+    run(&Config::fig7()).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdn1_cliff_below_24() {
+        let (out, report) = run(&Config {
+            probes: 300,
+            ..Config::fig6()
+        });
+        let m24 = out.by_length[&24].median_ms;
+        let m23 = out.by_length[&23].median_ms;
+        let m16 = out.by_length[&16].median_ms;
+        assert!(m23 > m24 * 2.0, "cliff missing: {m24} vs {m23}\n{report}");
+        // Flat below the cliff.
+        assert!((m16 - m23).abs() < m23 * 0.5, "{m16} vs {m23}");
+        // Answer-set collapse.
+        assert!(out.by_length[&24].unique_first_answers > 30);
+        assert!(out.by_length[&23].unique_first_answers <= 14);
+    }
+
+    #[test]
+    fn cdn2_cliff_below_21() {
+        let (out, report) = run(&Config {
+            probes: 300,
+            ..Config::fig7()
+        });
+        let m21 = out.by_length[&21].median_ms;
+        let m20 = out.by_length[&20].median_ms;
+        assert!(m20 > m21 * 2.0, "cliff missing: {m21} vs {m20}\n{report}");
+        // /21 through /24 are equally good.
+        let m24 = out.by_length[&24].median_ms;
+        assert!((m21 - m24).abs() < m24 * 0.3, "{m21} vs {m24}");
+        // Single answer below the cliff (resolver-based).
+        assert_eq!(out.by_length[&20].unique_first_answers, 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! One module per reproduced table/figure. See DESIGN.md §4 for the index.
+
+pub mod adaptive;
+pub mod amplification;
+pub mod cache_behavior;
+pub mod discovery;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig45;
+pub mod fig67;
+pub mod fig8;
+pub mod probing;
+pub mod table1;
+pub mod table2;
+pub mod whitelist;
+
+use crate::report::Report;
+
+/// One registry entry: (id, title, default-parameter runner).
+pub type ExperimentEntry = (&'static str, &'static str, fn() -> Report);
+
+/// The registry of experiments. Runners use default (scaled) parameters;
+/// each module also exposes a parameterized `run`.
+pub fn registry() -> Vec<ExperimentEntry> {
+    vec![
+        (
+            "probing",
+            "§6.1 probing-strategy classification",
+            probing::run_default,
+        ),
+        ("table1", "§6.2 Table 1: source prefix lengths", table1::run_default),
+        (
+            "cache-behavior",
+            "§6.3 cache-compliance classification",
+            cache_behavior::run_default,
+        ),
+        ("fig1", "§7.1 Fig 1: cache blow-up CDF vs TTL", fig1::run_default),
+        (
+            "fig2",
+            "§7.1 Fig 2: blow-up vs client population",
+            fig2::run_default,
+        ),
+        ("fig3", "§7.2 Fig 3: hit rate with/without ECS", fig3::run_default),
+        (
+            "table2",
+            "§8.1 Table 2: unroutable ECS prefixes",
+            table2::run_default,
+        ),
+        (
+            "fig4",
+            "§8.2 Fig 4: hidden-resolver distances (MP)",
+            fig45::run_default_mp,
+        ),
+        (
+            "fig5",
+            "§8.2 Fig 5: hidden-resolver distances (non-MP)",
+            fig45::run_default_nonmp,
+        ),
+        (
+            "fig6",
+            "§8.3 Fig 6: mapping quality vs prefix length (CDN-1)",
+            fig67::run_default_cdn1,
+        ),
+        (
+            "fig7",
+            "§8.3 Fig 7: mapping quality vs prefix length (CDN-2)",
+            fig67::run_default_cdn2,
+        ),
+        ("fig8", "§8.4 Fig 8: CNAME flattening penalty", fig8::run_default),
+        (
+            "discovery",
+            "§5 passive vs active resolver discovery",
+            discovery::run_default,
+        ),
+        (
+            "adaptive",
+            "§9 extension: per-zone adaptive prefix lengths",
+            adaptive::run_default,
+        ),
+        (
+            "amplification",
+            "related-work check: upstream query amplification",
+            amplification::run_default,
+        ),
+        (
+            "whitelist",
+            "§9 extension: whitelisted vs non-whitelisted resolvers",
+            whitelist::run_default,
+        ),
+    ]
+}

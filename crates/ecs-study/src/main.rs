@@ -1,0 +1,86 @@
+//! Experiment runner: `ecs-study <experiment-id>|all|list|export-traces <dir>`.
+
+use ecs_study::experiments::registry;
+
+fn export_traces(dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let traces = [
+        (
+            "public_resolver_cdn.tsv",
+            workload::PublicCdnTraceGen {
+                resolvers: 40,
+                subnets_per_resolver: 40,
+                hostnames: 150,
+                queries: 200_000,
+                ..workload::PublicCdnTraceGen::default()
+            }
+            .generate(),
+        ),
+        (
+            "all_names.tsv",
+            workload::AllNamesTraceGen {
+                queries: 200_000,
+                ..workload::AllNamesTraceGen::default()
+            }
+            .generate(),
+        ),
+    ];
+    for (file, trace) in traces {
+        let path = dir.join(file);
+        let out = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        workload::write_trace(&trace, out)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        println!("wrote {} records to {}", trace.len(), path.display());
+    }
+    Ok(())
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let experiments = registry();
+    match arg.as_str() {
+        "list" => {
+            println!("available experiments:");
+            for (id, title, _) in &experiments {
+                println!("  {id:<16} {title}");
+            }
+        }
+        "export-traces" => {
+            let dir = std::env::args()
+                .nth(2)
+                .unwrap_or_else(|| "traces".to_string());
+            if let Err(e) = export_traces(std::path::Path::new(&dir)) {
+                eprintln!("export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        "all" => {
+            let mut failed = 0;
+            for (id, _, runner) in &experiments {
+                eprintln!("running {id} ...");
+                let report = runner();
+                println!("{report}");
+                if !report.all_hold() {
+                    failed += 1;
+                }
+            }
+            if failed > 0 {
+                eprintln!("{failed} experiment(s) had rows that did not hold");
+                std::process::exit(1);
+            }
+        }
+        id => match experiments.iter().find(|(eid, _, _)| *eid == id) {
+            Some((_, _, runner)) => {
+                let report = runner();
+                println!("{report}");
+                if !report.all_hold() {
+                    std::process::exit(1);
+                }
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'; try 'ecs-study list'");
+                std::process::exit(2);
+            }
+        },
+    }
+}

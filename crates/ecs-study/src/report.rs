@@ -1,0 +1,134 @@
+//! Report formatting: paper-vs-measured comparison tables.
+
+use std::fmt;
+
+/// One comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// What is being compared.
+    pub metric: String,
+    /// The paper's value, as printed in the paper.
+    pub paper: String,
+    /// Our measured value.
+    pub measured: String,
+    /// Whether the qualitative claim holds.
+    pub holds: bool,
+}
+
+/// A whole experiment report.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment identifier, e.g. `"fig1"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Comparison rows.
+    pub rows: Vec<Row>,
+    /// Free-form extra detail (series points, tables).
+    pub detail: String,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            rows: Vec::new(),
+            detail: String::new(),
+        }
+    }
+
+    /// Adds a comparison row.
+    pub fn row(
+        &mut self,
+        metric: impl Into<String>,
+        paper: impl fmt::Display,
+        measured: impl fmt::Display,
+        holds: bool,
+    ) {
+        self.rows.push(Row {
+            metric: metric.into(),
+            paper: paper.to_string(),
+            measured: measured.to_string(),
+            holds,
+        });
+    }
+
+    /// True when every row's qualitative claim holds.
+    pub fn all_hold(&self) -> bool {
+        self.rows.iter().all(|r| r.holds)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let w_metric = self
+            .rows
+            .iter()
+            .map(|r| r.metric.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let w_paper = self
+            .rows
+            .iter()
+            .map(|r| r.paper.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let w_meas = self
+            .rows
+            .iter()
+            .map(|r| r.measured.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        writeln!(
+            f,
+            "{:<w_metric$}  {:<w_paper$}  {:<w_meas$}  ok",
+            "metric", "paper", "measured"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<w_metric$}  {:<w_paper$}  {:<w_meas$}  {}",
+                r.metric,
+                r.paper,
+                r.measured,
+                if r.holds { "✓" } else { "✗" }
+            )?;
+        }
+        if !self.detail.is_empty() {
+            writeln!(f, "{}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_rows() {
+        let mut rep = Report::new("fig1", "Cache blow-up CDF");
+        rep.row("median blow-up", ">4", "4.2", true);
+        rep.row("max blow-up", "15.95", "12.1", true);
+        let s = rep.to_string();
+        assert!(s.contains("fig1"));
+        assert!(s.contains("median blow-up"));
+        assert!(s.contains("15.95"));
+        assert!(s.contains('✓'));
+        assert!(rep.all_hold());
+    }
+
+    #[test]
+    fn failing_rows_marked() {
+        let mut rep = Report::new("x", "t");
+        rep.row("m", "1", "2", false);
+        assert!(!rep.all_hold());
+        assert!(rep.to_string().contains('✗'));
+    }
+}

@@ -1,0 +1,95 @@
+//! Shared IP-address ↔ node-id directory.
+//!
+//! Simulated DNS actors address each other by IP (as real DNS does) while
+//! the simulator routes by [`NodeId`]. An [`AddressBook`] is built during
+//! world wiring and shared (via `Arc`) by every actor so they can translate
+//! in both directions.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use crate::sim::NodeId;
+
+/// Bidirectional map between simulated IP addresses and node ids.
+#[derive(Debug, Default, Clone)]
+pub struct AddressBook {
+    by_addr: HashMap<IpAddr, NodeId>,
+    by_node: HashMap<NodeId, IpAddr>,
+}
+
+impl AddressBook {
+    /// Creates an empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a binding. A node has exactly one address; re-binding
+    /// either side replaces the old entry.
+    pub fn bind(&mut self, addr: IpAddr, node: NodeId) {
+        if let Some(old) = self.by_node.insert(node, addr) {
+            self.by_addr.remove(&old);
+        }
+        if let Some(old) = self.by_addr.insert(addr, node) {
+            if old != node {
+                self.by_node.remove(&old);
+            }
+        }
+    }
+
+    /// Node for an address.
+    pub fn node_of(&self, addr: IpAddr) -> Option<NodeId> {
+        self.by_addr.get(&addr).copied()
+    }
+
+    /// Address of a node.
+    pub fn addr_of(&self, node: NodeId) -> Option<IpAddr> {
+        self.by_node.get(&node).copied()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.by_addr.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_addr.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(a: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, a))
+    }
+
+    #[test]
+    fn bind_and_lookup() {
+        let mut book = AddressBook::new();
+        book.bind(ip(1), NodeId(0));
+        book.bind(ip(2), NodeId(1));
+        assert_eq!(book.node_of(ip(1)), Some(NodeId(0)));
+        assert_eq!(book.addr_of(NodeId(1)), Some(ip(2)));
+        assert_eq!(book.node_of(ip(9)), None);
+        assert_eq!(book.len(), 2);
+    }
+
+    #[test]
+    fn rebinding_replaces_both_sides() {
+        let mut book = AddressBook::new();
+        book.bind(ip(1), NodeId(0));
+        // Same node moves to a new address.
+        book.bind(ip(2), NodeId(0));
+        assert_eq!(book.node_of(ip(1)), None);
+        assert_eq!(book.node_of(ip(2)), Some(NodeId(0)));
+        assert_eq!(book.addr_of(NodeId(0)), Some(ip(2)));
+        // Another node takes over an address.
+        book.bind(ip(2), NodeId(5));
+        assert_eq!(book.node_of(ip(2)), Some(NodeId(5)));
+        assert_eq!(book.addr_of(NodeId(0)), None);
+        assert_eq!(book.len(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! The deterministic event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::sim::NodeId;
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// Deliver a packet payload to `dst`.
+    Deliver {
+        /// Originating node.
+        src: NodeId,
+        /// Receiving node.
+        dst: NodeId,
+        /// Opaque payload (DNS wire bytes in this project).
+        payload: Vec<u8>,
+    },
+    /// Fire a timer on `node` with a caller-chosen token.
+    Timer {
+        /// Node owning the timer.
+        node: NodeId,
+        /// Caller-chosen discriminator.
+        token: u64,
+    },
+}
+
+/// An event with its firing time and tie-breaking sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent {
+    /// Virtual time at which the event fires.
+    pub at: SimTime,
+    /// Monotonic sequence assigned at scheduling; breaks ties so the queue
+    /// is a total order and runs are reproducible.
+    pub seq: u64,
+    /// The action.
+    pub kind: EventKind,
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest event first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Priority queue of scheduled events ordered by `(time, seq)`.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event; assigns the tie-breaking sequence number.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, kind });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop()
+    }
+
+    /// Peeks at the earliest event's time.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: usize, token: u64) -> EventKind {
+        EventKind::Timer {
+            node: NodeId(node),
+            token,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), timer(0, 3));
+        q.push(SimTime::from_secs(1), timer(0, 1));
+        q.push(SimTime::from_secs(2), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..10 {
+            q.push(t, timer(0, i));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn next_time_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.next_time(), None);
+        q.push(SimTime::from_secs(9), timer(0, 0));
+        q.push(SimTime::from_secs(4), timer(0, 1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.next_time(), Some(SimTime::from_secs(4)));
+    }
+}

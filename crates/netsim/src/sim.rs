@@ -1,0 +1,385 @@
+//! The simulation core: nodes, packets, timers, and the event loop.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::event::{EventKind, EventQueue};
+use crate::geo::GeoPoint;
+use crate::latency::LatencyModel;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a node in the simulation (index into the node table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A packet delivered to a node.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver (the node whose handler is running).
+    pub dst: NodeId,
+    /// Payload bytes (DNS wire format in this project).
+    pub payload: Vec<u8>,
+}
+
+/// The interface nodes use to act on the world from inside a handler.
+///
+/// Actions are buffered and applied by the event loop after the handler
+/// returns, which keeps handlers free of aliasing problems.
+pub struct Ctx<'a> {
+    now: SimTime,
+    self_id: NodeId,
+    actions: &'a mut Vec<Action>,
+    rng: &'a mut SmallRng,
+}
+
+pub(crate) enum Action {
+    Send { to: NodeId, payload: Vec<u8> },
+    Timer { after: SimDuration, token: u64 },
+}
+
+impl<'a> Ctx<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The handling node's own id.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Sends `payload` to `to`; it arrives after the network latency between
+    /// the two nodes (or never, if the loss model drops it).
+    pub fn send(&mut self, to: NodeId, payload: Vec<u8>) {
+        self.actions.push(Action::Send { to, payload });
+    }
+
+    /// Arms a timer that fires on this node after `after`, carrying `token`.
+    pub fn set_timer(&mut self, after: SimDuration, token: u64) {
+        self.actions.push(Action::Timer { after, token });
+    }
+
+    /// Simulation-owned RNG for any randomness a node needs; using it keeps
+    /// the run reproducible.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+}
+
+/// Behaviour of a simulated network node.
+///
+/// The `Any` supertrait lets experiments recover the concrete node type
+/// after the run via [`Simulation::node_mut`].
+pub trait Node: std::any::Any {
+    /// Called when a packet arrives.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx);
+
+    /// Called when a timer armed via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx) {}
+}
+
+/// The simulation world: node table, positions, clock, queue, RNG.
+pub struct Simulation {
+    nodes: Vec<Option<Box<dyn Node>>>,
+    positions: Vec<GeoPoint>,
+    queue: EventQueue,
+    clock: SimTime,
+    rng: SmallRng,
+    latency: LatencyModel,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl Simulation {
+    /// Creates a simulation seeded with `seed` and the default latency model.
+    pub fn new(seed: u64) -> Self {
+        Simulation::with_latency(seed, LatencyModel::default())
+    }
+
+    /// Creates a simulation with a custom latency model.
+    pub fn with_latency(seed: u64, latency: LatencyModel) -> Self {
+        Simulation {
+            nodes: Vec::new(),
+            positions: Vec::new(),
+            queue: EventQueue::new(),
+            clock: SimTime::ZERO,
+            rng: SmallRng::seed_from_u64(seed),
+            latency,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Adds a node at a position; returns its id.
+    pub fn add_node<N: Node + 'static>(&mut self, node: N, pos: GeoPoint) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(Box::new(node)));
+        self.positions.push(pos);
+        id
+    }
+
+    /// Position of a node.
+    pub fn position(&self, id: NodeId) -> GeoPoint {
+        self.positions[id.0]
+    }
+
+    /// Jitter-free RTT between two nodes in milliseconds (what a ping would
+    /// measure, net of jitter).
+    pub fn rtt_ms(&self, a: NodeId, b: NodeId) -> f64 {
+        self.latency.rtt_ms(&self.positions[a.0], &self.positions[b.0])
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Packets delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Packets dropped by the loss model so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Injects a packet from `src` to `dst` at `now + after` plus network
+    /// latency. This is how experiments bootstrap traffic.
+    pub fn inject(&mut self, src: NodeId, dst: NodeId, payload: Vec<u8>, after: SimDuration) {
+        let depart = self.clock + after;
+        match self.latency.sample(
+            &self.positions[src.0],
+            &self.positions[dst.0],
+            &mut self.rng,
+        ) {
+            Some(delay) => self.queue.push(
+                depart + delay,
+                EventKind::Deliver {
+                    src,
+                    dst,
+                    payload,
+                },
+            ),
+            None => self.dropped += 1,
+        }
+    }
+
+    /// Arms a timer on a node from outside a handler.
+    pub fn inject_timer(&mut self, node: NodeId, after: SimDuration, token: u64) {
+        self.queue
+            .push(self.clock + after, EventKind::Timer { node, token });
+    }
+
+    /// Runs until the queue is empty. Returns the number of events processed.
+    pub fn run(&mut self) -> u64 {
+        self.run_until(SimTime::from_micros(u64::MAX))
+    }
+
+    /// Runs until the queue empties or the next event would fire after
+    /// `deadline`. The clock never exceeds the last processed event's time.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(at) = self.queue.next_time() {
+            if at > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.clock = ev.at;
+            processed += 1;
+            match ev.kind {
+                EventKind::Deliver { src, dst, payload } => {
+                    self.delivered += 1;
+                    self.dispatch(dst, |node, ctx| {
+                        node.on_packet(
+                            Packet {
+                                src,
+                                dst,
+                                payload,
+                            },
+                            ctx,
+                        )
+                    });
+                }
+                EventKind::Timer { node, token } => {
+                    self.dispatch(node, |n, ctx| n.on_timer(token, ctx));
+                }
+            }
+        }
+        processed
+    }
+
+    fn dispatch<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Node, &mut Ctx),
+    {
+        // Take the node out so the handler can't alias the table.
+        let mut node = match self.nodes[id.0].take() {
+            Some(n) => n,
+            None => return, // node is re-entrantly dispatching; drop event
+        };
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Ctx {
+                now: self.clock,
+                self_id: id,
+                actions: &mut actions,
+                rng: &mut self.rng,
+            };
+            f(node.as_mut(), &mut ctx);
+        }
+        self.nodes[id.0] = Some(node);
+        for action in actions {
+            match action {
+                Action::Send { to, payload } => {
+                    self.inject(id, to, payload, SimDuration::ZERO);
+                }
+                Action::Timer { after, token } => {
+                    self.queue
+                        .push(self.clock + after, EventKind::Timer { node: id, token });
+                }
+            }
+        }
+    }
+
+    /// Grants temporary mutable access to a node for inspection or setup.
+    /// Panics if the id is out of range; returns `None` if the node's
+    /// concrete type is not `N`.
+    pub fn node_mut<N: Node>(&mut self, id: NodeId) -> Option<&mut N> {
+        self.nodes[id.0].as_mut().and_then(|n| {
+            let any: &mut dyn std::any::Any = n.as_mut();
+            any.downcast_mut::<N>()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::city;
+
+    struct Echo {
+        seen: u32,
+    }
+    impl Node for Echo {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+            self.seen += 1;
+            if self.seen <= 3 {
+                ctx.send(pkt.src, pkt.payload);
+            }
+        }
+    }
+
+    struct Pinger {
+        replies: u32,
+        last_rtt_ms: f64,
+        sent_at: SimTime,
+        peer: Option<NodeId>,
+    }
+    impl Node for Pinger {
+        fn on_packet(&mut self, _pkt: Packet, ctx: &mut Ctx) {
+            self.replies += 1;
+            self.last_rtt_ms = (ctx.now() - self.sent_at).as_millis_f64();
+        }
+        fn on_timer(&mut self, _token: u64, ctx: &mut Ctx) {
+            self.sent_at = ctx.now();
+            if let Some(peer) = self.peer {
+                ctx.send(peer, vec![0]);
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_measures_rtt() {
+        let mut sim = Simulation::new(1);
+        let echo = sim.add_node(Echo { seen: 0 }, city("Amsterdam").unwrap().pos);
+        let ping = sim.add_node(
+            Pinger {
+                replies: 0,
+                last_rtt_ms: 0.0,
+                sent_at: SimTime::ZERO,
+                peer: Some(echo),
+            },
+            city("New York").unwrap().pos,
+        );
+        sim.inject_timer(ping, SimDuration::ZERO, 0);
+        sim.run();
+        let expected = sim.rtt_ms(ping, echo);
+        let p = sim.node_mut::<Pinger>(ping).unwrap();
+        assert_eq!(p.replies, 1);
+        // RTT within jitter bounds (2 × 0.5 ms max).
+        assert!((p.last_rtt_ms - expected).abs() < 1.5, "{} vs {}", p.last_rtt_ms, expected);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_clock() {
+        let run = |seed| {
+            let mut sim = Simulation::new(seed);
+            let echo = sim.add_node(Echo { seen: 0 }, city("Tokyo").unwrap().pos);
+            let ping = sim.add_node(
+                Pinger {
+                    replies: 0,
+                    last_rtt_ms: 0.0,
+                    sent_at: SimTime::ZERO,
+                    peer: Some(echo),
+                },
+                city("Sydney").unwrap().pos,
+            );
+            sim.inject(ping, echo, vec![7], SimDuration::ZERO);
+            sim.run();
+            (sim.now(), sim.delivered())
+        };
+        assert_eq!(run(5), run(5));
+        // Different seeds may differ in jitter but both complete.
+        let (t1, d1) = run(5);
+        let (_t2, d2) = run(6);
+        assert_eq!(d1, d2);
+        assert!(t1.as_micros() > 0);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulation::new(3);
+        struct Loop;
+        impl Node for Loop {
+            fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+                ctx.set_timer(SimDuration::from_secs(1), token + 1);
+            }
+            fn on_packet(&mut self, _p: Packet, _c: &mut Ctx) {}
+        }
+        let n = sim.add_node(Loop, city("Paris").unwrap().pos);
+        sim.inject_timer(n, SimDuration::from_secs(1), 0);
+        let processed = sim.run_until(SimTime::from_secs(10));
+        assert_eq!(processed, 10);
+        assert!(sim.now() <= SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn loss_model_drops() {
+        let mut sim = Simulation::with_latency(
+            9,
+            LatencyModel {
+                loss: 1.0,
+                ..LatencyModel::default()
+            },
+        );
+        let a = sim.add_node(Echo { seen: 0 }, city("Paris").unwrap().pos);
+        let b = sim.add_node(Echo { seen: 0 }, city("London").unwrap().pos);
+        sim.inject(a, b, vec![1], SimDuration::ZERO);
+        sim.run();
+        assert_eq!(sim.delivered(), 0);
+        assert_eq!(sim.dropped(), 1);
+    }
+
+    #[test]
+    fn node_mut_downcast() {
+        let mut sim = Simulation::new(0);
+        let id = sim.add_node(Echo { seen: 41 }, city("Miami").unwrap().pos);
+        sim.node_mut::<Echo>(id).unwrap().seen += 1;
+        assert_eq!(sim.node_mut::<Echo>(id).unwrap().seen, 42);
+        // Wrong type downcast returns None.
+        assert!(sim.node_mut::<Pinger>(id).is_none());
+    }
+}

@@ -1,0 +1,572 @@
+//! The ECS-aware resolver cache (RFC 7871 §7.3) and its deviant variants.
+//!
+//! Without ECS a cache entry is keyed by `(qname, qtype)` and serves every
+//! client. With ECS, each entry additionally carries the *scope prefix* the
+//! authoritative returned, and may only answer clients whose address falls
+//! inside it — which is exactly why ECS blows up cache size (§7.1) and
+//! depresses hit rate (§7.2).
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use dns_wire::{EcsOption, IpPrefix, Name, Rcode, Record, RecordType};
+use netsim::SimTime;
+
+/// How the resolver obeys (or disobeys) scope restrictions — the §6.3
+/// classification, as implementable behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheCompliance {
+    /// Honor scope exactly as RFC 7871 prescribes, clamping the effective
+    /// scope to the source prefix length (and never conveying more than the
+    /// policy's maximum prefix upstream). The paper's 76 correct resolvers.
+    Honor,
+    /// Ignore scope entirely: any cached answer serves any client, as if
+    /// the resolver did not understand ECS. The paper's 103 resolvers.
+    IgnoreScope,
+    /// Impose a maximum cacheable prefix length (the paper found 8
+    /// resolvers capping at 22): both the effective scope and the client
+    /// prefix used for matching are truncated to this length.
+    CapPrefix(u8),
+}
+
+/// Statistics the §7 analyses read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Inserts performed.
+    pub inserts: u64,
+    /// High-water mark of live entries (checked on each insert after
+    /// purging expired entries).
+    pub max_size: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1]; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Clients inside this prefix may be served from the entry. A /0
+    /// prefix (scope 0 or non-ECS answer) serves everyone.
+    scope: IpPrefix,
+    records: Vec<Record>,
+    /// ECS option of the stored response (None for non-ECS answers).
+    ecs: Option<EcsOption>,
+    /// Response code (NoError for positive entries; NxDomain for RFC 2308
+    /// negative entries).
+    rcode: Rcode,
+    expires: SimTime,
+}
+
+/// What a cache lookup returns on a hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedAnswer {
+    /// The answer records, TTLs adjusted to the remaining lifetime (empty
+    /// for negative entries).
+    pub records: Vec<Record>,
+    /// The stored ECS option, if the response carried one.
+    pub ecs: Option<EcsOption>,
+    /// The stored response code.
+    pub rcode: Rcode,
+}
+
+/// The cache proper.
+#[derive(Debug)]
+pub struct EcsCache {
+    entries: HashMap<(Name, RecordType), Vec<Entry>>,
+    compliance: CacheCompliance,
+    /// When false, responses with scope 0 are not cached at all — the
+    /// misconfigured-resolver behaviour from §6.3's last bullet.
+    pub cache_zero_scope: bool,
+    stats: CacheStats,
+    live: usize,
+}
+
+impl EcsCache {
+    /// Creates an empty cache with the given compliance mode.
+    pub fn new(compliance: CacheCompliance) -> Self {
+        EcsCache {
+            entries: HashMap::new(),
+            compliance,
+            cache_zero_scope: true,
+            stats: CacheStats::default(),
+            live: 0,
+        }
+    }
+
+    /// The compliance mode.
+    pub fn compliance(&self) -> CacheCompliance {
+        self.compliance
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of live (unexpired) entries after purging.
+    pub fn len(&mut self, now: SimTime) -> usize {
+        self.purge(now);
+        self.live
+    }
+
+    /// True when empty.
+    pub fn is_empty(&mut self, now: SimTime) -> bool {
+        self.len(now) == 0
+    }
+
+    /// Looks up an answer for `client` (the address whose location the
+    /// answer must fit). Returns the cached answer on a hit. Expired
+    /// entries never match.
+    pub fn lookup(
+        &mut self,
+        qname: &Name,
+        qtype: RecordType,
+        client: IpAddr,
+        now: SimTime,
+    ) -> Option<CachedAnswer> {
+        let compliance = self.compliance;
+        let found = self.entries.get(&(qname.clone(), qtype)).and_then(|list| {
+            list.iter()
+                .filter(|e| e.expires > now)
+                .find(|e| match compliance {
+                    CacheCompliance::IgnoreScope => true,
+                    // A zero-length scope means "valid for every client",
+                    // across address families.
+                    CacheCompliance::Honor => {
+                        e.scope.is_default_route() || e.scope.contains(client)
+                    }
+                    CacheCompliance::CapPrefix(cap) => {
+                        let widened = e.scope.truncate(cap);
+                        widened.is_default_route() || widened.contains(client)
+                    }
+                })
+                .map(|e| CachedAnswer {
+                    records: adjust_ttls(&e.records, e.expires, now),
+                    ecs: e.ecs,
+                    rcode: e.rcode,
+                })
+        });
+        match found {
+            Some(hit) => {
+                self.stats.hits += 1;
+                Some(hit)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a positive response.
+    ///
+    /// * `ecs` is the ECS option from the response (None when the
+    ///   authoritative ignored or lacked ECS) — its *scope* controls reuse;
+    /// * `ttl` is the response TTL in seconds.
+    ///
+    /// Returns `true` if the response was actually cached.
+    pub fn insert(
+        &mut self,
+        qname: Name,
+        qtype: RecordType,
+        records: Vec<Record>,
+        ecs: Option<EcsOption>,
+        ttl: u32,
+        now: SimTime,
+    ) -> bool {
+        self.insert_with_rcode(qname, qtype, records, ecs, Rcode::NoError, ttl, now)
+    }
+
+    /// Inserts a response with an explicit rcode — used for RFC 2308
+    /// negative caching (NXDOMAIN / NODATA entries with empty records).
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_with_rcode(
+        &mut self,
+        qname: Name,
+        qtype: RecordType,
+        records: Vec<Record>,
+        ecs: Option<EcsOption>,
+        rcode: Rcode,
+        ttl: u32,
+        now: SimTime,
+    ) -> bool {
+        let scope_prefix = match &ecs {
+            None => any_prefix_v4(),
+            Some(opt) => {
+                let effective = match self.compliance {
+                    // RFC: scope may not exceed source; clamp.
+                    CacheCompliance::Honor => {
+                        opt.scope_prefix_len().min(opt.source_prefix_len())
+                    }
+                    // Scope is ignored at lookup; store it anyway (purely
+                    // informational — every lookup matches).
+                    CacheCompliance::IgnoreScope => {
+                        opt.scope_prefix_len().min(opt.source_prefix_len())
+                    }
+                    CacheCompliance::CapPrefix(cap) => opt
+                        .scope_prefix_len()
+                        .min(opt.source_prefix_len())
+                        .min(cap),
+                };
+                if effective == 0 && !self.cache_zero_scope {
+                    return false;
+                }
+                opt.source_prefix().truncate(effective)
+            }
+        };
+        self.purge(now);
+        let list = self.entries.entry((qname, qtype)).or_default();
+        // Replace an existing entry with the identical scope prefix.
+        list.retain(|e| e.scope != scope_prefix || e.expires <= now);
+        list.push(Entry {
+            scope: scope_prefix,
+            records,
+            ecs,
+            rcode,
+            expires: now + netsim::SimDuration::from_secs(ttl as u64),
+        });
+        self.stats.inserts += 1;
+        self.recount();
+        self.stats.max_size = self.stats.max_size.max(self.live);
+        true
+    }
+
+    /// Removes expired entries.
+    pub fn purge(&mut self, now: SimTime) {
+        self.entries.retain(|_, list| {
+            list.retain(|e| e.expires > now);
+            !list.is_empty()
+        });
+        self.recount();
+    }
+
+    /// Clears everything (stats survive).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.live = 0;
+    }
+
+    fn recount(&mut self) {
+        self.live = self.entries.values().map(|l| l.len()).sum();
+    }
+}
+
+/// Remaining-TTL adjustment for served answers.
+fn adjust_ttls(records: &[Record], expires: SimTime, now: SimTime) -> Vec<Record> {
+    let remaining = expires.since(now).as_secs() as u32;
+    records
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.ttl = r.ttl.min(remaining);
+            r
+        })
+        .collect()
+}
+
+/// The match-everything prefix used for non-ECS entries.
+fn any_prefix_v4() -> IpPrefix {
+    IpPrefix::v4(std::net::Ipv4Addr::UNSPECIFIED, 0).expect("0 <= 32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::Rdata;
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        Name::from_ascii(s).unwrap()
+    }
+
+    fn rec(s: &str, ttl: u32) -> Vec<Record> {
+        vec![Record::new(name(s), ttl, Rdata::A(Ipv4Addr::new(203, 0, 113, 1)))]
+    }
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn scope_24_restricts_to_subnet() {
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(24);
+        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
+        // Same /24: hit.
+        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.2.200"), t(1)).is_some());
+        // Different /24: miss.
+        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.3.1"), t(1)).is_none());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn scope_16_serves_whole_slash16() {
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(16);
+        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
+        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.99.1"), t(1)).is_some());
+        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.1.0.1"), t(1)).is_none());
+    }
+
+    #[test]
+    fn scope_zero_serves_everyone() {
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(0);
+        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
+        assert!(c.lookup(&name("a.example"), RecordType::A, ip("8.8.8.8"), t(1)).is_some());
+    }
+
+    #[test]
+    fn non_ecs_answers_serve_everyone() {
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), None, 60, t(0));
+        assert!(c.lookup(&name("a.example"), RecordType::A, ip("1.1.1.1"), t(1)).is_some());
+    }
+
+    #[test]
+    fn scope_exceeding_source_is_clamped() {
+        // RFC 7871: a response whose scope is longer than the query's source
+        // must be treated as scope == source for caching.
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 0, 0), 16).with_scope(24);
+        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
+        // Everything in the /16 hits, even outside what a /24 scope would allow.
+        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.77.1"), t(1)).is_some());
+    }
+
+    #[test]
+    fn multiple_scoped_entries_coexist() {
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        for third in [1u8, 2, 3] {
+            let ecs =
+                EcsOption::from_v4(Ipv4Addr::new(192, 0, third, 0), 24).with_scope(24);
+            c.insert(
+                name("a.example"),
+                RecordType::A,
+                rec("a.example", 60),
+                Some(ecs),
+                60,
+                t(0),
+            );
+        }
+        assert_eq!(c.len(t(1)), 3);
+        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.2.9"), t(1)).is_some());
+        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.9.9"), t(1)).is_none());
+        assert_eq!(c.stats().max_size, 3);
+    }
+
+    #[test]
+    fn same_scope_replaces() {
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(24);
+        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
+        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(5));
+        assert_eq!(c.len(t(6)), 1);
+    }
+
+    #[test]
+    fn entries_expire_at_ttl() {
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(24);
+        c.insert(name("a.example"), RecordType::A, rec("a.example", 20), Some(ecs), 20, t(0));
+        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.2.1"), t(19)).is_some());
+        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.2.1"), t(20)).is_none());
+        assert_eq!(c.len(t(20)), 0);
+    }
+
+    #[test]
+    fn served_ttl_decreases() {
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(24);
+        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
+        let answer = c
+            .lookup(&name("a.example"), RecordType::A, ip("192.0.2.1"), t(45))
+            .unwrap();
+        assert_eq!(answer.records[0].ttl, 15);
+        assert_eq!(answer.rcode, Rcode::NoError);
+    }
+
+    #[test]
+    fn ignore_scope_serves_any_client() {
+        let mut c = EcsCache::new(CacheCompliance::IgnoreScope);
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(24);
+        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
+        // A client on the other side of the world still hits.
+        assert!(c.lookup(&name("a.example"), RecordType::A, ip("8.8.8.8"), t(1)).is_some());
+    }
+
+    #[test]
+    fn cap_prefix_widens_match() {
+        let mut c = EcsCache::new(CacheCompliance::CapPrefix(22));
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(24);
+        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
+        // 192.0.3.x is outside the /24 but inside the /22 (192.0.0.0/22).
+        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.3.1"), t(1)).is_some());
+        // 192.0.4.x is outside the /22.
+        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.4.1"), t(1)).is_none());
+    }
+
+    #[test]
+    fn zero_scope_not_cached_when_disabled() {
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        c.cache_zero_scope = false;
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(0);
+        assert!(!c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            Some(ecs),
+            60,
+            t(0)
+        ));
+        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.2.1"), t(1)).is_none());
+        // Non-zero scope still caches.
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(24);
+        assert!(c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            Some(ecs),
+            60,
+            t(0)
+        ));
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(0);
+        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
+        c.lookup(&name("a.example"), RecordType::A, ip("1.1.1.1"), t(1));
+        c.lookup(&name("b.example"), RecordType::A, ip("1.1.1.1"), t(1));
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qtype_distinguishes_entries() {
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), None, 60, t(0));
+        assert!(c.lookup(&name("a.example"), RecordType::Aaaa, ip("1.1.1.1"), t(1)).is_none());
+    }
+
+    #[test]
+    fn clear_resets_entries_not_stats() {
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), None, 60, t(0));
+        c.lookup(&name("a.example"), RecordType::A, ip("1.1.1.1"), t(1));
+        c.clear();
+        assert_eq!(c.len(t(1)), 0);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn v6_scopes_work() {
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        let ecs = EcsOption::from_v6("2001:db8:1:2::".parse().unwrap(), 56).with_scope(48);
+        c.insert(name("a.example"), RecordType::Aaaa, rec("a.example", 60), Some(ecs), 60, t(0));
+        assert!(c
+            .lookup(&name("a.example"), RecordType::Aaaa, ip("2001:db8:1:ffff::1"), t(1))
+            .is_some());
+        assert!(c
+            .lookup(&name("a.example"), RecordType::Aaaa, ip("2001:db8:2::1"), t(1))
+            .is_none());
+    }
+
+    #[test]
+    fn max_size_high_water_mark() {
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        for third in 0..10u8 {
+            let ecs = EcsOption::from_v4(Ipv4Addr::new(10, 0, third, 0), 24).with_scope(24);
+            // Insert at staggered times with TTL 20 so earlier entries
+            // expire as later ones arrive.
+            c.insert(
+                name("a.example"),
+                RecordType::A,
+                rec("a.example", 20),
+                Some(ecs),
+                20,
+                t(third as u64 * 10),
+            );
+        }
+        // At most two entries alive at once (20s TTL, 10s spacing).
+        assert_eq!(c.stats().max_size, 2);
+        assert_eq!(c.stats().inserts, 10);
+    }
+}
+
+#[cfg(test)]
+mod negative_cache_tests {
+    use super::*;
+    use netsim::SimTime;
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        Name::from_ascii(s).unwrap()
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn negative_entries_roundtrip() {
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        c.insert_with_rcode(
+            name("gone.example"),
+            RecordType::A,
+            Vec::new(),
+            None,
+            Rcode::NxDomain,
+            60,
+            t(0),
+        );
+        let hit = c
+            .lookup(&name("gone.example"), RecordType::A, "1.2.3.4".parse().unwrap(), t(1))
+            .unwrap();
+        assert_eq!(hit.rcode, Rcode::NxDomain);
+        assert!(hit.records.is_empty());
+        // Expires like any entry.
+        assert!(c
+            .lookup(&name("gone.example"), RecordType::A, "1.2.3.4".parse().unwrap(), t(61))
+            .is_none());
+    }
+
+    #[test]
+    fn scoped_negative_entries_respect_scope() {
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(24);
+        c.insert_with_rcode(
+            name("gone.example"),
+            RecordType::A,
+            Vec::new(),
+            Some(ecs),
+            Rcode::NxDomain,
+            60,
+            t(0),
+        );
+        assert!(c
+            .lookup(&name("gone.example"), RecordType::A, "192.0.2.9".parse().unwrap(), t(1))
+            .is_some());
+        assert!(c
+            .lookup(&name("gone.example"), RecordType::A, "192.0.3.9".parse().unwrap(), t(1))
+            .is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! Resolver configuration: one struct that composes a prefix policy, a
+//! probing strategy, and a cache-compliance mode into a full behaviour
+//! profile — including presets for every resolver class the paper observed.
+
+use std::net::IpAddr;
+
+use crate::cache::CacheCompliance;
+use crate::prefix_policy::PrefixPolicy;
+use crate::probing::ProbingStrategy;
+
+/// Full behavioural configuration of a recursive resolver.
+#[derive(Debug, Clone)]
+pub struct ResolverConfig {
+    /// The resolver's public address (what authoritative servers see).
+    pub addr: IpAddr,
+    /// How outgoing ECS prefixes are built.
+    pub prefix_policy: PrefixPolicy,
+    /// When ECS is attached at all.
+    pub probing: ProbingStrategy,
+    /// How scope restrictions are honored in the cache.
+    pub compliance: CacheCompliance,
+    /// Whether ECS options arriving in client queries are trusted and used
+    /// (true for resolvers behind cooperating front-ends and for the "accept
+    /// arbitrary ECS" resolvers of §6.3; false for resolvers that override
+    /// with the immediate sender's address to prevent spoofing — the
+    /// behaviour that makes hidden resolvers poison mapping, §8.2).
+    pub accept_client_ecs: bool,
+    /// Whether zero-scope responses are cached (false reproduces the
+    /// misconfigured resolver in §6.3).
+    pub cache_zero_scope: bool,
+    /// Whether responses to clients echo the ECS option (with the
+    /// authoritative scope). The All-Names service does this.
+    pub echo_ecs_to_client: bool,
+    /// Negative/failure-response TTL used when an upstream answer carries
+    /// no records.
+    pub negative_ttl: u32,
+    /// §8.3/§9 extension: learn, per second-level domain, the scope the
+    /// authoritative actually uses, and truncate future source prefixes to
+    /// it. Saves client bits against CDNs with coarse minimums (CDN-2
+    /// needs only /21) at the cost of per-zone state. Only non-zero scopes
+    /// are learned (a zero scope would otherwise poison the zone, the
+    /// "this can get complicated very quickly" trap the paper warns
+    /// about), and the learned value is the maximum scope ever observed.
+    pub adaptive_prefix: bool,
+}
+
+impl ResolverConfig {
+    /// A fully RFC-compliant resolver: /24–/56 truncation, ECS always (it
+    /// has whitelisted this authoritative), honors scope.
+    pub fn rfc_compliant(addr: IpAddr) -> Self {
+        ResolverConfig {
+            addr,
+            prefix_policy: PrefixPolicy::rfc_recommended(),
+            probing: ProbingStrategy::Always,
+            compliance: CacheCompliance::Honor,
+            accept_client_ecs: false,
+            cache_zero_scope: true,
+            echo_ecs_to_client: true,
+            negative_ttl: 60,
+            adaptive_prefix: false,
+        }
+    }
+
+    /// A Google-like public resolver egress: compliant, and overrides any
+    /// external ECS with the immediate sender's address.
+    pub fn public_service_egress(addr: IpAddr) -> Self {
+        ResolverConfig {
+            accept_client_ecs: false,
+            ..Self::rfc_compliant(addr)
+        }
+    }
+
+    /// An egress of an anycast service whose *front-ends* stamp trusted
+    /// client ECS (the All-Names resolver): trusts incoming ECS, truncates
+    /// to /24.
+    pub fn anycast_service_egress(addr: IpAddr) -> Self {
+        ResolverConfig {
+            accept_client_ecs: true,
+            ..Self::rfc_compliant(addr)
+        }
+    }
+
+    /// The dominant-AS behaviour: /32 source with jammed last byte,
+    /// ECS on every query, scope ignored in cache.
+    pub fn jammed_full(addr: IpAddr, jam: u8) -> Self {
+        ResolverConfig {
+            prefix_policy: PrefixPolicy::JammedFull { jam },
+            compliance: CacheCompliance::IgnoreScope,
+            ..Self::rfc_compliant(addr)
+        }
+    }
+
+    /// One of the 15 privacy-eroding resolvers: accepts and forwards client
+    /// prefixes up to /32 and caches at the matching long scopes.
+    pub fn long_prefix_acceptor(addr: IpAddr) -> Self {
+        ResolverConfig {
+            prefix_policy: PrefixPolicy::PassThrough { max_v4: 32 },
+            accept_client_ecs: true,
+            ..Self::rfc_compliant(addr)
+        }
+    }
+
+    /// One of the 8 coarse resolvers: caps conveyed prefix and cache scope
+    /// at /22.
+    pub fn cap22(addr: IpAddr) -> Self {
+        ResolverConfig {
+            prefix_policy: PrefixPolicy::PassThrough { max_v4: 22 },
+            compliance: CacheCompliance::CapPrefix(22),
+            accept_client_ecs: true,
+            ..Self::rfc_compliant(addr)
+        }
+    }
+
+    /// The misconfigured PowerDNS-like resolver: leaks a private prefix and
+    /// does not cache zero-scope answers.
+    pub fn private_leaker(addr: IpAddr) -> Self {
+        ResolverConfig {
+            prefix_policy: PrefixPolicy::PrivateLeak,
+            cache_zero_scope: false,
+            ..Self::rfc_compliant(addr)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    const A: IpAddr = IpAddr::V4(Ipv4Addr::new(5, 5, 5, 5));
+
+    #[test]
+    fn presets_have_expected_shapes() {
+        let c = ResolverConfig::rfc_compliant(A);
+        assert_eq!(c.compliance, CacheCompliance::Honor);
+        assert!(!c.accept_client_ecs);
+
+        let c = ResolverConfig::jammed_full(A, 1);
+        assert_eq!(c.compliance, CacheCompliance::IgnoreScope);
+        assert!(matches!(c.prefix_policy, PrefixPolicy::JammedFull { jam: 1 }));
+
+        let c = ResolverConfig::long_prefix_acceptor(A);
+        assert!(c.accept_client_ecs);
+        assert!(matches!(
+            c.prefix_policy,
+            PrefixPolicy::PassThrough { max_v4: 32 }
+        ));
+
+        let c = ResolverConfig::cap22(A);
+        assert_eq!(c.compliance, CacheCompliance::CapPrefix(22));
+
+        let c = ResolverConfig::private_leaker(A);
+        assert!(!c.cache_zero_scope);
+        assert!(matches!(c.prefix_policy, PrefixPolicy::PrivateLeak));
+
+        let c = ResolverConfig::anycast_service_egress(A);
+        assert!(c.accept_client_ecs);
+    }
+}

@@ -1,0 +1,799 @@
+//! The synchronous resolution engine.
+//!
+//! [`Resolver::resolve_msg`] runs one full client interaction: cache
+//! lookup, ECS decision, upstream query, cache insert, client response.
+//! The upstream side is abstracted by [`Upstream`] so experiments can wire
+//! a single [`AuthServer`], a routing table over many ([`ZoneRouter`]), or
+//! a recorded trace.
+
+use std::net::IpAddr;
+
+use authoritative::AuthServer;
+use dns_wire::{Message, Name, Rcode};
+use netsim::SimTime;
+
+use crate::cache::{CacheStats, EcsCache};
+use crate::config::ResolverConfig;
+use crate::probing::{EcsDecision, ProbingState};
+
+/// Where a resolver sends its upstream queries.
+pub trait Upstream {
+    /// Performs one upstream exchange: the resolver at `from` sends `q`,
+    /// the authoritative side answers.
+    fn query(&mut self, q: &Message, from: IpAddr, now: SimTime) -> Message;
+}
+
+impl Upstream for AuthServer {
+    fn query(&mut self, q: &Message, from: IpAddr, now: SimTime) -> Message {
+        self.handle(q, from, now)
+    }
+}
+
+/// Routes upstream queries to the authoritative server whose zone apex
+/// contains the question name (longest apex wins). Unmatched queries get
+/// REFUSED.
+#[derive(Default)]
+pub struct ZoneRouter {
+    routes: Vec<(Name, AuthServer)>,
+}
+
+impl ZoneRouter {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a server; its zone apex becomes the route key.
+    pub fn add(&mut self, server: AuthServer) {
+        let apex = server.zone().apex().clone();
+        self.routes.push((apex, server));
+        // Longest apex first so the most specific zone wins.
+        self.routes
+            .sort_by_key(|(apex, _)| std::cmp::Reverse(apex.label_count()));
+    }
+
+    /// The server responsible for a name, if any.
+    pub fn server_for(&mut self, name: &Name) -> Option<&mut AuthServer> {
+        self.routes
+            .iter_mut()
+            .find(|(apex, _)| name.is_subdomain_of(apex))
+            .map(|(_, s)| s)
+    }
+
+    /// Immutable access for assertions in tests/experiments.
+    pub fn servers(&self) -> impl Iterator<Item = &AuthServer> {
+        self.routes.iter().map(|(_, s)| s)
+    }
+}
+
+impl Upstream for ZoneRouter {
+    fn query(&mut self, q: &Message, from: IpAddr, now: SimTime) -> Message {
+        match q.question().map(|qq| qq.name.clone()) {
+            Some(name) => match self.server_for(&name) {
+                Some(server) => server.handle(q, from, now),
+                None => {
+                    let mut resp = Message::response_to(q);
+                    resp.rcode = Rcode::Refused;
+                    resp
+                }
+            },
+            None => {
+                let mut resp = Message::response_to(q);
+                resp.rcode = Rcode::FormErr;
+                resp
+            }
+        }
+    }
+}
+
+/// Counters for one resolver's upstream traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Client queries handled.
+    pub client_queries: u64,
+    /// Queries sent upstream (cache misses + probe bypasses).
+    pub upstream_queries: u64,
+    /// Upstream queries that carried an ECS option.
+    pub upstream_ecs_queries: u64,
+}
+
+/// A recursive resolver instance.
+pub struct Resolver {
+    config: ResolverConfig,
+    cache: EcsCache,
+    probing_state: ProbingState,
+    stats: ResolverStats,
+    /// Per-SLD learned authoritative scope (see
+    /// [`ResolverConfig::adaptive_prefix`]).
+    scope_memory: std::collections::HashMap<Name, u8>,
+    next_id: u16,
+}
+
+impl Resolver {
+    /// Creates a resolver from a configuration.
+    pub fn new(config: ResolverConfig) -> Self {
+        let mut cache = EcsCache::new(config.compliance);
+        cache.cache_zero_scope = config.cache_zero_scope;
+        Resolver {
+            config,
+            cache,
+            probing_state: ProbingState::default(),
+            stats: ResolverStats::default(),
+            scope_memory: std::collections::HashMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// The scope learned for a zone so far (adaptive mode).
+    pub fn learned_scope(&self, qname: &Name) -> Option<u8> {
+        self.scope_memory
+            .get(&qname.second_level_domain().unwrap_or_else(|| qname.clone()))
+            .copied()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ResolverConfig {
+        &self.config
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Upstream-traffic statistics.
+    pub fn stats(&self) -> ResolverStats {
+        self.stats
+    }
+
+    /// Live cache size at `now`.
+    pub fn cache_len(&mut self, now: SimTime) -> usize {
+        self.cache.len(now)
+    }
+
+    /// Direct cache access for white-box tests.
+    pub fn cache_mut(&mut self) -> &mut EcsCache {
+        &mut self.cache
+    }
+
+    /// Handles one client query synchronously.
+    ///
+    /// * `query` — the client's message (may carry ECS);
+    /// * `client_src` — the immediate sender's address (a client, a
+    ///   forwarder, or a hidden resolver — the resolver cannot tell!);
+    /// * `upstream` — the authoritative side.
+    pub fn resolve_msg<U: Upstream>(
+        &mut self,
+        query: &Message,
+        client_src: IpAddr,
+        now: SimTime,
+        upstream: &mut U,
+    ) -> Message {
+        match self.begin(query, client_src, now) {
+            Step::Answer(resp) => resp,
+            Step::NeedUpstream(pending) => {
+                let upstream_resp =
+                    upstream.query(&pending.upstream_query, self.config.addr, now);
+                self.complete(pending, &upstream_resp, now)
+            }
+        }
+    }
+
+    /// Phase one: cache lookup and ECS decision. Returns either an
+    /// immediate answer or the upstream query to send.
+    pub fn begin(&mut self, query: &Message, client_src: IpAddr, now: SimTime) -> Step {
+        self.stats.client_queries += 1;
+        let question = match query.question() {
+            Some(q) => q.clone(),
+            None => {
+                let mut resp = Message::response_to(query);
+                resp.rcode = Rcode::FormErr;
+                return Step::Answer(resp);
+            }
+        };
+
+        // Whose location is this query about? Trusted incoming ECS wins,
+        // otherwise the immediate sender.
+        let client_ecs = if self.config.accept_client_ecs {
+            query.ecs().copied()
+        } else {
+            None
+        };
+        let effective_client: IpAddr =
+            client_ecs.as_ref().map(|e| e.addr()).unwrap_or(client_src);
+
+        // Cache lookup (unless the probing strategy bypasses the cache for
+        // this name).
+        let bypass = self.config.probing.bypasses_cache(&question.name);
+        let cached = if bypass {
+            None
+        } else {
+            self.cache
+                .lookup(&question.name, question.qtype, effective_client, now)
+        };
+
+        if let Some(answer) = cached {
+            let mut resp = Message::response_to(query);
+            resp.rcode = answer.rcode;
+            resp.answers = answer.records;
+            if self.config.echo_ecs_to_client {
+                if let (Some(client_opt), Some(stored)) = (query.ecs(), answer.ecs) {
+                    resp.set_ecs(client_opt.with_scope(stored.scope_prefix_len()));
+                }
+            }
+            return Step::Answer(resp);
+        }
+
+        // Miss: decide ECS and build the upstream query.
+        let decision = self.config.probing.decide(
+            &question.name,
+            question.qtype.is_address(),
+            false,
+            now,
+            &mut self.probing_state,
+        );
+        let mut upstream_q = Message::query(self.take_id(), question.clone());
+        upstream_q.set_edns(4096);
+        match decision {
+            EcsDecision::SendClientEcs => {
+                let mut opt = self.config.prefix_policy.build(
+                    effective_client,
+                    client_ecs.as_ref(),
+                    self.config.addr,
+                );
+                if self.config.adaptive_prefix {
+                    if let Some(learned) = self.learned_scope(&question.name) {
+                        if learned < opt.source_prefix_len() {
+                            opt = dns_wire::EcsOption::new(opt.addr(), learned);
+                        }
+                    }
+                }
+                upstream_q.set_ecs(opt);
+            }
+            EcsDecision::SendLoopbackProbe => {
+                upstream_q.set_ecs(crate::prefix_policy::PrefixPolicy::Loopback.build(
+                    effective_client,
+                    None,
+                    self.config.addr,
+                ));
+            }
+            EcsDecision::SendOwnAddress => {
+                upstream_q.set_ecs(crate::prefix_policy::PrefixPolicy::ResolverOwn.build(
+                    effective_client,
+                    None,
+                    self.config.addr,
+                ));
+            }
+            EcsDecision::Omit => {}
+        }
+        self.stats.upstream_queries += 1;
+        if upstream_q.ecs().is_some() {
+            self.stats.upstream_ecs_queries += 1;
+        }
+        Step::NeedUpstream(PendingQuery {
+            client_query: query.clone(),
+            question,
+            upstream_query: upstream_q,
+        })
+    }
+
+    /// Phase two: ingest the upstream response, cache it, and build the
+    /// client-facing answer.
+    pub fn complete(
+        &mut self,
+        pending: PendingQuery,
+        upstream_resp: &Message,
+        now: SimTime,
+    ) -> Message {
+        self.config
+            .probing
+            .record_response(upstream_resp.ecs().is_some(), &mut self.probing_state);
+
+        // Adaptive mode: remember the largest non-zero scope the zone's
+        // authoritative has used.
+        if self.config.adaptive_prefix {
+            if let Some(ecs) = upstream_resp.ecs() {
+                let scope = ecs.scope_prefix_len().min(ecs.source_prefix_len());
+                if scope > 0 {
+                    let key = pending
+                        .question
+                        .name
+                        .second_level_domain()
+                        .unwrap_or_else(|| pending.question.name.clone());
+                    let entry = self.scope_memory.entry(key).or_insert(scope);
+                    *entry = (*entry).max(scope);
+                }
+            }
+        }
+
+        // Cache the upstream answer (even probe-bypass responses are
+        // cached; the bypass only skips the lookup).
+        let ttl = upstream_resp
+            .min_answer_ttl()
+            .unwrap_or(self.config.negative_ttl);
+        if upstream_resp.rcode.is_ok() && !upstream_resp.answers.is_empty() {
+            self.cache.insert(
+                pending.question.name.clone(),
+                pending.question.qtype,
+                upstream_resp.answers.clone(),
+                upstream_resp.ecs().copied(),
+                ttl,
+                now,
+            );
+        } else if matches!(upstream_resp.rcode, Rcode::NxDomain)
+            || (upstream_resp.rcode.is_ok() && upstream_resp.answers.is_empty())
+        {
+            // RFC 2308 negative caching: NXDOMAIN and NODATA responses are
+            // cached (with their ECS scope, if any) for the negative TTL.
+            self.cache.insert_with_rcode(
+                pending.question.name.clone(),
+                pending.question.qtype,
+                Vec::new(),
+                upstream_resp.ecs().copied(),
+                upstream_resp.rcode,
+                self.config.negative_ttl,
+                now,
+            );
+        }
+
+        let mut resp = Message::response_to(&pending.client_query);
+        resp.rcode = upstream_resp.rcode;
+        resp.answers = upstream_resp.answers.clone();
+        if self.config.echo_ecs_to_client {
+            if let (Some(client_opt), Some(up_ecs)) =
+                (pending.client_query.ecs(), upstream_resp.ecs())
+            {
+                resp.set_ecs(client_opt.with_scope(up_ecs.scope_prefix_len()));
+            }
+        }
+        resp
+    }
+
+    /// Handles a client query, chasing CNAME chains across zones: when the
+    /// upstream answer ends in a CNAME without address records (the
+    /// cross-zone redirection CDNs use for onboarding), the resolver
+    /// re-queries the target — through the cache, so chased hops are
+    /// cached and scoped independently — and merges the chains. Depth is
+    /// bounded at 8 per RFC practice.
+    pub fn resolve_chasing<U: Upstream>(
+        &mut self,
+        query: &Message,
+        client_src: IpAddr,
+        now: SimTime,
+        upstream: &mut U,
+    ) -> Message {
+        let mut merged = self.resolve_msg(query, client_src, now, upstream);
+        let Some(question) = query.question().cloned() else {
+            return merged;
+        };
+        for _ in 0..8 {
+            if !merged.rcode.is_ok()
+                || !merged.answer_addrs().is_empty()
+                || merged.answers.is_empty()
+            {
+                break;
+            }
+            let Some(target) = merged.final_name() else {
+                break;
+            };
+            if target == question.name {
+                break;
+            }
+            let mut chase = Message::query(
+                query.id,
+                dns_wire::Question::new(target, question.qtype, question.qclass),
+            );
+            if let Some(e) = query.ecs() {
+                chase.set_ecs(*e);
+            }
+            let hop = self.resolve_msg(&chase, client_src, now, upstream);
+            merged.rcode = hop.rcode;
+            merged.answers.extend(hop.answers.iter().cloned());
+            if let Some(e) = hop.ecs() {
+                merged.set_ecs(*e);
+            }
+            if hop.answers.is_empty() {
+                break;
+            }
+        }
+        merged
+    }
+
+    fn take_id(&mut self) -> u16 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        id
+    }
+}
+
+/// Outcome of [`Resolver::begin`].
+pub enum Step {
+    /// The query was answered immediately (cache hit or error).
+    Answer(Message),
+    /// An upstream exchange is required.
+    NeedUpstream(PendingQuery),
+}
+
+/// State carried between [`Resolver::begin`] and [`Resolver::complete`].
+pub struct PendingQuery {
+    /// The original client message.
+    pub client_query: Message,
+    /// The question being resolved.
+    pub question: dns_wire::Question,
+    /// The query to send upstream.
+    pub upstream_query: Message,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use authoritative::{EcsHandling, ScopePolicy, Zone};
+    use dns_wire::{EcsOption, Question};
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        Name::from_ascii(s).unwrap()
+    }
+
+    fn auth() -> AuthServer {
+        let mut zone = Zone::new(name("example.com"));
+        zone.add_a(name("www.example.com"), 60, Ipv4Addr::new(198, 51, 100, 1))
+            .unwrap();
+        AuthServer::new(zone, EcsHandling::open(ScopePolicy::MatchSource))
+    }
+
+    fn client_query(qname: &str) -> Message {
+        Message::query(9, Question::a(name(qname)))
+    }
+
+    const CLIENT: IpAddr = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 77));
+    const RES: IpAddr = IpAddr::V4(Ipv4Addr::new(9, 9, 9, 9));
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn resolves_and_caches() {
+        let mut auth = auth();
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        let resp = r.resolve_msg(&client_query("www.example.com"), CLIENT, t(0), &mut auth);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(r.stats().upstream_queries, 1);
+        // Second query from the same client: cache hit, no upstream.
+        let resp2 = r.resolve_msg(&client_query("www.example.com"), CLIENT, t(1), &mut auth);
+        assert_eq!(resp2.answers.len(), 1);
+        assert_eq!(r.stats().upstream_queries, 1);
+        assert_eq!(r.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn scope_respected_across_clients() {
+        let mut auth = auth(); // scope = source = 24
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        r.resolve_msg(&client_query("www.example.com"), CLIENT, t(0), &mut auth);
+        // Client in another /24 misses and triggers a second upstream query.
+        let other: IpAddr = "192.0.3.1".parse().unwrap();
+        r.resolve_msg(&client_query("www.example.com"), other, t(1), &mut auth);
+        assert_eq!(r.stats().upstream_queries, 2);
+        // Client in the first /24 hits.
+        let near: IpAddr = "192.0.2.200".parse().unwrap();
+        r.resolve_msg(&client_query("www.example.com"), near, t(2), &mut auth);
+        assert_eq!(r.stats().upstream_queries, 2);
+    }
+
+    #[test]
+    fn upstream_query_carries_truncated_prefix() {
+        let mut auth = auth();
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        r.resolve_msg(&client_query("www.example.com"), CLIENT, t(0), &mut auth);
+        let log = auth.log();
+        assert_eq!(log.len(), 1);
+        let ecs = log[0].ecs.unwrap();
+        assert_eq!(ecs.source_prefix_len(), 24);
+        assert_eq!(ecs.to_v4(), Some(Ipv4Addr::new(192, 0, 2, 0)));
+        assert_eq!(log[0].resolver, RES);
+    }
+
+    #[test]
+    fn ignore_scope_resolver_shares_across_subnets() {
+        let mut auth = auth();
+        let mut r = Resolver::new(ResolverConfig::jammed_full(RES, 1));
+        r.resolve_msg(&client_query("www.example.com"), CLIENT, t(0), &mut auth);
+        let other: IpAddr = "203.0.113.5".parse().unwrap();
+        r.resolve_msg(&client_query("www.example.com"), other, t(1), &mut auth);
+        // One upstream query: the second client was served the cached answer
+        // despite being outside the scope.
+        assert_eq!(r.stats().upstream_queries, 1);
+    }
+
+    #[test]
+    fn echo_ecs_scope_to_client() {
+        let mut auth = auth();
+        let mut r = Resolver::new(ResolverConfig::anycast_service_egress(RES));
+        let mut q = client_query("www.example.com");
+        q.set_ecs(EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 77), 32));
+        let resp = r.resolve_msg(&q, CLIENT, t(0), &mut auth);
+        let echoed = resp.ecs().unwrap();
+        assert_eq!(echoed.scope_prefix_len(), 24); // authoritative matched source (/24)
+    }
+
+    #[test]
+    fn trusted_client_ecs_drives_identity() {
+        let mut auth = auth();
+        let mut r = Resolver::new(ResolverConfig::anycast_service_egress(RES));
+        // Frontend stamps the real client's /32; resolver truncates to /24.
+        let mut q = client_query("www.example.com");
+        q.set_ecs(EcsOption::from_v4(Ipv4Addr::new(100, 1, 2, 3), 32));
+        let frontend: IpAddr = "10.0.0.1".parse().unwrap();
+        r.resolve_msg(&q, frontend, t(0), &mut auth);
+        let ecs = auth.log()[0].ecs.unwrap();
+        assert_eq!(ecs.to_v4(), Some(Ipv4Addr::new(100, 1, 2, 0)));
+        assert_eq!(ecs.source_prefix_len(), 24);
+    }
+
+    #[test]
+    fn untrusted_client_ecs_overridden_with_sender() {
+        let mut auth = auth();
+        let mut r = Resolver::new(ResolverConfig::public_service_egress(RES));
+        let mut q = client_query("www.example.com");
+        q.set_ecs(EcsOption::from_v4(Ipv4Addr::new(100, 1, 2, 3), 32));
+        let hidden: IpAddr = "77.7.7.7".parse().unwrap();
+        r.resolve_msg(&q, hidden, t(0), &mut auth);
+        let ecs = auth.log()[0].ecs.unwrap();
+        // The HIDDEN RESOLVER's /24 is conveyed — the §8.2 phenomenon.
+        assert_eq!(ecs.to_v4(), Some(Ipv4Addr::new(77, 7, 7, 0)));
+    }
+
+    #[test]
+    fn zone_router_routes_by_apex() {
+        let mut router = ZoneRouter::new();
+        router.add(auth());
+        let mut zone2 = Zone::new(name("other.net"));
+        zone2
+            .add_a(name("www.other.net"), 60, Ipv4Addr::new(198, 51, 100, 9))
+            .unwrap();
+        router.add(AuthServer::new(
+            zone2,
+            EcsHandling::open(ScopePolicy::Zero),
+        ));
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        let a = r.resolve_msg(&client_query("www.example.com"), CLIENT, t(0), &mut router);
+        assert_eq!(a.answer_addrs()[0].to_string(), "198.51.100.1");
+        let b = r.resolve_msg(&client_query("www.other.net"), CLIENT, t(0), &mut router);
+        assert_eq!(b.answer_addrs()[0].to_string(), "198.51.100.9");
+        let c = r.resolve_msg(&client_query("www.unknown.org"), CLIENT, t(0), &mut router);
+        assert_eq!(c.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn ttl_counts_down_in_cached_answers() {
+        let mut auth = auth();
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        r.resolve_msg(&client_query("www.example.com"), CLIENT, t(0), &mut auth);
+        let resp = r.resolve_msg(&client_query("www.example.com"), CLIENT, t(45), &mut auth);
+        assert_eq!(resp.answers[0].ttl, 15);
+        // After expiry: upstream again.
+        r.resolve_msg(&client_query("www.example.com"), CLIENT, t(61), &mut auth);
+        assert_eq!(r.stats().upstream_queries, 2);
+    }
+
+    #[test]
+    fn non_ecs_upstream_cached_globally() {
+        let mut zone = Zone::new(name("plain.org"));
+        zone.add_a(name("www.plain.org"), 60, Ipv4Addr::new(1, 2, 3, 4))
+            .unwrap();
+        let mut auth = AuthServer::new(zone, EcsHandling::disabled());
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        r.resolve_msg(&client_query("www.plain.org"), CLIENT, t(0), &mut auth);
+        let far: IpAddr = "203.0.113.200".parse().unwrap();
+        r.resolve_msg(&client_query("www.plain.org"), far, t(1), &mut auth);
+        assert_eq!(r.stats().upstream_queries, 1, "shared across all clients");
+    }
+
+    #[test]
+    fn stats_count_ecs_queries() {
+        let mut auth = auth();
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        r.resolve_msg(&client_query("www.example.com"), CLIENT, t(0), &mut auth);
+        assert_eq!(r.stats().upstream_ecs_queries, 1);
+        assert_eq!(r.stats().client_queries, 1);
+    }
+}
+
+#[cfg(test)]
+mod chasing_tests {
+    use super::*;
+    use authoritative::{CdnBehavior, EcsHandling, GeoDb, ScopePolicy, Zone};
+    use dns_wire::{IpPrefix, Question};
+    use std::net::{IpAddr, Ipv4Addr};
+    use topology::{CdnFootprint, EdgeServerSpec};
+
+    fn name(s: &str) -> Name {
+        Name::from_ascii(s).unwrap()
+    }
+
+    const RES: IpAddr = IpAddr::V4(Ipv4Addr::new(9, 9, 9, 9));
+    const CLIENT: IpAddr = IpAddr::V4(Ipv4Addr::new(100, 70, 1, 7));
+
+    /// customer zone: www.customer.com CNAME ex.cdn.net; CDN zone serves
+    /// the edges. Chasing must cross zones and keep ECS tailoring.
+    fn world() -> ZoneRouter {
+        let mut router = ZoneRouter::new();
+        let mut customer = Zone::new(name("customer.com"));
+        customer
+            .add_cname(name("www.customer.com"), 300, name("ex.cdn.net"))
+            .unwrap();
+        router.add(AuthServer::new(
+            customer,
+            EcsHandling::open(ScopePolicy::Zero),
+        ));
+
+        let footprint = CdnFootprint {
+            edges: netsim::geo::CITIES
+                .iter()
+                .enumerate()
+                .map(|(i, c)| EdgeServerSpec {
+                    addr: IpAddr::V4(Ipv4Addr::new(203, 0, 113, i as u8 + 1)),
+                    pos: c.pos,
+                    city: c.name.to_string(),
+                })
+                .collect(),
+        };
+        let mut geodb = GeoDb::new();
+        geodb.insert(
+            IpPrefix::new(CLIENT, 24).unwrap(),
+            netsim::geo::city("Tokyo").unwrap().pos,
+        );
+        router.add(
+            AuthServer::new(Zone::new(name("cdn.net")), EcsHandling::open(ScopePolicy::MatchSource))
+                .with_cdn(CdnBehavior::cdn1(footprint), geodb),
+        );
+        router
+    }
+
+    #[test]
+    fn chases_cname_across_zones_with_ecs() {
+        let mut router = world();
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        let q = Message::query(7, Question::a(name("www.customer.com")));
+        let resp = r.resolve_chasing(&q, CLIENT, SimTime::ZERO, &mut router);
+        assert!(resp.rcode.is_ok());
+        // Chain: CNAME + A record(s).
+        assert_eq!(resp.answers[0].rtype(), dns_wire::RecordType::Cname);
+        assert_eq!(resp.answer_addrs().len(), 1);
+        assert_eq!(resp.final_name().unwrap(), name("ex.cdn.net"));
+        // The CDN zone saw the client's ECS and mapped near Tokyo:
+        // edge index for Tokyo in CITIES.
+        let tokyo_idx = netsim::geo::CITIES
+            .iter()
+            .position(|c| c.name == "Tokyo")
+            .unwrap() as u8;
+        assert_eq!(
+            resp.answer_addrs()[0],
+            IpAddr::V4(Ipv4Addr::new(203, 0, 113, tokyo_idx + 1))
+        );
+        // Both hops are now cached: a same-subnet repeat does no upstream.
+        let upstream_before = r.stats().upstream_queries;
+        let resp2 = r.resolve_chasing(&q, CLIENT, SimTime::from_secs(5), &mut router);
+        assert_eq!(r.stats().upstream_queries, upstream_before);
+        assert_eq!(resp2.answer_addrs(), resp.answer_addrs());
+    }
+
+    #[test]
+    fn chase_depth_is_bounded() {
+        let mut router = ZoneRouter::new();
+        let mut zone = Zone::new(name("loop.example"));
+        zone.add_cname(name("a.loop.example"), 60, name("b.loop.example"))
+            .unwrap();
+        zone.add_cname(name("b.loop.example"), 60, name("a.loop.example"))
+            .unwrap();
+        router.add(AuthServer::new(zone, EcsHandling::disabled()));
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        let q = Message::query(7, Question::a(name("a.loop.example")));
+        // Terminates despite the CNAME loop.
+        let resp = r.resolve_chasing(&q, CLIENT, SimTime::ZERO, &mut router);
+        assert!(resp.answer_addrs().is_empty());
+    }
+
+    #[test]
+    fn negative_answers_are_cached() {
+        let mut router = world();
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        let q = Message::query(7, Question::a(name("missing.customer.com")));
+        let resp = r.resolve_msg(&q, CLIENT, SimTime::ZERO, &mut router);
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+        assert_eq!(r.stats().upstream_queries, 1);
+        // Within the negative TTL the NXDOMAIN is served from cache.
+        let resp = r.resolve_msg(&q, CLIENT, SimTime::from_secs(30), &mut router);
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+        assert_eq!(r.stats().upstream_queries, 1);
+        // After the negative TTL it goes upstream again.
+        r.resolve_msg(&q, CLIENT, SimTime::from_secs(61), &mut router);
+        assert_eq!(r.stats().upstream_queries, 2);
+    }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+    use authoritative::{EcsHandling, ScopePolicy, Zone};
+    use dns_wire::Question;
+    use std::net::{IpAddr, Ipv4Addr};
+
+    fn name(s: &str) -> Name {
+        Name::from_ascii(s).unwrap()
+    }
+
+    const RES: IpAddr = IpAddr::V4(Ipv4Addr::new(9, 9, 9, 9));
+
+    #[test]
+    fn learns_zone_scope_and_truncates_future_prefixes() {
+        // An authoritative that maps at /20 granularity.
+        let mut zone = Zone::new(name("coarse.example"));
+        zone.add_a(name("www.coarse.example"), 20, Ipv4Addr::new(198, 51, 100, 1))
+            .unwrap();
+        let mut auth = AuthServer::new(zone, EcsHandling::open(ScopePolicy::Fixed(20)));
+        let mut r = Resolver::new(ResolverConfig {
+            adaptive_prefix: true,
+            ..ResolverConfig::rfc_compliant(RES)
+        });
+        let q = Message::query(1, Question::a(name("www.coarse.example")));
+        // First query: nothing learned yet → RFC /24.
+        r.resolve_msg(&q, "100.70.1.1".parse().unwrap(), SimTime::from_secs(0), &mut auth);
+        assert_eq!(auth.log()[0].ecs.unwrap().source_prefix_len(), 24);
+        assert_eq!(r.learned_scope(&name("www.coarse.example")), Some(20));
+        // Second query (other subnet, past TTL): learned /20 applies.
+        r.resolve_msg(&q, "100.80.1.1".parse().unwrap(), SimTime::from_secs(30), &mut auth);
+        assert_eq!(auth.log()[1].ecs.unwrap().source_prefix_len(), 20);
+    }
+
+    #[test]
+    fn zero_scope_never_poisons_the_zone() {
+        let mut zone = Zone::new(name("z.example"));
+        zone.add_a(name("www.z.example"), 20, Ipv4Addr::new(198, 51, 100, 1))
+            .unwrap();
+        let mut auth = AuthServer::new(zone, EcsHandling::open(ScopePolicy::Zero));
+        let mut r = Resolver::new(ResolverConfig {
+            adaptive_prefix: true,
+            ..ResolverConfig::rfc_compliant(RES)
+        });
+        let q = Message::query(1, Question::a(name("www.z.example")));
+        r.resolve_msg(&q, "100.70.1.1".parse().unwrap(), SimTime::from_secs(0), &mut auth);
+        // Scope 0 is not learned; future queries stay at /24.
+        assert_eq!(r.learned_scope(&name("www.z.example")), None);
+        r.resolve_msg(&q, "100.80.1.1".parse().unwrap(), SimTime::from_secs(30), &mut auth);
+        assert_eq!(auth.log()[1].ecs.unwrap().source_prefix_len(), 24);
+    }
+
+    #[test]
+    fn learned_scope_is_max_across_names_in_sld() {
+        // Two hostnames in one SLD with different scopes: the finer (max)
+        // one must win so no name in the zone is under-served.
+        let mut zone = Zone::new(name("mix.example"));
+        zone.add_a(name("a.mix.example"), 20, Ipv4Addr::new(198, 51, 100, 1))
+            .unwrap();
+        zone.add_a(name("b.mix.example"), 20, Ipv4Addr::new(198, 51, 100, 2))
+            .unwrap();
+        let mut auth = AuthServer::new(zone, EcsHandling::open(ScopePolicy::Fixed(16)));
+        let mut r = Resolver::new(ResolverConfig {
+            adaptive_prefix: true,
+            ..ResolverConfig::rfc_compliant(RES)
+        });
+        let qa = Message::query(1, Question::a(name("a.mix.example")));
+        r.resolve_msg(&qa, "100.70.1.1".parse().unwrap(), SimTime::from_secs(0), &mut auth);
+        assert_eq!(r.learned_scope(&name("a.mix.example")), Some(16));
+        // Server policy shifts finer (Fixed(24)-like via a new server).
+        let mut zone2 = Zone::new(name("mix.example"));
+        zone2
+            .add_a(name("b.mix.example"), 20, Ipv4Addr::new(198, 51, 100, 2))
+            .unwrap();
+        let mut auth24 = AuthServer::new(zone2, EcsHandling::open(ScopePolicy::MatchSource));
+        let qb = Message::query(2, Question::a(name("b.mix.example")));
+        r.resolve_msg(&qb, "100.70.1.1".parse().unwrap(), SimTime::from_secs(1), &mut auth24);
+        // learned = max(16, 24-ish). The /16-learned state truncated the
+        // outgoing prefix to 16, so the response scope echoes 16 and the
+        // memory stays at 16 — the known one-way ratchet of adaptation.
+        assert_eq!(r.learned_scope(&name("b.mix.example")), Some(16));
+    }
+}

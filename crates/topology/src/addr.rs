@@ -1,0 +1,151 @@
+//! Deterministic allocation of unique addresses and subnets.
+
+use dns_wire::IpPrefix;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Hands out non-overlapping IPv4 `/24` blocks, IPv6 `/48` blocks, and
+/// individual host addresses inside them.
+///
+/// Allocation is sequential from disjoint pools, so no RNG is needed and any
+/// two allocators constructed the same way produce the same sequence:
+///
+/// * IPv4 client blocks come from `100.64.0.0/10`-style sequential space
+///   starting at `1.0.0.0`, skipping reserved ranges;
+/// * IPv6 blocks come from `2001:db8::/32` extended upward (documentation
+///   space is only a /32; we use `2400::/12`-style sequential space to get
+///   enough /48s).
+#[derive(Debug, Clone)]
+pub struct AddrAllocator {
+    next_v4_block: u32,
+    next_v6_block: u64,
+}
+
+impl Default for AddrAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddrAllocator {
+    /// Creates an allocator at the start of its pools.
+    pub fn new() -> Self {
+        AddrAllocator {
+            // First /24 block: 1.0.0.0/24 (block index = top 24 bits).
+            next_v4_block: 0x01_00_00,
+            // First /48 block under 2400::/12.
+            next_v6_block: 0x2400_0000_0000,
+        }
+    }
+
+    /// Allocates the next free IPv4 `/24`, skipping reserved space.
+    pub fn alloc_v4_block(&mut self) -> IpPrefix {
+        loop {
+            let block = self.next_v4_block;
+            self.next_v4_block += 1;
+            let addr = Ipv4Addr::from(block << 8);
+            let prefix = IpPrefix::v4(addr, 24).expect("24 <= 32");
+            if !prefix.is_non_routable() && !is_reserved_v4(addr) {
+                return prefix;
+            }
+        }
+    }
+
+    /// Allocates the next free IPv6 `/48`.
+    pub fn alloc_v6_block(&mut self) -> IpPrefix {
+        let block = self.next_v6_block;
+        self.next_v6_block += 1;
+        // Block index occupies the top 48 bits.
+        let addr = Ipv6Addr::from((block as u128) << 80);
+        IpPrefix::v6(addr, 48).expect("48 <= 128")
+    }
+
+    /// A specific host inside a previously allocated block. `host` must be
+    /// 1–254 for IPv4 /24 blocks (0 and 255 are avoided by convention).
+    pub fn host_in(block: &IpPrefix, host: u32) -> IpAddr {
+        match block.addr() {
+            IpAddr::V4(a) => {
+                debug_assert!(block.len() <= 24, "host_in expects /24 or shorter");
+                debug_assert!((1..=254).contains(&host));
+                IpAddr::V4(Ipv4Addr::from(u32::from(a) | host))
+            }
+            IpAddr::V6(a) => IpAddr::V6(Ipv6Addr::from(u128::from(a) | host as u128)),
+        }
+    }
+}
+
+/// Multicast, special-use, and future-use space we must not hand to
+/// simulated hosts (beyond what `IpPrefix::is_non_routable` covers).
+fn is_reserved_v4(addr: Ipv4Addr) -> bool {
+    let o = addr.octets();
+    o[0] == 0 || o[0] >= 224 || (o[0] == 100 && (64..=127).contains(&o[1])) // CGN
+        || (o[0] == 192 && o[1] == 0 && o[2] == 0)
+        || (o[0] == 198 && (o[1] == 18 || o[1] == 19))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn v4_blocks_are_unique_and_routable() {
+        let mut alloc = AddrAllocator::new();
+        let mut seen = HashSet::new();
+        for _ in 0..10_000 {
+            let b = alloc.alloc_v4_block();
+            assert_eq!(b.len(), 24);
+            assert!(!b.is_non_routable(), "{b}");
+            assert!(seen.insert(b), "duplicate {b}");
+        }
+    }
+
+    #[test]
+    fn v4_skips_loopback_and_private() {
+        let mut alloc = AddrAllocator::new();
+        for _ in 0..200_000 {
+            let b = alloc.alloc_v4_block();
+            let o = match b.addr() {
+                IpAddr::V4(a) => a.octets(),
+                _ => unreachable!(),
+            };
+            assert_ne!(o[0], 10);
+            assert_ne!(o[0], 127);
+            assert_ne!(o[0], 0);
+            assert!(o[0] < 224);
+        }
+    }
+
+    #[test]
+    fn v6_blocks_are_unique() {
+        let mut alloc = AddrAllocator::new();
+        let mut seen = HashSet::new();
+        for _ in 0..10_000 {
+            let b = alloc.alloc_v6_block();
+            assert_eq!(b.len(), 48);
+            assert!(seen.insert(b));
+        }
+    }
+
+    #[test]
+    fn hosts_fall_inside_blocks() {
+        let mut alloc = AddrAllocator::new();
+        let b = alloc.alloc_v4_block();
+        for host in [1u32, 77, 254] {
+            let h = AddrAllocator::host_in(&b, host);
+            assert!(b.contains(h), "{h} not in {b}");
+        }
+        let b6 = alloc.alloc_v6_block();
+        let h = AddrAllocator::host_in(&b6, 42);
+        assert!(b6.contains(h));
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = AddrAllocator::new();
+        let mut b = AddrAllocator::new();
+        for _ in 0..1000 {
+            assert_eq!(a.alloc_v4_block(), b.alloc_v4_block());
+            assert_eq!(a.alloc_v6_block(), b.alloc_v6_block());
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Trace serialization: a line-oriented TSV format for [`TraceSet`]s, so
+//! generated workloads can be saved, shared, and replayed — the same role
+//! the paper's (proprietary) packet logs played.
+//!
+//! Format, one record per line, tab-separated:
+//!
+//! ```text
+//! at_micros  resolver  qname  qtype  ecs_source  response_scope  ttl  client
+//! ```
+//!
+//! Missing optional fields are `-`; prefixes print as `addr/len`. The first
+//! line is a header comment `#ecs-trace v1 <label>`.
+
+use dns_wire::{IpPrefix, Name, RecordType};
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+use std::net::IpAddr;
+use std::str::FromStr;
+
+use crate::trace::{TraceRecord, TraceSet};
+
+/// Errors from trace parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceIoError {
+    /// The header line is missing or malformed.
+    BadHeader,
+    /// A record line has the wrong number of fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        got: usize,
+    },
+    /// A field failed to parse.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Field name.
+        field: &'static str,
+    },
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::BadHeader => write!(f, "missing or malformed #ecs-trace header"),
+            TraceIoError::FieldCount { line, got } => {
+                write!(f, "line {line}: expected 8 fields, got {got}")
+            }
+            TraceIoError::BadField { line, field } => {
+                write!(f, "line {line}: malformed field '{field}'")
+            }
+            TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e.to_string())
+    }
+}
+
+/// Writes a trace in TSV form.
+pub fn write_trace<W: Write>(trace: &TraceSet, mut out: W) -> Result<(), TraceIoError> {
+    writeln!(out, "#ecs-trace v1 {}", trace.label)?;
+    let mut line = String::with_capacity(128);
+    for r in &trace.records {
+        line.clear();
+        write!(
+            line,
+            "{}\t{}\t{}\t{}",
+            r.at_micros,
+            r.resolver,
+            r.qname,
+            r.qtype.to_u16()
+        )
+        .expect("string write");
+        match &r.ecs_source {
+            Some(p) => write!(line, "\t{}/{}", p.addr(), p.len()).expect("string write"),
+            None => line.push_str("\t-"),
+        }
+        match r.response_scope {
+            Some(s) => write!(line, "\t{s}").expect("string write"),
+            None => line.push_str("\t-"),
+        }
+        write!(line, "\t{}", r.ttl).expect("string write");
+        match r.client {
+            Some(c) => write!(line, "\t{c}").expect("string write"),
+            None => line.push_str("\t-"),
+        }
+        writeln!(out, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_trace`].
+pub fn read_trace<R: BufRead>(input: R) -> Result<TraceSet, TraceIoError> {
+    let mut lines = input.lines();
+    let header = lines.next().ok_or(TraceIoError::BadHeader)??;
+    let label = header
+        .strip_prefix("#ecs-trace v1 ")
+        .ok_or(TraceIoError::BadHeader)?
+        .to_string();
+    let mut set = TraceSet::new(label);
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = i + 2;
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 8 {
+            return Err(TraceIoError::FieldCount {
+                line: lineno,
+                got: fields.len(),
+            });
+        }
+        let bad = |field: &'static str| TraceIoError::BadField { line: lineno, field };
+        let at_micros: u64 = fields[0].parse().map_err(|_| bad("at_micros"))?;
+        let resolver: IpAddr = fields[1].parse().map_err(|_| bad("resolver"))?;
+        let qname = Name::from_ascii(fields[2]).map_err(|_| bad("qname"))?;
+        let qtype =
+            RecordType::from_u16(fields[3].parse().map_err(|_| bad("qtype"))?);
+        let ecs_source = match fields[4] {
+            "-" => None,
+            s => {
+                let (addr, len) = s.split_once('/').ok_or_else(|| bad("ecs_source"))?;
+                let addr = IpAddr::from_str(addr).map_err(|_| bad("ecs_source"))?;
+                let len: u8 = len.parse().map_err(|_| bad("ecs_source"))?;
+                Some(IpPrefix::new(addr, len).map_err(|_| bad("ecs_source"))?)
+            }
+        };
+        let response_scope = match fields[5] {
+            "-" => None,
+            s => Some(s.parse().map_err(|_| bad("response_scope"))?),
+        };
+        let ttl: u32 = fields[6].parse().map_err(|_| bad("ttl"))?;
+        let client = match fields[7] {
+            "-" => None,
+            s => Some(s.parse().map_err(|_| bad("client"))?),
+        };
+        set.records.push(TraceRecord {
+            at_micros,
+            resolver,
+            qname,
+            qtype,
+            ecs_source,
+            response_scope,
+            ttl,
+            client,
+        });
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::AllNamesTraceGen;
+
+    fn roundtrip(trace: &TraceSet) -> TraceSet {
+        let mut buf = Vec::new();
+        write_trace(trace, &mut buf).unwrap();
+        read_trace(std::io::Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn generated_trace_roundtrips() {
+        let trace = AllNamesTraceGen {
+            v4_subnets: 20,
+            v6_subnets: 5,
+            slds: 30,
+            queries: 500,
+            ..AllNamesTraceGen::default()
+        }
+        .generate();
+        let back = roundtrip(&trace);
+        assert_eq!(back.label, trace.label);
+        assert_eq!(back.records, trace.records);
+    }
+
+    #[test]
+    fn optional_fields_roundtrip_as_dashes() {
+        let mut trace = TraceSet::new("opt");
+        trace.records.push(TraceRecord {
+            at_micros: 7,
+            resolver: "9.9.9.9".parse().unwrap(),
+            qname: Name::from_ascii("a.example.com").unwrap(),
+            qtype: RecordType::A,
+            ecs_source: None,
+            response_scope: None,
+            ttl: 60,
+            client: None,
+        });
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("\t-\t-\t60\t-"));
+        assert_eq!(roundtrip(&trace).records, trace.records);
+    }
+
+    #[test]
+    fn header_required() {
+        let err = read_trace(std::io::Cursor::new(b"not a header\n".to_vec())).unwrap_err();
+        assert_eq!(err, TraceIoError::BadHeader);
+        let err = read_trace(std::io::Cursor::new(Vec::new())).unwrap_err();
+        assert_eq!(err, TraceIoError::BadHeader);
+    }
+
+    #[test]
+    fn field_errors_carry_line_numbers() {
+        let data = b"#ecs-trace v1 t\n1\t9.9.9.9\ta.example.\t1\t-\t-\t60\t-\nbroken line\n".to_vec();
+        let err = read_trace(std::io::Cursor::new(data)).unwrap_err();
+        assert_eq!(err, TraceIoError::FieldCount { line: 3, got: 1 });
+
+        let data = b"#ecs-trace v1 t\n1\tnot-an-ip\ta.example.\t1\t-\t-\t60\t-\n".to_vec();
+        let err = read_trace(std::io::Cursor::new(data)).unwrap_err();
+        assert_eq!(
+            err,
+            TraceIoError::BadField {
+                line: 2,
+                field: "resolver"
+            }
+        );
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let data = b"#ecs-trace v1 t\n\n1\t9.9.9.9\ta.example.\t1\t10.0.0.0/24\t24\t60\t10.0.0.7\n\n".to_vec();
+        let set = read_trace(std::io::Cursor::new(data)).unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.records[0].ecs_source.unwrap().len(), 24);
+        assert_eq!(set.records[0].client.unwrap().to_string(), "10.0.0.7");
+    }
+}

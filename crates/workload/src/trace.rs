@@ -1,0 +1,142 @@
+//! Trace records: the common currency between workload generation and the
+//! §7 cache analyses.
+//!
+//! One [`TraceRecord`] is one logged DNS interaction as the paper's traces
+//! record it: time, egress resolver, question, the ECS source prefix of the
+//! query, the scope of the response, the TTL — and, uniquely in the
+//! All-Names dataset, the real client address.
+
+use dns_wire::{IpPrefix, Name, RecordType};
+use serde::{Deserialize, Serialize};
+use std::net::IpAddr;
+
+/// One logged query/response pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Microseconds since trace start.
+    pub at_micros: u64,
+    /// Egress resolver that sent the query.
+    pub resolver: IpAddr,
+    /// Question name.
+    pub qname: Name,
+    /// Question type (A or AAAA in these traces).
+    pub qtype: RecordType,
+    /// ECS source prefix in the query, if any.
+    pub ecs_source: Option<IpPrefix>,
+    /// Scope prefix length in the response, if the response carried ECS.
+    pub response_scope: Option<u8>,
+    /// Response TTL in seconds.
+    pub ttl: u32,
+    /// The real client address (All-Names dataset only).
+    pub client: Option<IpAddr>,
+}
+
+/// A whole trace plus its metadata.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceSet {
+    /// Trace records in non-decreasing time order.
+    pub records: Vec<TraceRecord>,
+    /// Label for reports.
+    pub label: String,
+}
+
+impl TraceSet {
+    /// Creates an empty trace.
+    pub fn new(label: impl Into<String>) -> Self {
+        TraceSet {
+            records: Vec::new(),
+            label: label.into(),
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Distinct egress resolver addresses.
+    pub fn resolvers(&self) -> Vec<IpAddr> {
+        let mut v: Vec<IpAddr> = self.records.iter().map(|r| r.resolver).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Distinct client addresses (records that carry one).
+    pub fn clients(&self) -> Vec<IpAddr> {
+        let mut v: Vec<IpAddr> = self.records.iter().filter_map(|r| r.client).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Distinct question names.
+    pub fn unique_names(&self) -> usize {
+        let mut v: Vec<&Name> = self.records.iter().map(|r| &r.qname).collect();
+        v.sort();
+        v.dedup();
+        v.len()
+    }
+
+    /// Fraction of records carrying an ECS source prefix.
+    pub fn ecs_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.ecs_source.is_some()).count() as f64
+            / self.records.len() as f64
+    }
+
+    /// Asserts (in debug builds) and repairs time ordering.
+    pub fn sort_by_time(&mut self) {
+        self.records.sort_by_key(|r| r.at_micros);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn rec(at: u64, resolver: u8, name: &str) -> TraceRecord {
+        TraceRecord {
+            at_micros: at,
+            resolver: IpAddr::V4(Ipv4Addr::new(10, 0, 0, resolver)),
+            qname: Name::from_ascii(name).unwrap(),
+            qtype: RecordType::A,
+            ecs_source: Some(IpPrefix::v4(Ipv4Addr::new(192, 0, 2, 0), 24).unwrap()),
+            response_scope: Some(24),
+            ttl: 20,
+            client: Some(IpAddr::V4(Ipv4Addr::new(192, 0, 2, 7))),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut t = TraceSet::new("test");
+        t.records.push(rec(5, 1, "a.example.com"));
+        t.records.push(rec(1, 2, "b.example.com"));
+        t.records.push(rec(3, 1, "a.example.com"));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.resolvers().len(), 2);
+        assert_eq!(t.unique_names(), 2);
+        assert_eq!(t.clients().len(), 1);
+        assert!((t.ecs_fraction() - 1.0).abs() < 1e-9);
+        t.sort_by_time();
+        assert_eq!(t.records[0].at_micros, 1);
+        assert_eq!(t.records[2].at_micros, 5);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = TraceSet::new("empty");
+        assert!(t.is_empty());
+        assert_eq!(t.ecs_fraction(), 0.0);
+        assert_eq!(t.unique_names(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Zipf-distributed sampling for name popularity.
+//!
+//! DNS name popularity is famously heavy-tailed; the cache analyses (§7)
+//! are meaningless under uniform traffic. This sampler draws ranks
+//! `0..n` with probability ∝ `1/(rank+1)^s` via an inverted CDF and binary
+//! search — O(log n) per sample, deterministic for a given RNG.
+
+use rand::Rng;
+
+/// A Zipf sampler over `n` ranks with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler. `n` must be ≥ 1; `s` is typically 0.8–1.2 for
+    /// DNS workloads.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there is a single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Samples a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First index whose CDF value is >= u.
+        match self
+            .cdf
+            .binary_search_by(|v| v.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Under Zipf(1.0, 1000): P(0) ≈ 0.133, P(1) ≈ 0.067.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[10]);
+        let p0 = counts[0] as f64 / 100_000.0;
+        assert!((0.10..0.17).contains(&p0), "{p0}");
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let p = c as f64 / 100_000.0;
+            assert!((0.08..0.12).contains(&p), "{p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let z = Zipf::new(50, 1.1);
+        let a: Vec<usize> = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,86 @@
+//! Quickstart: a minimal ECS world — one client, one recursive resolver,
+//! one CDN authoritative — showing scope-based caching in action.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::net::{IpAddr, Ipv4Addr};
+
+use authoritative::{AuthServer, CdnBehavior, EcsHandling, GeoDb, ScopePolicy, Zone};
+use dns_wire::{IpPrefix, Message, Name, Question};
+use netsim::geo::{city, CITIES};
+use netsim::SimTime;
+use resolver::{Resolver, ResolverConfig};
+use topology::{CdnFootprint, EdgeServerSpec};
+
+fn main() {
+    // --- 1. A CDN with edges in every city of the built-in table ---
+    let footprint = CdnFootprint {
+        edges: CITIES
+            .iter()
+            .enumerate()
+            .map(|(i, c)| EdgeServerSpec {
+                addr: IpAddr::V4(Ipv4Addr::new(203, 0, 113, i as u8 + 1)),
+                pos: c.pos,
+                city: c.name.to_string(),
+            })
+            .collect(),
+    };
+
+    // --- 2. A geolocation database (the CDN's EdgeScape) ---
+    // Two client subnets: one in Chicago, one in Tokyo.
+    let chicago_subnet = IpPrefix::v4(Ipv4Addr::new(100, 70, 1, 0), 24).unwrap();
+    let tokyo_subnet = IpPrefix::v4(Ipv4Addr::new(100, 71, 1, 0), 24).unwrap();
+    let mut geodb = GeoDb::new();
+    geodb.insert(chicago_subnet, city("Chicago").unwrap().pos);
+    geodb.insert(tokyo_subnet, city("Tokyo").unwrap().pos);
+
+    // --- 3. The CDN's authoritative server, ECS open ---
+    let apex = Name::from_ascii("cdn.example").unwrap();
+    let www = apex.child("www").unwrap();
+    let mut cdn = AuthServer::new(
+        Zone::new(apex),
+        EcsHandling::open(ScopePolicy::MatchSource),
+    )
+    .with_cdn(CdnBehavior::cdn1(footprint.clone()), geodb);
+
+    // --- 4. An RFC-compliant recursive resolver ---
+    let resolver_addr: IpAddr = "9.9.9.9".parse().unwrap();
+    let mut resolver = Resolver::new(ResolverConfig::rfc_compliant(resolver_addr));
+
+    let edge_city = |resp: &Message| {
+        let addr = resp.answer_addrs()[0];
+        footprint
+            .edges
+            .iter()
+            .find(|e| e.addr == addr)
+            .unwrap()
+            .city
+            .clone()
+    };
+
+    // --- 5. Resolve from both subnets ---
+    let chicago_client: IpAddr = "100.70.1.50".parse().unwrap();
+    let tokyo_client: IpAddr = "100.71.1.50".parse().unwrap();
+
+    let q = Message::query(1, Question::a(www.clone()));
+    let resp = resolver.resolve_msg(&q, chicago_client, SimTime::from_secs(0), &mut cdn);
+    println!("Chicago client  → edge in {}", edge_city(&resp));
+
+    let resp = resolver.resolve_msg(&q, tokyo_client, SimTime::from_secs(1), &mut cdn);
+    println!("Tokyo client    → edge in {}", edge_city(&resp));
+
+    // --- 6. Scope-based caching: same subnet = cache hit ---
+    let chicago_neighbor: IpAddr = "100.70.1.99".parse().unwrap();
+    resolver.resolve_msg(&q, chicago_neighbor, SimTime::from_secs(2), &mut cdn);
+    println!(
+        "3 clients, {} upstream queries (the Chicago neighbour hit the scoped cache entry)",
+        resolver.stats().upstream_queries
+    );
+    println!(
+        "cache: {} hits, {} misses",
+        resolver.cache_stats().hits,
+        resolver.cache_stats().misses
+    );
+
+    assert_eq!(resolver.stats().upstream_queries, 2);
+}

@@ -1,0 +1,171 @@
+//! Smoke tests: every experiment runs at reduced scale and its qualitative
+//! claims hold. (Full-scale runs are exercised by the `ecs-study` binary
+//! and the benches.)
+
+use ecs_study::experiments::*;
+
+#[test]
+fn probing_scaled() {
+    let (out, report) = probing::run(&probing::Config {
+        scale: 80,
+        queries_per_resolver: 220,
+        ..probing::Config::default()
+    });
+    assert!(out.accuracy >= 0.75, "{report}");
+}
+
+#[test]
+fn table1_scaled() {
+    let (_, report) = table1::run(&table1::Config {
+        scale: 30,
+        ..table1::Config::default()
+    });
+    assert!(report.all_hold(), "{report}");
+}
+
+#[test]
+fn cache_behavior_scaled() {
+    let (out, report) = cache_behavior::run(&cache_behavior::Config { scale: 4 });
+    assert!(out.accuracy >= 0.99, "{report}");
+}
+
+#[test]
+fn fig1_scaled() {
+    let (out, _) = fig1::run(&fig1::Config {
+        trace: workload::PublicCdnTraceGen {
+            resolvers: 12,
+            subnets_per_resolver: 40,
+            hostnames: 100,
+            queries: 150_000,
+            duration: netsim::SimDuration::from_secs(600),
+            ..workload::PublicCdnTraceGen::default()
+        },
+        ttls: vec![20, 60],
+    });
+    assert!(out.series[0].cdf.quantile(0.5) > 1.3);
+    assert!(out.series[1].cdf.max() >= out.series[0].cdf.max());
+}
+
+#[test]
+fn fig2_and_fig3_scaled() {
+    let trace = workload::AllNamesTraceGen {
+        v4_subnets: 250,
+        v6_subnets: 50,
+        slds: 250,
+        queries: 150_000,
+        ..workload::AllNamesTraceGen::default()
+    };
+    let (out2, _) = fig2::run(&fig2::Config {
+        trace: trace.clone(),
+        fractions: vec![20, 100],
+        samples: 2,
+    });
+    assert!(out2.points[1].1 > out2.points[0].1, "blow-up grows");
+    let (out3, _) = fig3::run(&fig3::Config {
+        trace,
+        fractions: vec![100],
+        samples: 2,
+    });
+    let (_, no_ecs, with_ecs) = out3.points[0];
+    assert!(with_ecs < no_ecs * 0.7, "{no_ecs} vs {with_ecs}");
+}
+
+#[test]
+fn table2_runs() {
+    let (_, report) = table2::run(&table2::Config::default());
+    assert!(report.all_hold(), "{report}");
+}
+
+#[test]
+fn fig45_scaled() {
+    let mut config = fig45::Config::fig4();
+    config.world.forwarders = 600;
+    let (_, report) = fig45::run(&config);
+    assert!(report.all_hold(), "{report}");
+}
+
+#[test]
+fn fig67_scaled() {
+    let (out6, _) = fig67::run(&fig67::Config {
+        probes: 150,
+        ..fig67::Config::fig6()
+    });
+    assert!(out6.by_length[&23].median_ms > out6.by_length[&24].median_ms * 2.0);
+    let (out7, _) = fig67::run(&fig67::Config {
+        probes: 150,
+        ..fig67::Config::fig7()
+    });
+    assert!(out7.by_length[&20].median_ms > out7.by_length[&21].median_ms * 2.0);
+}
+
+#[test]
+fn fig8_runs() {
+    let (out, report) = fig8::run(&fig8::Config::default());
+    assert!(out.apex_total_ms > out.www_handshake_ms * 3.0, "{report}");
+}
+
+#[test]
+fn discovery_runs() {
+    let (out, report) = discovery::run(&discovery::Config {
+        scale: 10,
+        ..discovery::Config::default()
+    });
+    assert!(
+        out.overlap.passive_total() > out.overlap.active_total(),
+        "{report}"
+    );
+}
+
+#[test]
+fn registry_ids_are_unique_and_complete() {
+    let reg = registry();
+    let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
+    ids.sort();
+    let mut deduped = ids.clone();
+    deduped.dedup();
+    assert_eq!(ids, deduped);
+    for required in [
+        "probing", "table1", "cache-behavior", "fig1", "fig2", "fig3", "table2", "fig4", "fig5",
+        "fig6", "fig7", "fig8", "discovery",
+    ] {
+        assert!(ids.contains(&required), "missing {required}");
+    }
+}
+
+#[test]
+fn design_doc_indexes_every_experiment() {
+    // DESIGN.md's per-experiment index must mention every registered
+    // experiment id, so the documentation cannot silently drift.
+    let design = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../DESIGN.md"
+    ))
+    .expect("DESIGN.md at workspace root");
+    for (id, _, _) in registry() {
+        assert!(
+            design.contains(&format!("`{id}`")),
+            "DESIGN.md does not index experiment '{id}'"
+        );
+    }
+}
+
+#[test]
+fn experiments_doc_exists_with_core_sections() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../EXPERIMENTS.md"
+    ))
+    .expect("EXPERIMENTS.md at workspace root");
+    for needle in [
+        "Table 1",
+        "Table 2",
+        "Figure 1",
+        "Figure 3",
+        "Figures 4–5",
+        "Figures 6–7",
+        "Figure 8",
+        "Extension experiments",
+    ] {
+        assert!(text.contains(needle), "EXPERIMENTS.md missing '{needle}'");
+    }
+}

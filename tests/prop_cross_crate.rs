@@ -1,0 +1,135 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! scope/source/client combinations when the real resolver talks to the
+//! real authoritative server.
+
+use std::net::{IpAddr, Ipv4Addr};
+
+use authoritative::{AuthServer, EcsHandling, ScopePolicy, Zone};
+use dns_wire::{EcsOption, Message, Name, Question};
+use netsim::SimTime;
+use proptest::prelude::*;
+use resolver::{CacheCompliance, PrefixPolicy, Resolver, ResolverConfig};
+
+fn name(s: &str) -> Name {
+    Name::from_ascii(s).unwrap()
+}
+
+fn auth(scope_policy: ScopePolicy, ttl: u32) -> AuthServer {
+    let mut zone = Zone::new(name("prop.example"));
+    zone.add_a(name("www.prop.example"), ttl, Ipv4Addr::new(198, 51, 100, 1))
+        .unwrap();
+    AuthServer::new(zone, EcsHandling::open(scope_policy))
+}
+
+const RES: IpAddr = IpAddr::V4(Ipv4Addr::new(9, 9, 9, 9));
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A cache hit must never be served to a client outside the scope the
+    /// authoritative advertised, for any scope policy and any client pair,
+    /// under the Honor compliance mode.
+    #[test]
+    fn honor_mode_never_violates_scope(
+        scope in 0u8..=32,
+        c1 in any::<u32>(),
+        c2 in any::<u32>(),
+        source_len in 8u8..=32,
+    ) {
+        let mut server = auth(ScopePolicy::Fixed(scope), 600);
+        let mut r = Resolver::new(ResolverConfig {
+            prefix_policy: PrefixPolicy::Truncate { v4: source_len, v6: 56 },
+            ..ResolverConfig::rfc_compliant(RES)
+        });
+        let q = Message::query(1, Question::a(name("www.prop.example")));
+        let a1 = IpAddr::V4(Ipv4Addr::from(c1));
+        let a2 = IpAddr::V4(Ipv4Addr::from(c2));
+        r.resolve_msg(&q, a1, SimTime::from_secs(0), &mut server);
+        prop_assert_eq!(server.log().len(), 1);
+        let first_ecs = server.log()[0].ecs;
+        let advertised_scope = server.log()[0].response_scope;
+
+        r.resolve_msg(&q, a2, SimTime::from_secs(1), &mut server);
+        let second_was_hit = server.log().len() == 1;
+        if second_was_hit {
+            // The hit is only legal if c2 falls inside the effective scope
+            // (clamped to source, per RFC 7871) of the cached entry.
+            let ecs = first_ecs.expect("resolver always sends ECS");
+            let eff = advertised_scope
+                .expect("open server echoes ECS")
+                .min(ecs.source_prefix_len());
+            let entry_prefix = ecs.source_prefix().truncate(eff);
+            prop_assert!(
+                entry_prefix.is_default_route() || entry_prefix.contains(a2),
+                "illegal hit: {} outside {}",
+                a2,
+                entry_prefix
+            );
+        }
+    }
+
+    /// The RFC-recommended prefix policy never conveys more than 24 bits,
+    /// whatever address family games the client plays.
+    #[test]
+    fn rfc_policy_privacy_bound(client in any::<u32>(), supplied_len in 0u8..=32) {
+        let mut server = auth(ScopePolicy::MatchSource, 60);
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        let mut q = Message::query(1, Question::a(name("www.prop.example")));
+        q.set_ecs(EcsOption::from_v4(Ipv4Addr::from(client), supplied_len));
+        r.resolve_msg(&q, IpAddr::V4(Ipv4Addr::from(client)), SimTime::ZERO, &mut server);
+        let sent = server.log()[0].ecs.expect("always ECS");
+        prop_assert!(sent.source_prefix_len() <= 24);
+    }
+
+    /// Cache entries never outlive their TTL, for any TTL and query gap.
+    #[test]
+    fn ttl_expiry_is_exact(ttl in 1u32..600, gap in 0u64..1200) {
+        let mut server = auth(ScopePolicy::MatchSource, ttl);
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        let client: IpAddr = "100.70.1.1".parse().unwrap();
+        let q = Message::query(1, Question::a(name("www.prop.example")));
+        r.resolve_msg(&q, client, SimTime::from_secs(0), &mut server);
+        r.resolve_msg(&q, client, SimTime::from_secs(gap), &mut server);
+        let upstream = server.log().len();
+        if gap < ttl as u64 {
+            prop_assert_eq!(upstream, 1, "within TTL must hit");
+        } else {
+            prop_assert_eq!(upstream, 2, "past TTL must re-query");
+        }
+    }
+
+    /// IgnoreScope resolvers serve any client from any entry — the measured
+    /// §6.3 deviation — but still respect TTLs.
+    #[test]
+    fn ignore_scope_shares_but_expires(c1 in any::<u32>(), c2 in any::<u32>()) {
+        let mut server = auth(ScopePolicy::MatchSource, 60);
+        let mut r = Resolver::new(ResolverConfig {
+            compliance: CacheCompliance::IgnoreScope,
+            ..ResolverConfig::rfc_compliant(RES)
+        });
+        let q = Message::query(1, Question::a(name("www.prop.example")));
+        r.resolve_msg(&q, IpAddr::V4(Ipv4Addr::from(c1)), SimTime::from_secs(0), &mut server);
+        r.resolve_msg(&q, IpAddr::V4(Ipv4Addr::from(c2)), SimTime::from_secs(30), &mut server);
+        prop_assert_eq!(server.log().len(), 1, "any client shares the entry");
+        r.resolve_msg(&q, IpAddr::V4(Ipv4Addr::from(c2)), SimTime::from_secs(61), &mut server);
+        prop_assert_eq!(server.log().len(), 2, "TTL still applies");
+    }
+
+    /// Whatever ECS arrives (valid lengths, any address), the authoritative
+    /// handler never panics and always produces a well-formed message that
+    /// round-trips through the wire format.
+    #[test]
+    fn authoritative_responses_always_roundtrip(
+        addr in any::<u32>(),
+        source in 0u8..=32,
+        scope_k in 0u8..=8,
+    ) {
+        let mut server = auth(ScopePolicy::SourceMinusK(scope_k), 60);
+        let mut q = Message::query(1, Question::a(name("www.prop.example")));
+        q.set_ecs(EcsOption::from_v4(Ipv4Addr::from(addr), source));
+        let resp = server.handle(&q, RES, SimTime::ZERO);
+        let bytes = resp.to_bytes().unwrap();
+        let back = Message::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, resp);
+    }
+}

@@ -1,0 +1,201 @@
+//! RFC 7871 conformance scenarios, cross-crate: what the spec stipulates,
+//! exercised through the real resolver + authoritative implementations.
+
+use std::net::{IpAddr, Ipv4Addr};
+
+use authoritative::{AuthServer, EcsHandling, ScopePolicy, Zone};
+use dns_wire::{EcsOption, Message, Name, Question, RecordClass, RecordType};
+use netsim::SimTime;
+use resolver::{Resolver, ResolverConfig};
+
+fn name(s: &str) -> Name {
+    Name::from_ascii(s).unwrap()
+}
+
+fn zone_with(names: &[&str], ttl: u32) -> Zone {
+    let mut z = Zone::new(name("conf.example"));
+    for (i, n) in names.iter().enumerate() {
+        z.add_a(name(n), ttl, Ipv4Addr::new(198, 51, 100, i as u8 + 1))
+            .unwrap();
+    }
+    z
+}
+
+const RES: IpAddr = IpAddr::V4(Ipv4Addr::new(9, 9, 9, 9));
+
+fn t(secs: u64) -> SimTime {
+    SimTime::from_secs(secs)
+}
+
+/// §7.2.1: scope in a response must be usable even when it exceeds the
+/// source; resolvers must cache as if scope == source.
+#[test]
+fn scope_exceeding_source_is_clamped_for_caching() {
+    let mut auth = AuthServer::new(
+        zone_with(&["a.conf.example"], 60),
+        EcsHandling::open(ScopePolicy::SourcePlusK(8)), // deliberately bogus
+    );
+    let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+    let client1: IpAddr = "100.70.1.1".parse().unwrap();
+    let q = Message::query(1, Question::a(name("a.conf.example")));
+    r.resolve_msg(&q, client1, t(0), &mut auth);
+    // The server advertised scope 32 for a 24-bit source. A client in the
+    // same /24 must still hit (clamped to /24), a client outside must miss.
+    let near: IpAddr = "100.70.1.99".parse().unwrap();
+    r.resolve_msg(&q, near, t(1), &mut auth);
+    assert_eq!(auth.log().len(), 1, "same /24 must reuse");
+    let far: IpAddr = "100.70.2.1".parse().unwrap();
+    r.resolve_msg(&q, far, t(2), &mut auth);
+    assert_eq!(auth.log().len(), 2, "different /24 must re-query");
+}
+
+/// §7.1.2: a query with source prefix 0 means "no information"; the
+/// authoritative answers untailored with scope 0 and the resolver may cache
+/// for everyone.
+#[test]
+fn source_zero_is_no_information() {
+    let mut auth = AuthServer::new(
+        zone_with(&["b.conf.example"], 60),
+        EcsHandling::open(ScopePolicy::MatchSource),
+    );
+    let mut q = Message::query(1, Question::a(name("b.conf.example")));
+    q.set_ecs(EcsOption::no_info_v4());
+    let resp = auth.handle(&q, RES, t(0));
+    let ecs = resp.ecs().unwrap();
+    assert_eq!(ecs.source_prefix_len(), 0);
+    assert_eq!(ecs.scope_prefix_len(), 0);
+}
+
+/// §7.2.2: NS (non-address) queries are answered with zero scope; resolvers
+/// should not attach client ECS to them in the first place.
+#[test]
+fn resolvers_omit_ecs_on_ns_queries() {
+    let mut zone = zone_with(&[], 60);
+    zone.add(dns_wire::Record::new(
+        name("conf.example"),
+        3600,
+        dns_wire::Rdata::Ns(name("ns1.conf.example")),
+    ))
+    .unwrap();
+    let mut auth = AuthServer::new(zone, EcsHandling::open(ScopePolicy::MatchSource));
+    let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+    let q = Message::query(
+        1,
+        Question::new(name("conf.example"), RecordType::Ns, RecordClass::In),
+    );
+    let client: IpAddr = "100.70.1.1".parse().unwrap();
+    let resp = r.resolve_msg(&q, client, t(0), &mut auth);
+    assert_eq!(resp.answers.len(), 1);
+    assert!(
+        auth.log()[0].ecs.is_none(),
+        "RFC-compliant resolvers must not send ECS on NS queries"
+    );
+}
+
+/// RFC 6891 §7: pre-EDNS authoritative servers FORMERR queries with OPT.
+/// The resolver must still deliver an answer-less response, not crash, and
+/// must not cache the failure as a positive answer.
+#[test]
+fn formerr_from_pre_edns_server_is_not_cached_as_answer() {
+    let mut auth = AuthServer::new(
+        zone_with(&["c.conf.example"], 60),
+        EcsHandling::disabled(),
+    )
+    .without_edns();
+    let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+    let client: IpAddr = "100.70.1.1".parse().unwrap();
+    let q = Message::query(1, Question::a(name("c.conf.example")));
+    let resp = r.resolve_msg(&q, client, t(0), &mut auth);
+    assert_eq!(resp.rcode, dns_wire::Rcode::FormErr);
+    assert!(resp.answers.is_empty());
+    // The failure was not cached: the next query goes upstream again.
+    r.resolve_msg(&q, client, t(1), &mut auth);
+    assert_eq!(auth.log().len(), 2);
+}
+
+/// §11.1 (privacy): the RFC-recommended resolver never conveys more than
+/// 24 bits of an IPv4 client or 56 of an IPv6 client, whatever the client
+/// supplies.
+#[test]
+fn rfc_resolver_never_leaks_more_than_24_bits() {
+    let mut auth = AuthServer::new(
+        zone_with(&["d.conf.example", "e.conf.example"], 60),
+        EcsHandling::open(ScopePolicy::MatchSource),
+    );
+    let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+    // Even when the incoming query carries a full /32, the non-trusting
+    // RFC resolver derives its own /24 from the sender address.
+    let mut q = Message::query(1, Question::a(name("d.conf.example")));
+    q.set_ecs(EcsOption::from_v4(Ipv4Addr::new(100, 70, 1, 77), 32));
+    let sender: IpAddr = "100.80.2.9".parse().unwrap();
+    r.resolve_msg(&q, sender, t(0), &mut auth);
+    let sent = auth.log()[0].ecs.unwrap();
+    assert_eq!(sent.source_prefix_len(), 24);
+    assert_eq!(sent.to_v4(), Some(Ipv4Addr::new(100, 80, 2, 0)));
+
+    // IPv6 sender: at most /56.
+    let sender6: IpAddr = "2001:db8:1:2:3:4:5:6".parse().unwrap();
+    let q = Message::query(2, Question::a(name("e.conf.example")));
+    r.resolve_msg(&q, sender6, t(1), &mut auth);
+    let sent = auth.log()[1].ecs.unwrap();
+    assert_eq!(sent.source_prefix_len(), 56);
+}
+
+/// §7.3.1: a cached scoped answer must never be served to a client outside
+/// the scope — across many scope/source combinations.
+#[test]
+fn scope_matrix_is_honored() {
+    for (source, scope, inside, outside) in [
+        (24u8, 24u8, "100.70.1.200", "100.70.2.1"),
+        (24, 16, "100.70.99.1", "100.71.0.1"),
+        (24, 8, "100.99.99.1", "101.0.0.1"),
+        (16, 16, "100.70.200.1", "100.71.0.1"),
+    ] {
+        let mut auth = AuthServer::new(
+            zone_with(&["m.conf.example"], 600),
+            EcsHandling::open(ScopePolicy::Fixed(scope)),
+        );
+        let mut r = Resolver::new(ResolverConfig {
+            prefix_policy: resolver::PrefixPolicy::Truncate { v4: source, v6: 56 },
+            ..ResolverConfig::rfc_compliant(RES)
+        });
+        let q = Message::query(1, Question::a(name("m.conf.example")));
+        let first: IpAddr = "100.70.1.1".parse().unwrap();
+        r.resolve_msg(&q, first, t(0), &mut auth);
+        r.resolve_msg(&q, inside.parse().unwrap(), t(1), &mut auth);
+        assert_eq!(
+            auth.log().len(),
+            1,
+            "source {source} scope {scope}: {inside} must hit"
+        );
+        r.resolve_msg(&q, outside.parse().unwrap(), t(2), &mut auth);
+        assert_eq!(
+            auth.log().len(),
+            2,
+            "source {source} scope {scope}: {outside} must miss"
+        );
+    }
+}
+
+/// The paper's recommendation: probing with the resolver's own public
+/// address (not loopback) keeps the authoritative's mapping sane during
+/// probing.
+#[test]
+fn own_address_probing_is_expressible_and_routable() {
+    let mut auth = AuthServer::new(
+        zone_with(&["p.conf.example"], 60),
+        EcsHandling::open(ScopePolicy::MatchSource),
+    );
+    let mut config = ResolverConfig::rfc_compliant(RES);
+    config.probing = resolver::ProbingStrategy::IntervalProbe {
+        period: netsim::SimDuration::from_secs(1800),
+        use_own_address: true,
+    };
+    let mut r = Resolver::new(config);
+    let q = Message::query(1, Question::a(name("p.conf.example")));
+    let client: IpAddr = "100.70.1.1".parse().unwrap();
+    r.resolve_msg(&q, client, t(0), &mut auth);
+    let sent = auth.log()[0].ecs.unwrap();
+    assert!(!sent.is_non_routable(), "own-address probe is routable");
+    assert_eq!(sent.to_v4(), Some(Ipv4Addr::new(9, 9, 9, 0)));
+}
