@@ -1,21 +1,39 @@
 //! Trace-driven cache simulation (§7).
 //!
-//! Replays a [`TraceSet`] twice — once ignoring ECS (any cached answer
-//! serves any client, as a pre-ECS resolver would) and once obeying the
+//! Replays a [`TraceSet`] in two modes at once — ignoring ECS (any cached
+//! answer serves any client, as a pre-ECS resolver would) and obeying the
 //! source/scope prefixes from the trace — and reports, per resolver, the
 //! peak cache size in each mode (the *blow-up factor* is their ratio,
 //! Figure 1/2) and the hit rates (Figure 3).
 //!
 //! The simulation follows the paper's assumptions: resolvers honor
 //! authoritative TTLs exactly and never evict early.
+//!
+//! # Engine
+//!
+//! Replay is sharded by resolver: resolver `rid` belongs to worker
+//! `rid % parallelism`, and each worker replays its resolvers' records in
+//! trace order on a [`std::thread::scope`] pool. Resolver caches are
+//! independent — no record touches another resolver's entries, and a
+//! resolver's peak is only sampled at its own insert times, after expiring
+//! everything dead at that instant — so the merged result is *bit-identical*
+//! for every `parallelism` value (`crates/analysis/tests/`
+//! `equivalence_cache_sim.rs` checks this).
+//!
+//! Within a shard, both modes share a single flat slot arena: one hash
+//! lookup of the interned `(resolver id, name id, qtype)` key (from the
+//! trace's [`workload::TraceIndex`]) finds the slot holding the plain-mode
+//! and ECS-mode entries for that cache line, and compact expiry heaps of
+//! `(expiry, slot)` pairs drive TTL eviction.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::net::IpAddr;
 
-use dns_wire::{IpPrefix, Name, RecordType};
-use netsim::SimTime;
-use workload::{TraceRecord, TraceSet};
+use dns_wire::{IpPrefix, RecordType};
+use netsim::{SimDuration, SimTime};
+use rustc_hash::FxHashMap;
+use workload::{TraceIndex, TraceRecord, TraceSet};
 
 /// Configuration for one simulation run.
 #[derive(Debug, Clone)]
@@ -29,6 +47,9 @@ pub struct CacheSimConfig {
     pub sample_pct: u8,
     /// Seed for the client sample hash.
     pub sample_seed: u64,
+    /// Worker threads to shard resolvers across. `0` and `1` both mean
+    /// sequential; results are identical for every value.
+    pub parallelism: usize,
 }
 
 impl Default for CacheSimConfig {
@@ -37,8 +58,19 @@ impl Default for CacheSimConfig {
             ttl_override: None,
             sample_pct: 100,
             sample_seed: 0,
+            parallelism: 1,
         }
     }
+}
+
+/// A reasonable `parallelism` for experiment configs: the machine's
+/// available parallelism, capped at 8 (replay is memory-bound well before
+/// that on wide machines).
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// Per-resolver outcome.
@@ -98,7 +130,10 @@ pub struct CacheSimResult {
 impl CacheSimResult {
     /// All blow-up factors.
     pub fn blowup_factors(&self) -> Vec<f64> {
-        self.per_resolver.iter().map(|r| r.blowup_factor()).collect()
+        self.per_resolver
+            .iter()
+            .map(|r| r.blowup_factor())
+            .collect()
     }
 
     /// Aggregate hit rate obeying ECS.
@@ -130,87 +165,195 @@ impl CacheSimResult {
 
 /// Interned cache key: (resolver id, name id, qtype).
 type Key = (u32, u32, RecordType);
-/// One live entry: scope prefix (None for non-ECS answers) and expiry.
-type LiveEntry = (Option<IpPrefix>, SimTime);
 
-/// Interned-key cache state for one mode.
-struct ModeState {
-    /// Key → live entries.
-    entries: HashMap<Key, Vec<LiveEntry>>,
-    /// Expiry heap: (expiry, key). A key may appear multiple times.
-    heap: BinaryHeap<Reverse<(SimTime, Key)>>,
-    live: usize,
-    max_live_per_resolver: HashMap<u32, usize>,
-    live_per_resolver: HashMap<u32, usize>,
-    hits: HashMap<u32, u64>,
+/// One cached line — both modes' live entries for a key, in one arena slot
+/// found by a single hash lookup per record.
+struct Slot {
+    /// Shard-local resolver index.
+    resolver: u32,
+    /// Plain-mode entries carry no scope: just expiries.
+    plain: Vec<SimTime>,
+    /// ECS-mode entries: scope prefix (`None` serves everyone) and expiry.
+    ecs: Vec<(Option<IpPrefix>, SimTime)>,
 }
 
-impl ModeState {
-    fn new() -> Self {
-        ModeState {
-            entries: HashMap::new(),
-            heap: BinaryHeap::new(),
-            live: 0,
-            max_live_per_resolver: HashMap::new(),
-            live_per_resolver: HashMap::new(),
-            hits: HashMap::new(),
+/// Per-resolver accumulators for one shard, indexed by shard-local
+/// resolver index.
+struct ShardStats {
+    live_plain: Vec<usize>,
+    max_plain: Vec<usize>,
+    live_ecs: Vec<usize>,
+    max_ecs: Vec<usize>,
+    hits_plain: Vec<u64>,
+    hits_ecs: Vec<u64>,
+    lookups: Vec<u64>,
+}
+
+impl ShardStats {
+    fn new(locals: usize) -> Self {
+        ShardStats {
+            live_plain: vec![0; locals],
+            max_plain: vec![0; locals],
+            live_ecs: vec![0; locals],
+            max_ecs: vec![0; locals],
+            hits_plain: vec![0; locals],
+            hits_ecs: vec![0; locals],
+            lookups: vec![0; locals],
         }
     }
+}
 
-    fn purge(&mut self, now: SimTime) {
-        while let Some(Reverse((exp, key))) = self.heap.peek().copied() {
-            if exp > now {
-                break;
-            }
-            self.heap.pop();
-            if let Some(list) = self.entries.get_mut(&key) {
-                let before = list.len();
-                list.retain(|(_, e)| *e > now);
-                let removed = before - list.len();
-                if removed > 0 {
-                    self.live -= removed;
-                    *self.live_per_resolver.entry(key.0).or_default() -= removed;
-                }
-                if list.is_empty() {
-                    self.entries.remove(&key);
-                }
-            }
+/// Number of resolver ids mapped to `shard` out of `num_resolvers` under
+/// `rid % num_shards` assignment.
+fn shard_width(num_resolvers: usize, shard: usize, num_shards: usize) -> usize {
+    (num_resolvers + num_shards - 1 - shard) / num_shards
+}
+
+/// Drops every entry expiring at or before `now` from one mode's listing.
+///
+/// `slot_entries` projects the mode's entry list out of a slot;
+/// `live` is that mode's per-resolver live counter.
+fn purge<E>(
+    heap: &mut BinaryHeap<Reverse<(SimTime, u32)>>,
+    slots: &mut [Slot],
+    live: &mut [usize],
+    now: SimTime,
+    slot_entries: impl Fn(&mut Slot) -> &mut Vec<E>,
+    expiry_of: impl Fn(&E) -> SimTime,
+) {
+    while let Some(&Reverse((exp, slot_idx))) = heap.peek() {
+        if exp > now {
+            break;
+        }
+        heap.pop();
+        let slot = &mut slots[slot_idx as usize];
+        let entries = slot_entries(slot);
+        let before = entries.len();
+        entries.retain(|e| expiry_of(e) > now);
+        let removed = before - entries.len();
+        if removed > 0 {
+            live[slot.resolver as usize] -= removed;
         }
     }
+}
 
-    /// Returns true on hit.
-    fn lookup(&mut self, key: Key, source: Option<&IpPrefix>, now: SimTime) -> bool {
-        let hit = self
-            .entries
-            .get(&key)
-            .map(|list| {
-                list.iter().any(|(scope, exp)| {
-                    *exp > now
-                        && match (scope, source) {
-                            (None, _) => true, // non-ECS entry serves all
-                            (Some(p), Some(s)) => {
-                                p.is_default_route() || p.covers(s)
-                            }
-                            (Some(p), None) => p.is_default_route(),
-                        }
-                })
-            })
-            .unwrap_or(false);
+/// Replays the full record stream, simulating only resolvers assigned to
+/// `shard`, both modes in a single pass.
+fn simulate_shard(
+    records: &[TraceRecord],
+    index: &TraceIndex,
+    config: &CacheSimConfig,
+    shard: usize,
+    num_shards: usize,
+) -> ShardStats {
+    let mut stats = ShardStats::new(shard_width(index.num_resolvers(), shard, num_shards));
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut slot_ids: FxHashMap<Key, u32> = FxHashMap::default();
+    let mut heap_plain: BinaryHeap<Reverse<(SimTime, u32)>> = BinaryHeap::new();
+    let mut heap_ecs: BinaryHeap<Reverse<(SimTime, u32)>> = BinaryHeap::new();
+
+    let resolver_ids = index.resolver_ids();
+    for (i, rec) in records.iter().enumerate() {
+        let rid = resolver_ids[i];
+        if rid as usize % num_shards != shard {
+            continue;
+        }
+        if !keep(config, rec) {
+            continue;
+        }
+        let local = (rid as usize / num_shards) as u32;
+        let now = SimTime::from_micros(rec.at_micros);
+        let ttl = config.ttl_override.unwrap_or(rec.ttl);
+        let expiry = now + SimDuration::from_secs(ttl as u64);
+
+        stats.lookups[local as usize] += 1;
+
+        let slot_idx = *slot_ids
+            .entry((rid, index.name_id(i), rec.qtype))
+            .or_insert_with(|| {
+                slots.push(Slot {
+                    resolver: local,
+                    plain: Vec::new(),
+                    ecs: Vec::new(),
+                });
+                (slots.len() - 1) as u32
+            });
+
+        purge(
+            &mut heap_plain,
+            &mut slots,
+            &mut stats.live_plain,
+            now,
+            |s| &mut s.plain,
+            |&e| e,
+        );
+        purge(
+            &mut heap_ecs,
+            &mut slots,
+            &mut stats.live_ecs,
+            now,
+            |s| &mut s.ecs,
+            |e| e.1,
+        );
+
+        let slot = &mut slots[slot_idx as usize];
+
+        // Plain mode: ECS ignored entirely, any live entry serves.
+        if slot.plain.iter().any(|&exp| exp > now) {
+            stats.hits_plain[local as usize] += 1;
+        } else {
+            slot.plain.push(expiry);
+            heap_plain.push(Reverse((expiry, slot_idx)));
+            let lv = &mut stats.live_plain[local as usize];
+            *lv += 1;
+            let mx = &mut stats.max_plain[local as usize];
+            *mx = (*mx).max(*lv);
+        }
+
+        // ECS mode: obey source/scope from the trace.
+        let source = rec.ecs_source;
+        let hit = slot.ecs.iter().any(|(scope, exp)| {
+            *exp > now
+                && match (scope, source.as_ref()) {
+                    (None, _) => true, // non-ECS entry serves all
+                    (Some(p), Some(s)) => p.is_default_route() || p.covers(s),
+                    (Some(p), None) => p.is_default_route(),
+                }
+        });
         if hit {
-            *self.hits.entry(key.0).or_default() += 1;
+            stats.hits_ecs[local as usize] += 1;
+        } else {
+            let entry_prefix = match (source, rec.response_scope) {
+                (Some(src), Some(scope)) => Some(src.truncate(scope.min(src.len()))),
+                // Query carried ECS, response did not: cacheable for
+                // everyone per RFC 7871 §7.3.
+                (Some(_), None) => None,
+                (None, _) => None,
+            };
+            slot.ecs.push((entry_prefix, expiry));
+            heap_ecs.push(Reverse((expiry, slot_idx)));
+            let lv = &mut stats.live_ecs[local as usize];
+            *lv += 1;
+            let mx = &mut stats.max_ecs[local as usize];
+            *mx = (*mx).max(*lv);
         }
-        hit
     }
+    stats
+}
 
-    fn insert(&mut self, key: Key, scope: Option<IpPrefix>, expiry: SimTime) {
-        let list = self.entries.entry(key).or_default();
-        list.push((scope, expiry));
-        self.heap.push(Reverse((expiry, key)));
-        self.live += 1;
-        let lr = self.live_per_resolver.entry(key.0).or_default();
-        *lr += 1;
-        let mx = self.max_live_per_resolver.entry(key.0).or_default();
-        *mx = (*mx).max(*lr);
+fn keep(config: &CacheSimConfig, rec: &TraceRecord) -> bool {
+    if config.sample_pct >= 100 {
+        return true;
+    }
+    match rec.client {
+        None => true,
+        Some(client) => {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            client.hash(&mut h);
+            config.sample_seed.hash(&mut h);
+            (h.finish() % 100) < config.sample_pct as u64
+        }
     }
 }
 
@@ -225,104 +368,68 @@ impl CacheSimulator {
         CacheSimulator { config }
     }
 
-    /// Runs both modes over the trace.
+    /// Runs both modes over the trace, sharded across
+    /// `config.parallelism` workers.
     pub fn run(&self, trace: &TraceSet) -> CacheSimResult {
-        let mut name_ids: HashMap<Name, u32> = HashMap::new();
-        let mut resolver_ids: HashMap<IpAddr, u32> = HashMap::new();
-        let mut resolvers: Vec<IpAddr> = Vec::new();
+        let built;
+        let index = match trace.index() {
+            Some(idx) => idx,
+            None => {
+                built = TraceIndex::build(&trace.records);
+                &built
+            }
+        };
+        let num_resolvers = index.num_resolvers();
+        let num_shards = self.config.parallelism.clamp(1, num_resolvers.max(1));
 
-        let mut ecs_mode = ModeState::new();
-        let mut plain_mode = ModeState::new();
-        let mut lookups: HashMap<u32, u64> = HashMap::new();
+        let shards: Vec<ShardStats> = if num_shards == 1 {
+            vec![simulate_shard(&trace.records, index, &self.config, 0, 1)]
+        } else {
+            let records = &trace.records;
+            let config = &self.config;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..num_shards)
+                    .map(|w| {
+                        scope.spawn(move || simulate_shard(records, index, config, w, num_shards))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("cache-sim shard worker panicked"))
+                    .collect()
+            })
+        };
 
-        for rec in &trace.records {
-            if !self.keep(rec) {
+        // Deterministic merge: walk resolvers in id order, then sort by
+        // address as the public contract requires.
+        let mut per_resolver: Vec<ResolverCacheResult> = Vec::with_capacity(num_resolvers);
+        for (rid, &addr) in index.resolvers().iter().enumerate() {
+            let stats = &shards[rid % num_shards];
+            let local = rid / num_shards;
+            let lookups = stats.lookups[local];
+            if lookups == 0 {
+                // Every record sampled out: the resolver never replayed,
+                // matching the sequential engine's output shape.
                 continue;
             }
-            let rid = *resolver_ids.entry(rec.resolver).or_insert_with(|| {
-                resolvers.push(rec.resolver);
-                (resolvers.len() - 1) as u32
+            per_resolver.push(ResolverCacheResult {
+                resolver: addr,
+                max_size_ecs: stats.max_ecs[local],
+                max_size_no_ecs: stats.max_plain[local],
+                hits_ecs: stats.hits_ecs[local],
+                hits_no_ecs: stats.hits_plain[local],
+                lookups,
             });
-            let next_name_id = name_ids.len() as u32;
-            let nid = *name_ids.entry(rec.qname.clone()).or_insert(next_name_id);
-            let key = (rid, nid, rec.qtype);
-            let now = SimTime::from_micros(rec.at_micros);
-            let ttl = self.config.ttl_override.unwrap_or(rec.ttl);
-            let expiry = now + netsim::SimDuration::from_secs(ttl as u64);
-
-            *lookups.entry(rid).or_default() += 1;
-
-            // Plain mode: ECS ignored entirely.
-            plain_mode.purge(now);
-            if !plain_mode.lookup(key, None, now) {
-                plain_mode.insert(key, None, expiry);
-            }
-
-            // ECS mode: obey source/scope from the trace.
-            ecs_mode.purge(now);
-            let source = rec.ecs_source;
-            if !ecs_mode.lookup(key, source.as_ref(), now) {
-                let entry_prefix = match (source, rec.response_scope) {
-                    (Some(src), Some(scope)) => Some(src.truncate(scope.min(src.len()))),
-                    (Some(src), None) => {
-                        // Query carried ECS, response did not: cacheable for
-                        // everyone per RFC 7871 §7.3.
-                        let _ = src;
-                        None
-                    }
-                    (None, _) => None,
-                };
-                ecs_mode.insert(key, entry_prefix, expiry);
-            }
         }
-
-        let mut per_resolver: Vec<ResolverCacheResult> = resolvers
-            .iter()
-            .enumerate()
-            .map(|(i, addr)| {
-                let rid = i as u32;
-                ResolverCacheResult {
-                    resolver: *addr,
-                    max_size_ecs: ecs_mode
-                        .max_live_per_resolver
-                        .get(&rid)
-                        .copied()
-                        .unwrap_or(0),
-                    max_size_no_ecs: plain_mode
-                        .max_live_per_resolver
-                        .get(&rid)
-                        .copied()
-                        .unwrap_or(0),
-                    hits_ecs: ecs_mode.hits.get(&rid).copied().unwrap_or(0),
-                    hits_no_ecs: plain_mode.hits.get(&rid).copied().unwrap_or(0),
-                    lookups: lookups.get(&rid).copied().unwrap_or(0),
-                }
-            })
-            .collect();
         per_resolver.sort_by_key(|r| r.resolver);
         CacheSimResult { per_resolver }
-    }
-
-    fn keep(&self, rec: &TraceRecord) -> bool {
-        if self.config.sample_pct >= 100 {
-            return true;
-        }
-        match rec.client {
-            None => true,
-            Some(client) => {
-                use std::hash::{Hash, Hasher};
-                let mut h = std::collections::hash_map::DefaultHasher::new();
-                client.hash(&mut h);
-                self.config.sample_seed.hash(&mut h);
-                (h.finish() % 100) < self.config.sample_pct as u64
-            }
-        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dns_wire::Name;
     use std::net::Ipv4Addr;
 
     fn name(s: &str) -> Name {
@@ -333,13 +440,7 @@ mod tests {
         IpPrefix::v4(s.parse().unwrap(), len).unwrap()
     }
 
-    fn rec(
-        at_secs: u64,
-        name_s: &str,
-        subnet: &str,
-        scope: u8,
-        ttl: u32,
-    ) -> TraceRecord {
+    fn rec(at_secs: u64, name_s: &str, subnet: &str, scope: u8, ttl: u32) -> TraceRecord {
         TraceRecord {
             at_micros: at_secs * 1_000_000,
             resolver: IpAddr::V4(Ipv4Addr::new(9, 9, 9, 9)),
@@ -485,6 +586,48 @@ mod tests {
         let r = run(vec![a, b]);
         assert_eq!(r.per_resolver.len(), 2);
         assert!(r.per_resolver.iter().all(|res| res.max_size_ecs == 1));
+    }
+
+    #[test]
+    fn parallelism_does_not_change_results() {
+        let records: Vec<TraceRecord> = (0..400)
+            .map(|i| {
+                let mut r = rec(
+                    i / 7,
+                    &format!("h{}.example.com", i % 13),
+                    &format!("10.2.{}.0", i % 31),
+                    if i % 3 == 0 { 16 } else { 24 },
+                    20 + (i as u32 % 4) * 20,
+                );
+                r.resolver = IpAddr::V4(Ipv4Addr::new(9, 9, 9, (i % 5) as u8 + 1));
+                r
+            })
+            .collect();
+        let mut t = TraceSet::new("t");
+        t.records = records;
+        t.sort_by_time();
+        let sequential = CacheSimulator::new(CacheSimConfig::default()).run(&t);
+        for parallelism in [2, 3, 8, 64] {
+            let sharded = CacheSimulator::new(CacheSimConfig {
+                parallelism,
+                ..CacheSimConfig::default()
+            })
+            .run(&t);
+            assert_eq!(
+                sequential.per_resolver, sharded.per_resolver,
+                "parallelism={parallelism}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_widths_cover_all_resolvers() {
+        for resolvers in 0..20 {
+            for shards in 1..8 {
+                let total: usize = (0..shards).map(|w| shard_width(resolvers, w, shards)).sum();
+                assert_eq!(total, resolvers, "R={resolvers} n={shards}");
+            }
+        }
     }
 
     #[test]

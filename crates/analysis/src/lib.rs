@@ -50,7 +50,9 @@ pub mod probing;
 pub mod stats;
 
 pub use cache_compliance::{classify_compliance, ComplianceObservation, ComplianceVerdict};
-pub use cache_sim::{CacheSimConfig, CacheSimResult, CacheSimulator};
+pub use cache_sim::{
+    default_parallelism, CacheSimConfig, CacheSimResult, CacheSimulator, ResolverCacheResult,
+};
 pub use discovery::DiscoveryOverlap;
 pub use hidden::{DistanceCombo, HiddenAnalysis, HiddenResolverReport};
 pub use mapping::{ConnectTimeSample, MappingQuality};

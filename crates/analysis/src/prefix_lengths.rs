@@ -47,9 +47,10 @@ impl ResolverPrefixProfile {
     /// True when the resolver follows the RFC recommendation (≤ 24 v4,
     /// ≤ 56 v6) on every query — effective bits for jammed /32 count as 24.
     pub fn rfc_compliant(&self) -> bool {
-        let v4_ok = self.v4_lengths.iter().all(|l| {
-            *l <= 24 || (*l == 32 && self.jammed_byte.is_some())
-        });
+        let v4_ok = self
+            .v4_lengths
+            .iter()
+            .all(|l| *l <= 24 || (*l == 32 && self.jammed_byte.is_some()));
         let v6_ok = self.v6_lengths.iter().all(|l| *l <= 56);
         // Jammed /32 still *claims* 32 bits, which the paper calls an
         // incorrect implementation — count it as non-compliant.
@@ -128,7 +129,10 @@ impl PrefixLengthTable {
 
     /// Count of resolvers exhibiting the jammed-last-byte behaviour.
     pub fn jammed_count(&self) -> usize {
-        self.profiles.iter().filter(|p| p.jammed_byte.is_some()).count()
+        self.profiles
+            .iter()
+            .filter(|p| p.jammed_byte.is_some())
+            .count()
     }
 }
 

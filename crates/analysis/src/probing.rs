@@ -34,10 +34,8 @@ pub enum ProbingVerdict {
 /// same resolver). `short_window_secs` is the paper's one-minute threshold
 /// separating cache-bypassing probes from on-miss probes.
 pub fn classify_probing(entries: &[QueryLogEntry], short_window_secs: u64) -> ProbingVerdict {
-    let address_queries: Vec<&QueryLogEntry> = entries
-        .iter()
-        .filter(|e| e.qtype.is_address())
-        .collect();
+    let address_queries: Vec<&QueryLogEntry> =
+        entries.iter().filter(|e| e.qtype.is_address()).collect();
     if address_queries.is_empty() {
         return ProbingVerdict::NoEcs;
     }
@@ -234,10 +232,7 @@ mod tests {
 
     #[test]
     fn root_offenders_detected() {
-        let mut log = vec![
-            entry(0, ".", client_ecs()),
-            entry(1, ".", None),
-        ];
+        let mut log = vec![entry(0, ".", client_ecs()), entry(1, ".", None)];
         let other: IpAddr = "6.6.6.6".parse().unwrap();
         let mut e = entry(2, ".", client_ecs());
         e.resolver = other;

@@ -1,0 +1,158 @@
+//! Sharded replay must be bit-identical to sequential replay.
+//!
+//! The engine's correctness argument: per-resolver cache state is fully
+//! independent, and a resolver's peak is sampled only at its own insert
+//! times after purging everything expired at that instant, so purge
+//! *interleaving* across resolvers cannot be observed. These tests check
+//! the claim end to end on generated traces (with and without client
+//! sampling and TTL overrides) and property-test it on arbitrary traces
+//! for parallelism ∈ {1, 2, 8}.
+
+use analysis::{CacheSimConfig, CacheSimulator};
+use dns_wire::{IpPrefix, Name, RecordType};
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr};
+use workload::{AllNamesTraceGen, PublicCdnTraceGen, TraceRecord, TraceSet};
+
+fn run_at(
+    trace: &TraceSet,
+    parallelism: usize,
+    config: &CacheSimConfig,
+) -> analysis::CacheSimResult {
+    CacheSimulator::new(CacheSimConfig {
+        parallelism,
+        ..config.clone()
+    })
+    .run(trace)
+}
+
+fn assert_equivalent(trace: &TraceSet, config: &CacheSimConfig) {
+    let sequential = run_at(trace, 1, config);
+    for parallelism in [2, 3, 8] {
+        let sharded = run_at(trace, parallelism, config);
+        assert_eq!(
+            sequential.per_resolver, sharded.per_resolver,
+            "parallelism={parallelism} diverged on '{}'",
+            trace.label
+        );
+    }
+}
+
+#[test]
+fn public_cdn_trace_equivalent_across_thread_counts() {
+    let trace = PublicCdnTraceGen {
+        resolvers: 13,
+        subnets_per_resolver: 20,
+        hostnames: 60,
+        queries: 40_000,
+        duration: netsim::SimDuration::from_secs(600),
+        ..PublicCdnTraceGen::default()
+    }
+    .generate();
+    assert_equivalent(&trace, &CacheSimConfig::default());
+    assert_equivalent(
+        &trace,
+        &CacheSimConfig {
+            ttl_override: Some(60),
+            ..CacheSimConfig::default()
+        },
+    );
+}
+
+#[test]
+fn all_names_trace_equivalent_with_sampling() {
+    // Single-resolver trace with clients: exercises the sampling filter
+    // and the parallelism > num_resolvers clamp.
+    let trace = AllNamesTraceGen {
+        v4_subnets: 80,
+        v6_subnets: 20,
+        slds: 60,
+        queries: 30_000,
+        ..AllNamesTraceGen::default()
+    }
+    .generate();
+    for sample_pct in [100, 50, 10] {
+        assert_equivalent(
+            &trace,
+            &CacheSimConfig {
+                sample_pct,
+                sample_seed: 7,
+                ..CacheSimConfig::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn empty_and_tiny_traces_equivalent() {
+    let empty = TraceSet::new("empty");
+    assert_equivalent(&empty, &CacheSimConfig::default());
+
+    let mut one = TraceSet::new("one");
+    one.records.push(TraceRecord {
+        at_micros: 0,
+        resolver: IpAddr::V4(Ipv4Addr::new(9, 9, 9, 1)),
+        qname: Name::from_ascii("a.example.com").unwrap(),
+        qtype: RecordType::A,
+        ecs_source: Some(IpPrefix::v4(Ipv4Addr::new(10, 0, 0, 0), 24).unwrap()),
+        response_scope: Some(24),
+        ttl: 20,
+        client: None,
+    });
+    assert_equivalent(&one, &CacheSimConfig::default());
+}
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        0u64..600_000_000,
+        0u8..5,   // resolver index
+        0u8..6,   // name index
+        0u32..40, // subnet index
+        prop_oneof![Just(0u8), Just(8), Just(16), Just(24)],
+        prop_oneof![Just(20u32), Just(60), Just(300)],
+        proptest::option::of(0u8..4), // some records carry no ECS
+    )
+        .prop_map(|(at, res, nm, subnet, scope, ttl, ecs)| {
+            let subnet_addr = Ipv4Addr::from(0x0A00_0000 | (subnet << 8));
+            TraceRecord {
+                at_micros: at,
+                resolver: IpAddr::V4(Ipv4Addr::new(9, 9, 9, res + 1)),
+                qname: Name::from_ascii(&format!("h{nm}.example.com")).unwrap(),
+                qtype: RecordType::A,
+                ecs_source: ecs.map(|_| IpPrefix::v4(subnet_addr, 24).unwrap()),
+                response_scope: ecs.map(|_| scope),
+                ttl,
+                client: Some(IpAddr::V4(Ipv4Addr::from(u32::from(subnet_addr) | 7))),
+            }
+        })
+}
+
+fn arb_trace() -> impl Strategy<Value = TraceSet> {
+    proptest::collection::vec(arb_record(), 1..250).prop_map(|mut records| {
+        records.sort_by_key(|r| r.at_micros);
+        let mut t = TraceSet::new("prop-equivalence");
+        t.records = records;
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any trace, any thread count in {1, 2, 8}: identical output.
+    #[test]
+    fn sharded_replay_matches_sequential(
+        trace in arb_trace(),
+        parallelism in prop_oneof![Just(1usize), Just(2), Just(8)],
+        pct in prop_oneof![Just(100u8), Just(60), Just(25)],
+    ) {
+        let config = CacheSimConfig {
+            sample_pct: pct,
+            sample_seed: 3,
+            ..CacheSimConfig::default()
+        };
+        let sequential = run_at(&trace, 1, &config);
+        let sharded = run_at(&trace, parallelism, &config);
+        prop_assert_eq!(sequential.per_resolver, sharded.per_resolver);
+    }
+}

@@ -8,11 +8,11 @@ use workload::{TraceRecord, TraceSet};
 
 fn arb_record() -> impl Strategy<Value = TraceRecord> {
     (
-        0u64..600_000_000,            // at_micros, up to 10 min
-        0u8..3,                       // resolver index
-        0u8..6,                       // name index
-        0u32..40,                     // subnet index
-        prop_oneof![Just(8u8), Just(16), Just(24)], // scope
+        0u64..600_000_000,                             // at_micros, up to 10 min
+        0u8..3,                                        // resolver index
+        0u8..6,                                        // name index
+        0u32..40,                                      // subnet index
+        prop_oneof![Just(8u8), Just(16), Just(24)],    // scope
         prop_oneof![Just(20u32), Just(60), Just(300)], // ttl
     )
         .prop_map(|(at, res, nm, subnet, scope, ttl)| {
@@ -25,9 +25,7 @@ fn arb_record() -> impl Strategy<Value = TraceRecord> {
                 ecs_source: Some(IpPrefix::v4(subnet_addr, 24).unwrap()),
                 response_scope: Some(scope),
                 ttl,
-                client: Some(IpAddr::V4(Ipv4Addr::from(
-                    u32::from(subnet_addr) | 7,
-                ))),
+                client: Some(IpAddr::V4(Ipv4Addr::from(u32::from(subnet_addr) | 7))),
             }
         })
 }
@@ -138,6 +136,112 @@ proptest! {
         prop_assert!(sampled_lookups <= full_lookups);
         if pct == 100 {
             prop_assert_eq!(sampled_lookups, full_lookups);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned regressions
+// ---------------------------------------------------------------------------
+// These two traces are the shrunk counterexamples proptest once found while
+// the properties above were being tightened (previously checked in as
+// `.proptest-regressions`, now explicit so they run under any test runner).
+// Both mix TTLs and scopes on repeated names — the pattern that broke early
+// "ECS only ever costs" formulations of the invariants.
+
+fn pinned_rec(
+    at_micros: u64,
+    resolver: u8,
+    name: &str,
+    subnet: [u8; 4],
+    scope: u8,
+    ttl: u32,
+) -> TraceRecord {
+    let subnet_addr = Ipv4Addr::new(subnet[0], subnet[1], subnet[2], subnet[3]);
+    TraceRecord {
+        at_micros,
+        resolver: IpAddr::V4(Ipv4Addr::new(9, 9, 9, resolver)),
+        qname: Name::from_ascii(name).unwrap(),
+        qtype: RecordType::A,
+        ecs_source: Some(IpPrefix::v4(subnet_addr, 24).unwrap()),
+        response_scope: Some(scope),
+        ttl,
+        client: Some(IpAddr::V4(Ipv4Addr::from(u32::from(subnet_addr) | 7))),
+    }
+}
+
+fn pinned_traces() -> Vec<TraceSet> {
+    let mut a = TraceSet::new("pinned-a");
+    a.records = vec![
+        pinned_rec(0, 1, "h0.example.com", [10, 0, 0, 0], 8, 20),
+        pinned_rec(0, 1, "h0.example.com", [10, 0, 0, 0], 8, 20),
+        pinned_rec(0, 1, "h0.example.com", [10, 0, 0, 0], 8, 20),
+        pinned_rec(0, 1, "h0.example.com", [10, 0, 0, 0], 8, 20),
+        pinned_rec(188_508_873, 3, "h2.example.com", [10, 0, 0, 0], 24, 60),
+        pinned_rec(248_508_872, 3, "h2.example.com", [10, 0, 2, 0], 8, 300),
+        pinned_rec(248_508_873, 1, "h0.example.com", [10, 0, 0, 0], 8, 20),
+        pinned_rec(248_508_873, 3, "h2.example.com", [10, 0, 0, 0], 8, 20),
+        pinned_rec(408_822_783, 3, "h2.example.com", [10, 0, 13, 0], 16, 20),
+    ];
+    let mut b = TraceSet::new("pinned-b");
+    b.records = vec![
+        pinned_rec(0, 1, "h0.example.com", [10, 0, 0, 0], 8, 20),
+        pinned_rec(0, 1, "h0.example.com", [10, 0, 0, 0], 8, 20),
+        pinned_rec(0, 1, "h0.example.com", [10, 0, 0, 0], 8, 20),
+        pinned_rec(0, 1, "h0.example.com", [10, 0, 0, 0], 8, 20),
+        pinned_rec(10_991, 1, "h3.example.com", [10, 0, 2, 0], 8, 20),
+        pinned_rec(220_829_477, 1, "h2.example.com", [10, 0, 0, 0], 8, 20),
+        pinned_rec(340_180_856, 1, "h2.example.com", [10, 0, 2, 0], 24, 20),
+        pinned_rec(340_829_476, 1, "h2.example.com", [10, 0, 1, 0], 24, 20),
+        pinned_rec(345_236_066, 1, "h2.example.com", [10, 0, 0, 0], 24, 20),
+    ];
+    vec![a, b]
+}
+
+#[test]
+fn pinned_regression_traces_uphold_invariants() {
+    for trace in pinned_traces() {
+        // Lookup conservation.
+        let full = CacheSimulator::new(CacheSimConfig::default()).run(&trace);
+        let total: u64 = full.per_resolver.iter().map(|r| r.lookups).sum();
+        assert_eq!(total as usize, trace.len(), "{}", trace.label);
+
+        // Uniform-TTL monotonicity of the plain-mode peak and hits.
+        let short = CacheSimulator::new(CacheSimConfig {
+            ttl_override: Some(20),
+            ..CacheSimConfig::default()
+        })
+        .run(&trace);
+        let long = CacheSimulator::new(CacheSimConfig {
+            ttl_override: Some(120),
+            ..CacheSimConfig::default()
+        })
+        .run(&trace);
+        for (s, l) in short.per_resolver.iter().zip(long.per_resolver.iter()) {
+            assert_eq!(s.resolver, l.resolver);
+            assert!(l.max_size_no_ecs >= s.max_size_no_ecs, "{}", trace.label);
+            assert!(l.hits_no_ecs >= s.hits_no_ecs, "{}", trace.label);
+        }
+
+        // Zero-scope rewrite degenerates ECS mode to plain mode.
+        let mut zeroed = trace.clone();
+        for r in &mut zeroed.records {
+            r.response_scope = Some(0);
+        }
+        let z = CacheSimulator::new(CacheSimConfig::default()).run(&zeroed);
+        for r in &z.per_resolver {
+            assert_eq!(r.max_size_ecs, r.max_size_no_ecs, "{}", trace.label);
+            assert_eq!(r.hits_ecs, r.hits_no_ecs, "{}", trace.label);
+        }
+
+        // Sharded replay agrees with sequential on these exact traces.
+        for parallelism in [2, 8] {
+            let sharded = CacheSimulator::new(CacheSimConfig {
+                parallelism,
+                ..CacheSimConfig::default()
+            })
+            .run(&trace);
+            assert_eq!(full.per_resolver, sharded.per_resolver, "{}", trace.label);
         }
     }
 }

@@ -148,10 +148,7 @@ impl CdnBehavior {
                             // The meaningless prefix hashes to an arbitrary
                             // edge; scope echoes the source prefix length so
                             // the poor answer is even cached per-subnet.
-                            (
-                                self.arbitrary_for(&prefix),
-                                Some(opt.source_prefix_len()),
-                            )
+                            (self.arbitrary_for(&prefix), Some(opt.source_prefix_len()))
                         }
                     };
                 }
@@ -216,7 +213,9 @@ impl CdnBehavior {
             if let Some(i) = self.footprint.arbitrary_edge(key) {
                 out.push(self.footprint.edges[i].addr);
             }
-            key = key.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            key = key
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
         }
         out.dedup();
         out
@@ -271,8 +270,7 @@ mod tests {
     }
 
     fn edge_city(cdn: &CdnBehavior, addr: IpAddr) -> &str {
-        &cdn
-            .footprint
+        &cdn.footprint
             .edges
             .iter()
             .find(|e| e.addr == addr)

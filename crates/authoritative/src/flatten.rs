@@ -86,11 +86,10 @@ impl FlatteningServer {
         let www = self.apex.child("www").expect("valid label");
         if question.name == self.apex && question.qtype.is_address() {
             // Flattening path: backend query to the CDN, from OUR address.
-            let mut backend_q = Message::query(query.id ^ 0x5555, Question::new(
-                self.cdn_name.clone(),
-                question.qtype,
-                question.qclass,
-            ));
+            let mut backend_q = Message::query(
+                query.id ^ 0x5555,
+                Question::new(self.cdn_name.clone(), question.qtype, question.qclass),
+            );
             backend_q.set_edns(4096);
             if self.forward_ecs {
                 if let Some(ecs) = query.ecs() {
@@ -124,11 +123,10 @@ impl FlatteningServer {
                 300,
                 Rdata::Cname(self.cdn_name.clone()),
             ));
-            let mut cdn_q = Message::query(query.id ^ 0xAAAA, Question::new(
-                self.cdn_name.clone(),
-                question.qtype,
-                question.qclass,
-            ));
+            let mut cdn_q = Message::query(
+                query.id ^ 0xAAAA,
+                Question::new(self.cdn_name.clone(), question.qtype, question.qclass),
+            );
             cdn_q.set_edns(4096);
             if let Some(ecs) = query.ecs() {
                 cdn_q.set_ecs(*ecs);
@@ -238,17 +236,19 @@ mod tests {
     fn apex_without_ecs_forwarding_maps_to_provider_location() {
         let (mut cdn, _) = world_cdn();
         let mut flat = flattener();
-        let resp = flat.handle(&client_query("customer.com"), RESOLVER, SimTime::ZERO, &mut cdn);
+        let resp = flat.handle(
+            &client_query("customer.com"),
+            RESOLVER,
+            SimTime::ZERO,
+            &mut cdn,
+        );
         assert_eq!(resp.rcode, Rcode::NoError);
         assert!(!resp.answers.is_empty());
         // The CDN saw the provider's backend address (Mountain View); the
         // Cleveland client gets a West-coast edge.
         assert_eq!(edge_city(&cdn, &resp), "Mountain View");
         // The flattened answer reveals nothing about the CDN name.
-        assert!(resp
-            .answers
-            .iter()
-            .all(|r| r.name == name("customer.com")));
+        assert!(resp.answers.iter().all(|r| r.name == name("customer.com")));
     }
 
     #[test]
@@ -272,7 +272,12 @@ mod tests {
         let (mut cdn, _) = world_cdn();
         let mut flat = flattener();
         flat.forward_ecs = true;
-        let resp = flat.handle(&client_query("customer.com"), RESOLVER, SimTime::ZERO, &mut cdn);
+        let resp = flat.handle(
+            &client_query("customer.com"),
+            RESOLVER,
+            SimTime::ZERO,
+            &mut cdn,
+        );
         assert_eq!(edge_city(&cdn, &resp), "Cleveland");
     }
 
@@ -280,9 +285,19 @@ mod tests {
     fn missing_name_nxdomain_and_out_of_zone_refused() {
         let (mut cdn, _) = world_cdn();
         let mut flat = flattener();
-        let resp = flat.handle(&client_query("gone.customer.com"), RESOLVER, SimTime::ZERO, &mut cdn);
+        let resp = flat.handle(
+            &client_query("gone.customer.com"),
+            RESOLVER,
+            SimTime::ZERO,
+            &mut cdn,
+        );
         assert_eq!(resp.rcode, Rcode::NxDomain);
-        let resp = flat.handle(&client_query("other.org"), RESOLVER, SimTime::ZERO, &mut cdn);
+        let resp = flat.handle(
+            &client_query("other.org"),
+            RESOLVER,
+            SimTime::ZERO,
+            &mut cdn,
+        );
         assert_eq!(resp.rcode, Rcode::Refused);
     }
 
@@ -290,7 +305,12 @@ mod tests {
     fn apex_ttl_caps_cdn_ttl() {
         let (mut cdn, _) = world_cdn();
         let mut flat = flattener();
-        let resp = flat.handle(&client_query("customer.com"), RESOLVER, SimTime::ZERO, &mut cdn);
+        let resp = flat.handle(
+            &client_query("customer.com"),
+            RESOLVER,
+            SimTime::ZERO,
+            &mut cdn,
+        );
         // CDN TTL is 20s, apex cap 30s → 20s survives.
         assert_eq!(resp.answers[0].ttl, 20);
     }

@@ -34,7 +34,11 @@ impl GeoDb {
     /// Inserts a prefix with its position (replacing any previous entry for
     /// the identical prefix).
     pub fn insert(&mut self, prefix: IpPrefix, pos: GeoPoint) {
-        let table = if prefix.is_v4() { &mut self.v4 } else { &mut self.v6 };
+        let table = if prefix.is_v4() {
+            &mut self.v4
+        } else {
+            &mut self.v6
+        };
         table[prefix.len() as usize].insert(prefix.addr(), pos);
     }
 
@@ -135,11 +139,13 @@ mod tests {
         db.insert(p("198.51.100.7", 32), gp(5.0, 5.0));
         db.insert(p("198.51.100.0", 24), gp(6.0, 6.0));
         assert_eq!(
-            db.locate(IpAddr::V4(Ipv4Addr::new(198, 51, 100, 7))).unwrap(),
+            db.locate(IpAddr::V4(Ipv4Addr::new(198, 51, 100, 7)))
+                .unwrap(),
             gp(5.0, 5.0)
         );
         assert_eq!(
-            db.locate(IpAddr::V4(Ipv4Addr::new(198, 51, 100, 8))).unwrap(),
+            db.locate(IpAddr::V4(Ipv4Addr::new(198, 51, 100, 8)))
+                .unwrap(),
             gp(6.0, 6.0)
         );
     }

@@ -3,9 +3,7 @@
 use std::collections::HashSet;
 use std::net::IpAddr;
 
-use dns_wire::{
-    EcsOption, Message, Name, Rcode, Rdata, Record, RecordType,
-};
+use dns_wire::{EcsOption, Message, Name, Rcode, Rdata, Record, RecordType};
 use netsim::SimTime;
 
 use crate::cdn::CdnBehavior;
@@ -228,7 +226,11 @@ impl AuthServer {
         }
 
         let admits_ecs = self.ecs.admits(src);
-        let effective_ecs = if admits_ecs { query.ecs().copied() } else { None };
+        let effective_ecs = if admits_ecs {
+            query.ecs().copied()
+        } else {
+            None
+        };
 
         let mut response_scope = None;
         let mut answer_addrs = Vec::new();
@@ -352,8 +354,12 @@ mod tests {
     fn scan_server() -> AuthServer {
         // The paper's experimental nameserver: open ECS, scope = source − 4.
         let mut zone = Zone::new(name("probe.example"));
-        zone.add_a(name("www.probe.example"), 60, Ipv4Addr::new(198, 51, 100, 1))
-            .unwrap();
+        zone.add_a(
+            name("www.probe.example"),
+            60,
+            Ipv4Addr::new(198, 51, 100, 1),
+        )
+        .unwrap();
         AuthServer::new(zone, EcsHandling::open(ScopePolicy::SourceMinusK(4)))
     }
 
@@ -409,10 +415,7 @@ mod tests {
             .unwrap();
         let mut s = AuthServer::new(
             zone,
-            EcsHandling::whitelisted(
-                ScopePolicy::MatchSource,
-                HashSet::from([whitelisted]),
-            ),
+            EcsHandling::whitelisted(ScopePolicy::MatchSource, HashSet::from([whitelisted])),
         );
         let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24);
         // Non-whitelisted: ECS silently ignored, no ECS in response.
@@ -420,7 +423,11 @@ mod tests {
         assert!(resp.ecs().is_none());
         assert_eq!(resp.answers.len(), 1);
         // Whitelisted: ECS echoed with scope.
-        let resp = s.handle(&query("www.cdn.example", Some(ecs)), whitelisted, SimTime::ZERO);
+        let resp = s.handle(
+            &query("www.cdn.example", Some(ecs)),
+            whitelisted,
+            SimTime::ZERO,
+        );
         assert_eq!(resp.ecs().unwrap().scope_prefix_len(), 24);
     }
 
@@ -452,7 +459,11 @@ mod tests {
         let mut s = AuthServer::new(zone, EcsHandling::open(ScopePolicy::MatchSource));
         let mut q = Message::query(
             9,
-            Question::new(name("probe.example"), RecordType::Ns, dns_wire::RecordClass::In),
+            Question::new(
+                name("probe.example"),
+                RecordType::Ns,
+                dns_wire::RecordClass::In,
+            ),
         );
         q.set_ecs(EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24));
         let resp = s.handle(&q, SRC, SimTime::ZERO);
@@ -464,8 +475,16 @@ mod tests {
     fn log_captures_queries() {
         let mut s = scan_server();
         let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24);
-        s.handle(&query("www.probe.example", Some(ecs)), SRC, SimTime::from_secs(5));
-        s.handle(&query("www.probe.example", None), SRC, SimTime::from_secs(6));
+        s.handle(
+            &query("www.probe.example", Some(ecs)),
+            SRC,
+            SimTime::from_secs(5),
+        );
+        s.handle(
+            &query("www.probe.example", None),
+            SRC,
+            SimTime::from_secs(6),
+        );
         assert_eq!(s.log().len(), 2);
         assert_eq!(s.log()[0].ecs.unwrap().source_prefix_len(), 24);
         assert_eq!(s.log()[0].response_scope, Some(20));

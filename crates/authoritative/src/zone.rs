@@ -193,7 +193,9 @@ mod tests {
     #[test]
     fn missing_name_empty() {
         let z = zone();
-        assert!(z.lookup(&name("nope.example.com"), RecordType::A).is_empty());
+        assert!(z
+            .lookup(&name("nope.example.com"), RecordType::A)
+            .is_empty());
         assert!(!z.name_exists(&name("nope.example.com")));
         assert!(z.name_exists(&name("www.example.com")));
     }

@@ -157,8 +157,7 @@ fn ablation_probing_volume(c: &mut Criterion) {
             let mut i = 0u64;
             b.iter(|| {
                 i += 1;
-                let client =
-                    IpAddr::V4(Ipv4Addr::from(0x0A00_0000 | (((i % 20) as u32) << 8) | 7));
+                let client = IpAddr::V4(Ipv4Addr::from(0x0A00_0000 | (((i % 20) as u32) << 8) | 7));
                 let q = Message::query(1, Question::a(hostname.clone()));
                 r.resolve_msg(&q, client, SimTime::from_micros(i * 100_000), &mut auth)
             })

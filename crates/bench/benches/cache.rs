@@ -1,11 +1,14 @@
 //! Microbenchmarks of the ECS-aware cache: lookup/insert costs as the
-//! per-name entry count grows (the §7 blow-up, felt as CPU).
+//! per-name entry count grows (the §7 blow-up, felt as CPU), plus the
+//! trace-replay engine's records/sec at different shard counts.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use analysis::{CacheSimConfig, CacheSimulator};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dns_wire::{EcsOption, Name, Rdata, Record, RecordType};
 use netsim::SimTime;
 use resolver::{CacheCompliance, EcsCache};
 use std::net::{IpAddr, Ipv4Addr};
+use workload::PublicCdnTraceGen;
 
 fn filled_cache(entries_per_name: u32) -> (EcsCache, Name) {
     let mut cache = EcsCache::new(CacheCompliance::Honor);
@@ -105,8 +108,7 @@ fn bench_compliance_modes(c: &mut Criterion) {
             Rdata::A(Ipv4Addr::new(203, 0, 113, 1)),
         )];
         for i in 0..64u32 {
-            let ecs = EcsOption::from_v4(Ipv4Addr::from(0x0A00_0000 | (i << 8)), 24)
-                .with_scope(24);
+            let ecs = EcsOption::from_v4(Ipv4Addr::from(0x0A00_0000 | (i << 8)), 24).with_scope(24);
             cache.insert(
                 name.clone(),
                 RecordType::A,
@@ -131,5 +133,41 @@ fn bench_compliance_modes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_lookup_scaling, bench_insert, bench_compliance_modes);
+/// Replay throughput of the §7 simulator: sequential vs sharded, both
+/// modes computed in the single pass. Identical results at every thread
+/// count, so only the records/sec rate should move.
+fn bench_sim_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache/sim_replay");
+    g.sample_size(10);
+    let trace = PublicCdnTraceGen {
+        resolvers: 24,
+        subnets_per_resolver: 40,
+        hostnames: 120,
+        queries: 200_000,
+        duration: netsim::SimDuration::from_secs(600),
+        ..PublicCdnTraceGen::default()
+    }
+    .generate();
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for parallelism in [1usize, 2, 8] {
+        let sim = CacheSimulator::new(CacheSimConfig {
+            parallelism,
+            ..CacheSimConfig::default()
+        });
+        g.bench_with_input(
+            BenchmarkId::new("threads", parallelism),
+            &parallelism,
+            |b, _| b.iter(|| sim.run(black_box(&trace)).per_resolver.len()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lookup_scaling,
+    bench_insert,
+    bench_compliance_modes,
+    bench_sim_replay
+);
 criterion_main!(benches);

@@ -38,6 +38,7 @@ fn bench_fig1(c: &mut Criterion) {
     let config = fig1::Config {
         trace: small_public_trace(),
         ttls: vec![20, 40, 60],
+        parallelism: analysis::default_parallelism(),
     };
     g.throughput(Throughput::Elements(150_000 * 3));
     g.bench_function("three_ttl_sweep", |b| {
@@ -57,6 +58,7 @@ fn bench_fig2(c: &mut Criterion) {
         trace: small_allnames_trace(),
         fractions: vec![20, 60, 100],
         samples: 2,
+        parallelism: analysis::default_parallelism(),
     };
     g.bench_function("population_sweep", |b| {
         b.iter(|| {
@@ -75,6 +77,7 @@ fn bench_fig3(c: &mut Criterion) {
         trace: small_allnames_trace(),
         fractions: vec![20, 60, 100],
         samples: 2,
+        parallelism: analysis::default_parallelism(),
     };
     g.bench_function("hit_rate_sweep", |b| {
         b.iter(|| {

@@ -58,5 +58,10 @@ fn bench_discovery(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_probing, bench_cache_behavior, bench_discovery);
+criterion_group!(
+    benches,
+    bench_probing,
+    bench_cache_behavior,
+    bench_discovery
+);
 criterion_main!(benches);

@@ -66,5 +66,10 @@ fn bench_whitelist(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_adaptive, bench_amplification, bench_whitelist);
+criterion_group!(
+    benches,
+    bench_adaptive,
+    bench_amplification,
+    bench_whitelist
+);
 criterion_main!(benches);

@@ -91,5 +91,11 @@ fn bench_name(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_decode, bench_ecs_option, bench_name);
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode,
+    bench_ecs_option,
+    bench_name
+);
 criterion_main!(benches);

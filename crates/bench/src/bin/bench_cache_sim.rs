@@ -1,0 +1,268 @@
+//! Replay-throughput harness for the §7 cache simulator.
+//!
+//! Times the current engine (single-pass dual-mode, interned keys, sharded
+//! by resolver) at 1/2/8 threads against a faithful replica of the
+//! original engine (two passes' worth of state, per-record `Name` cloning
+//! and SipHash interning, `HashMap<Key, Vec<...>>` bookkeeping), checks
+//! that every configuration produces identical results, and writes
+//! `BENCH_cache_sim.json` to the current directory.
+//!
+//! Run from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_cache_sim
+//! ```
+
+use std::time::Instant;
+
+use analysis::{CacheSimConfig, CacheSimResult, CacheSimulator};
+use workload::{PublicCdnTraceGen, TraceSet};
+
+/// The seed engine, kept verbatim-in-spirit as the measurement baseline.
+mod legacy {
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashMap};
+    use std::net::IpAddr;
+
+    use analysis::{CacheSimResult, ResolverCacheResult};
+    use dns_wire::{IpPrefix, Name, RecordType};
+    use netsim::SimTime;
+    use workload::TraceSet;
+
+    type Key = (u32, u32, RecordType);
+    type LiveEntry = (Option<IpPrefix>, SimTime);
+
+    #[derive(Default)]
+    struct ModeState {
+        entries: HashMap<Key, Vec<LiveEntry>>,
+        heap: BinaryHeap<Reverse<(SimTime, Key)>>,
+        live_per_resolver: HashMap<u32, usize>,
+        max_live_per_resolver: HashMap<u32, usize>,
+        hits: HashMap<u32, u64>,
+    }
+
+    impl ModeState {
+        fn purge(&mut self, now: SimTime) {
+            while let Some(Reverse((exp, key))) = self.heap.peek().copied() {
+                if exp > now {
+                    break;
+                }
+                self.heap.pop();
+                if let Some(list) = self.entries.get_mut(&key) {
+                    let before = list.len();
+                    list.retain(|(_, e)| *e > now);
+                    let removed = before - list.len();
+                    if removed > 0 {
+                        *self.live_per_resolver.entry(key.0).or_default() -= removed;
+                    }
+                    if list.is_empty() {
+                        self.entries.remove(&key);
+                    }
+                }
+            }
+        }
+
+        fn lookup(&mut self, key: Key, source: Option<&IpPrefix>, now: SimTime) -> bool {
+            let hit = self
+                .entries
+                .get(&key)
+                .map(|list| {
+                    list.iter().any(|(scope, exp)| {
+                        *exp > now
+                            && match (scope, source) {
+                                (None, _) => true,
+                                (Some(p), Some(s)) => p.is_default_route() || p.covers(s),
+                                (Some(p), None) => p.is_default_route(),
+                            }
+                    })
+                })
+                .unwrap_or(false);
+            if hit {
+                *self.hits.entry(key.0).or_default() += 1;
+            }
+            hit
+        }
+
+        fn insert(&mut self, key: Key, scope: Option<IpPrefix>, expiry: SimTime) {
+            self.entries.entry(key).or_default().push((scope, expiry));
+            self.heap.push(Reverse((expiry, key)));
+            let lr = self.live_per_resolver.entry(key.0).or_default();
+            *lr += 1;
+            let mx = self.max_live_per_resolver.entry(key.0).or_default();
+            *mx = (*mx).max(*lr);
+        }
+    }
+
+    /// Both modes over the trace, exactly as the original simulator ran
+    /// them (including the per-record `qname.clone()` interning).
+    pub fn run(trace: &TraceSet) -> CacheSimResult {
+        let mut name_ids: HashMap<Name, u32> = HashMap::new();
+        let mut resolver_ids: HashMap<IpAddr, u32> = HashMap::new();
+        let mut resolvers: Vec<IpAddr> = Vec::new();
+        let mut ecs_mode = ModeState::default();
+        let mut plain_mode = ModeState::default();
+        let mut lookups: HashMap<u32, u64> = HashMap::new();
+
+        for rec in &trace.records {
+            let rid = *resolver_ids.entry(rec.resolver).or_insert_with(|| {
+                resolvers.push(rec.resolver);
+                (resolvers.len() - 1) as u32
+            });
+            let next_name_id = name_ids.len() as u32;
+            let nid = *name_ids.entry(rec.qname.clone()).or_insert(next_name_id);
+            let key = (rid, nid, rec.qtype);
+            let now = SimTime::from_micros(rec.at_micros);
+            let expiry = now + netsim::SimDuration::from_secs(rec.ttl as u64);
+
+            *lookups.entry(rid).or_default() += 1;
+
+            plain_mode.purge(now);
+            if !plain_mode.lookup(key, None, now) {
+                plain_mode.insert(key, None, expiry);
+            }
+
+            ecs_mode.purge(now);
+            let source = rec.ecs_source;
+            if !ecs_mode.lookup(key, source.as_ref(), now) {
+                let entry_prefix = match (source, rec.response_scope) {
+                    (Some(src), Some(scope)) => Some(src.truncate(scope.min(src.len()))),
+                    _ => None,
+                };
+                ecs_mode.insert(key, entry_prefix, expiry);
+            }
+        }
+
+        let mut per_resolver: Vec<ResolverCacheResult> = resolvers
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                let rid = i as u32;
+                ResolverCacheResult {
+                    resolver: *addr,
+                    max_size_ecs: ecs_mode
+                        .max_live_per_resolver
+                        .get(&rid)
+                        .copied()
+                        .unwrap_or(0),
+                    max_size_no_ecs: plain_mode
+                        .max_live_per_resolver
+                        .get(&rid)
+                        .copied()
+                        .unwrap_or(0),
+                    hits_ecs: ecs_mode.hits.get(&rid).copied().unwrap_or(0),
+                    hits_no_ecs: plain_mode.hits.get(&rid).copied().unwrap_or(0),
+                    lookups: lookups.get(&rid).copied().unwrap_or(0),
+                }
+            })
+            .collect();
+        per_resolver.sort_by_key(|r| r.resolver);
+        CacheSimResult { per_resolver }
+    }
+}
+
+struct Measurement {
+    label: String,
+    parallelism: usize,
+    seconds: f64,
+    records_per_sec: f64,
+}
+
+fn time_runs(
+    label: &str,
+    parallelism: usize,
+    records: usize,
+    mut run: impl FnMut() -> CacheSimResult,
+) -> (CacheSimResult, Measurement) {
+    // One warm-up, then best-of-3 (replay is deterministic; variance is
+    // scheduler noise, and min is the honest estimate of the work).
+    let result = run();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let r = run();
+        let dt = start.elapsed().as_secs_f64();
+        assert_eq!(
+            r.per_resolver, result.per_resolver,
+            "nondeterministic replay"
+        );
+        best = best.min(dt);
+    }
+    let m = Measurement {
+        label: label.to_string(),
+        parallelism,
+        seconds: best,
+        records_per_sec: records as f64 / best,
+    };
+    (result, m)
+}
+
+fn main() {
+    let gen = PublicCdnTraceGen {
+        resolvers: 32,
+        subnets_per_resolver: 40,
+        hostnames: 150,
+        queries: 1_000_000,
+        duration: netsim::SimDuration::from_secs(900),
+        ttl: 20,
+        seed: 0,
+    };
+    eprintln!(
+        "generating trace: {} resolvers, {} queries ...",
+        gen.resolvers, gen.queries
+    );
+    let trace: TraceSet = gen.generate();
+    let records = trace.len();
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+
+    eprintln!("timing legacy (seed) engine ...");
+    let (legacy_result, m) = time_runs("legacy_seed", 1, records, || legacy::run(&trace));
+    measurements.push(m);
+
+    for parallelism in [1usize, 2, 8] {
+        eprintln!("timing sharded engine at {parallelism} thread(s) ...");
+        let sim = CacheSimulator::new(CacheSimConfig {
+            parallelism,
+            ..CacheSimConfig::default()
+        });
+        let (result, m) = time_runs("sharded", parallelism, records, || sim.run(&trace));
+        assert_eq!(
+            result.per_resolver, legacy_result.per_resolver,
+            "engine rewrite changed results at parallelism={parallelism}"
+        );
+        measurements.push(m);
+    }
+
+    let baseline = measurements[0].records_per_sec;
+    let seq = measurements[1].records_per_sec;
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"cache_sim_replay\",\n");
+    json.push_str(&format!(
+        "  \"trace\": {{\"records\": {records}, \"resolvers\": {}, \"queries_label\": \"public-resolver/cdn\"}},\n",
+        gen.resolvers
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"parallelism\": {}, \"seconds\": {:.4}, \"records_per_sec\": {:.0}, \"speedup_vs_seed\": {:.2}}}{}\n",
+            m.label,
+            m.parallelism,
+            m.seconds,
+            m.records_per_sec,
+            m.records_per_sec / baseline,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"single_thread_speedup_vs_seed\": {:.2},\n",
+        seq / baseline
+    ));
+    json.push_str("  \"results_identical_across_engines_and_threads\": true\n");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_cache_sim.json", &json).expect("write BENCH_cache_sim.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_cache_sim.json");
+}

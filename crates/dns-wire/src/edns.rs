@@ -230,10 +230,7 @@ mod tests {
         opt.set_ecs(EcsOption::from_v4(Ipv4Addr::new(1, 2, 3, 0), 24));
         opt.set_ecs(EcsOption::from_v4(Ipv4Addr::new(9, 9, 9, 0), 24));
         assert_eq!(opt.options.len(), 1);
-        assert_eq!(
-            opt.ecs().unwrap().to_v4(),
-            Some(Ipv4Addr::new(9, 9, 9, 0))
-        );
+        assert_eq!(opt.ecs().unwrap().to_v4(), Some(Ipv4Addr::new(9, 9, 9, 0)));
         opt.clear_ecs();
         assert!(opt.ecs().is_none());
     }

@@ -73,14 +73,20 @@ impl fmt::Display for WireError {
             WireError::NameTooLong(n) => write!(f, "name of {n} octets exceeds 255"),
             WireError::InvalidLabel => write!(f, "label contains invalid bytes"),
             WireError::BadCompressionPointer { at, target } => {
-                write!(f, "compression pointer at {at} targets {target} (not strictly backwards)")
+                write!(
+                    f,
+                    "compression pointer at {at} targets {target} (not strictly backwards)"
+                )
             }
             WireError::CompressionLoop => write!(f, "compression pointer chain too long"),
             WireError::ReservedLabelType(b) => {
                 write!(f, "reserved label type in length byte {b:#04x}")
             }
             WireError::RdataLengthMismatch { declared, consumed } => {
-                write!(f, "rdata declared {declared} bytes but parsing consumed {consumed}")
+                write!(
+                    f,
+                    "rdata declared {declared} bytes but parsing consumed {consumed}"
+                )
             }
             WireError::BadEdnsOption(why) => write!(f, "malformed EDNS option: {why}"),
             WireError::BadEcs(why) => write!(f, "malformed ECS option: {why}"),
@@ -118,13 +124,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            WireError::LabelTooLong(64),
-            WireError::LabelTooLong(64)
-        );
-        assert_ne!(
-            WireError::LabelTooLong(64),
-            WireError::NameTooLong(64)
-        );
+        assert_eq!(WireError::LabelTooLong(64), WireError::LabelTooLong(64));
+        assert_ne!(WireError::LabelTooLong(64), WireError::NameTooLong(64));
     }
 }

@@ -21,7 +21,11 @@ pub struct PrefixError {
 
 impl fmt::Display for PrefixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "prefix length {} exceeds family maximum {}", self.len, self.max)
+        write!(
+            f,
+            "prefix length {} exceeds family maximum {}",
+            self.len, self.max
+        )
     }
 }
 
@@ -274,16 +278,24 @@ mod tests {
     fn non_routable_detection() {
         assert!(IpPrefix::v4(v4("127.0.0.1"), 32).unwrap().is_non_routable());
         assert!(IpPrefix::v4(v4("127.0.0.0"), 24).unwrap().is_non_routable());
-        assert!(IpPrefix::v4(v4("169.254.252.0"), 24).unwrap().is_non_routable());
+        assert!(IpPrefix::v4(v4("169.254.252.0"), 24)
+            .unwrap()
+            .is_non_routable());
         assert!(IpPrefix::v4(v4("10.1.2.3"), 24).unwrap().is_non_routable());
-        assert!(IpPrefix::v4(v4("172.16.0.0"), 16).unwrap().is_non_routable());
-        assert!(IpPrefix::v4(v4("192.168.1.0"), 24).unwrap().is_non_routable());
+        assert!(IpPrefix::v4(v4("172.16.0.0"), 16)
+            .unwrap()
+            .is_non_routable());
+        assert!(IpPrefix::v4(v4("192.168.1.0"), 24)
+            .unwrap()
+            .is_non_routable());
         assert!(!IpPrefix::v4(v4("192.0.2.0"), 24).unwrap().is_non_routable());
         assert!(!IpPrefix::v4(v4("8.8.8.0"), 24).unwrap().is_non_routable());
         assert!(IpPrefix::v6(v6("::1"), 128).unwrap().is_non_routable());
         assert!(IpPrefix::v6(v6("fe80::1"), 64).unwrap().is_non_routable());
         assert!(IpPrefix::v6(v6("fd00::"), 48).unwrap().is_non_routable());
-        assert!(!IpPrefix::v6(v6("2001:db8::"), 32).unwrap().is_non_routable());
+        assert!(!IpPrefix::v6(v6("2001:db8::"), 32)
+            .unwrap()
+            .is_non_routable());
     }
 
     #[test]

@@ -123,9 +123,9 @@ impl Rdata {
                     let n = r.read_u8("TXT string length")? as usize;
                     let s = r.read_bytes(n, "TXT string")?;
                     strings.push(s.to_vec());
-                    left = left
-                        .checked_sub(1 + n)
-                        .ok_or(WireError::Truncated { context: "TXT rdata" })?;
+                    left = left.checked_sub(1 + n).ok_or(WireError::Truncated {
+                        context: "TXT rdata",
+                    })?;
                 }
                 Ok(Rdata::Txt(strings))
             }

@@ -243,7 +243,12 @@ mod tests {
     fn reader_truncation_reports_context() {
         let mut r = WireReader::new(&[0x00]);
         let err = r.read_u16("header id").unwrap_err();
-        assert_eq!(err, WireError::Truncated { context: "header id" });
+        assert_eq!(
+            err,
+            WireError::Truncated {
+                context: "header id"
+            }
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ fn pointer_into_own_label() {
         7, b'e', b'x', b'a', b'm', b'p', b'l', b'e', 0, // "example."
     ];
     bytes.extend_from_slice(&[0, 1, 0, 1]); // qtype/qclass for q1
-    // Splice a second "record-ish" name pointing into "example"'s bytes.
+                                            // Splice a second "record-ish" name pointing into "example"'s bytes.
     bytes[5] = 2; // claim qdcount = 2
     bytes.extend_from_slice(&[0xC0, 14]); // pointer to offset 14 = 'x'
     bytes.extend_from_slice(&[0, 1, 0, 1]);
@@ -143,8 +143,8 @@ fn ecs_option_with_trailing_bits() {
     let mut bytes = vec![0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]; // ar=1
     bytes.push(0); // root owner
     bytes.extend_from_slice(&[0, 41, 16, 0, 0, 0, 0, 0]); // OPT fixed fields
-    // RDATA: option code 8, option length 7, family 1, source 17, scope 0,
-    // three address octets (ceil(17/8) = 3).
+                                                          // RDATA: option code 8, option length 7, family 1, source 17, scope 0,
+                                                          // three address octets (ceil(17/8) = 3).
     bytes.extend_from_slice(&[0, 11]); // RDLENGTH = 4 + 7
     bytes.extend_from_slice(&[0, 8, 0, 7]);
     bytes.extend_from_slice(&[0, 1, 17, 0, 192, 0, 64]);
@@ -184,10 +184,7 @@ fn deeply_nested_pointers_bounded() {
     let qname_at = bytes.len() - 2;
     let mut msg = bytes[..12].to_vec();
     msg.extend_from_slice(&bytes[12..qname_at]);
-    msg.extend_from_slice(&[
-        0xC0 | ((qname_at >> 8) as u8),
-        (qname_at & 0xFF) as u8,
-    ]);
+    msg.extend_from_slice(&[0xC0 | ((qname_at >> 8) as u8), (qname_at & 0xFF) as u8]);
     msg.extend_from_slice(&[0, 1, 0, 1]);
     // Parses-or-errors; the chase bound guarantees termination.
     let _ = Message::from_bytes(&msg);

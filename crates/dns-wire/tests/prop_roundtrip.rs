@@ -66,7 +66,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
     (
         any::<u16>(),
         arb_name(),
-        prop_oneof![Just(RecordType::A), Just(RecordType::Aaaa), Just(RecordType::Txt)],
+        prop_oneof![
+            Just(RecordType::A),
+            Just(RecordType::Aaaa),
+            Just(RecordType::Txt)
+        ],
         proptest::collection::vec(arb_record(), 0..5),
         proptest::collection::vec(arb_record(), 0..3),
         proptest::option::of(arb_ecs()),

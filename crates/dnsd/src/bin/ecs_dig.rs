@@ -68,7 +68,11 @@ fn main() {
     };
     match dig.query_a(server, &name, ecs) {
         Ok(resp) => {
-            println!(";; status: {:?}, answers: {}", resp.rcode, resp.answers.len());
+            println!(
+                ";; status: {:?}, answers: {}",
+                resp.rcode,
+                resp.answers.len()
+            );
             if let Some(opt) = resp.ecs() {
                 println!(";; ECS: {opt}");
             }

@@ -83,7 +83,7 @@ impl DigClient {
                         if e.kind() == io::ErrorKind::WouldBlock
                             || e.kind() == io::ErrorKind::TimedOut =>
                     {
-                        break // retransmit
+                        break; // retransmit
                     }
                     Err(e) => return Err(DigError::Io(e)),
                 }

@@ -84,8 +84,7 @@ impl UdpAuthServer {
         let (n, peer) = match self.socket.recv_from(&mut buf) {
             Ok(r) => r,
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 return Ok(false)
             }

@@ -213,10 +213,7 @@ mod tests {
         let handle = server.spawn();
 
         // Over TCP the 100-record answer (>512 bytes) arrives whole.
-        let mut q = Message::query(
-            9,
-            Question::a(Name::from_ascii("www.big.example").unwrap()),
-        );
+        let mut q = Message::query(9, Question::a(Name::from_ascii("www.big.example").unwrap()));
         q.edns = None; // a plain client that would be truncated over UDP
         let resp = tcp_exchange(addr, &q, Duration::from_secs(2)).unwrap();
         assert!(!resp.flags.tc);

@@ -80,7 +80,11 @@ mod tests {
     use super::*;
     use std::net::{IpAddr, Ipv4Addr};
 
-    fn spec(probing: ProbingClass, prefix: PrefixClass, compliance: ComplianceClass) -> ResolverSpec {
+    fn spec(
+        probing: ProbingClass,
+        prefix: PrefixClass,
+        compliance: ComplianceClass,
+    ) -> ResolverSpec {
         ResolverSpec {
             addr: IpAddr::V4(Ipv4Addr::new(9, 9, 9, 9)),
             probing,
@@ -94,24 +98,42 @@ mod tests {
     #[test]
     fn always_slash24_correct() {
         let c = resolver_config_for(
-            &spec(ProbingClass::Always, PrefixClass::Slash24, ComplianceClass::Correct),
+            &spec(
+                ProbingClass::Always,
+                PrefixClass::Slash24,
+                ComplianceClass::Correct,
+            ),
             &[],
         );
         assert!(matches!(c.probing, ProbingStrategy::Always));
-        assert!(matches!(c.prefix_policy, PrefixPolicy::Truncate { v4: 24, .. }));
+        assert!(matches!(
+            c.prefix_policy,
+            PrefixPolicy::Truncate { v4: 24, .. }
+        ));
         assert_eq!(c.compliance, CacheCompliance::Honor);
     }
 
     #[test]
     fn compliance_overrides_prefix_policy() {
         let c = resolver_config_for(
-            &spec(ProbingClass::Always, PrefixClass::Slash24, ComplianceClass::Cap22),
+            &spec(
+                ProbingClass::Always,
+                PrefixClass::Slash24,
+                ComplianceClass::Cap22,
+            ),
             &[],
         );
-        assert!(matches!(c.prefix_policy, PrefixPolicy::PassThrough { max_v4: 22 }));
+        assert!(matches!(
+            c.prefix_policy,
+            PrefixPolicy::PassThrough { max_v4: 22 }
+        ));
         assert!(c.accept_client_ecs);
         let c = resolver_config_for(
-            &spec(ProbingClass::Always, PrefixClass::Slash24, ComplianceClass::PrivateLeak),
+            &spec(
+                ProbingClass::Always,
+                PrefixClass::Slash24,
+                ComplianceClass::PrivateLeak,
+            ),
             &[],
         );
         assert!(matches!(c.prefix_policy, PrefixPolicy::PrivateLeak));

@@ -62,11 +62,7 @@ pub struct Outcome {
     pub conditions: BTreeMap<(String, bool), Condition>,
 }
 
-fn run_condition(
-    cdn_model: CdnModel,
-    adaptive: bool,
-    config: &Config,
-) -> Condition {
+fn run_condition(cdn_model: CdnModel, adaptive: bool, config: &Config) -> Condition {
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let footprint = world_footprint();
     let latency = LatencyModel::default();
@@ -100,11 +96,8 @@ fn run_condition(
     };
     let apex = Name::from_ascii("cdn.example").expect("valid");
     let qname = apex.child("www").expect("valid");
-    let mut server = AuthServer::new(
-        Zone::new(apex),
-        EcsHandling::open(ScopePolicy::MatchSource),
-    )
-    .with_cdn(behavior, geodb);
+    let mut server = AuthServer::new(Zone::new(apex), EcsHandling::open(ScopePolicy::MatchSource))
+        .with_cdn(behavior, geodb);
 
     let mut resolver = Resolver::new(ResolverConfig {
         adaptive_prefix: adaptive,
@@ -165,7 +158,10 @@ pub fn run(config: &Config) -> (Outcome, Report) {
         }
     }
 
-    let mut report = Report::new("adaptive", "per-zone adaptive prefix lengths (§9 extension)");
+    let mut report = Report::new(
+        "adaptive",
+        "per-zone adaptive prefix lengths (§9 extension)",
+    );
     let c1_off = &conditions[&("CDN-1".to_string(), false)];
     let c1_on = &conditions[&("CDN-1".to_string(), true)];
     let c2_off = &conditions[&("CDN-2".to_string(), false)];
@@ -230,7 +226,10 @@ mod tests {
         let off = &out.conditions[&("CDN-2".to_string(), false)];
         let on = &out.conditions[&("CDN-2".to_string(), true)];
         assert!(on.mean_bits_leaked < off.mean_bits_leaked - 1.0, "{report}");
-        assert!(on.quality.median_ms <= off.quality.median_ms * 1.2, "{report}");
+        assert!(
+            on.quality.median_ms <= off.quality.median_ms * 1.2,
+            "{report}"
+        );
         // CDN-1: no shrink possible.
         let c1_on = &out.conditions[&("CDN-1".to_string(), true)];
         assert!((c1_on.mean_bits_leaked - 24.0).abs() < 0.5, "{report}");

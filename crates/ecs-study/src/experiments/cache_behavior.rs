@@ -82,7 +82,11 @@ fn population(scale: usize) -> Vec<ResolverSpec> {
 /// Runs the paired-probe methodology against one resolver and returns the
 /// raw observations. `pair_base` is a /22-aligned base address; the two
 /// simulated forwarders live in its first and second /24.
-pub fn probe_resolver(resolver: &mut Resolver, pair_base: u32, trial_tag: &str) -> ComplianceObservation {
+pub fn probe_resolver(
+    resolver: &mut Resolver,
+    pair_base: u32,
+    trial_tag: &str,
+) -> ComplianceObservation {
     let fwd_a = IpAddr::V4(Ipv4Addr::from(pair_base + 1));
     let fwd_b = IpAddr::V4(Ipv4Addr::from(pair_base + 256 + 1));
     let ecs_a = EcsOption::from_v4(Ipv4Addr::from(pair_base), 24);
@@ -92,9 +96,7 @@ pub fn probe_resolver(resolver: &mut Resolver, pair_base: u32, trial_tag: &str) 
     let mut second_arrived = [false; 3];
     for (i, scope) in [24u8, 16, 0].into_iter().enumerate() {
         let mut zone = Zone::new(apex.clone());
-        let hostname = apex
-            .child(&format!("s{scope}-{trial_tag}"))
-            .expect("valid");
+        let hostname = apex.child(&format!("s{scope}-{trial_tag}")).expect("valid");
         zone.add_a(hostname.clone(), 300, Ipv4Addr::new(198, 51, 100, 1))
             .expect("in zone");
         let mut auth = AuthServer::new(zone, EcsHandling::open(ScopePolicy::Fixed(scope)));
@@ -163,10 +165,16 @@ fn matches_class(class: ComplianceClass, verdict: ComplianceVerdict) -> bool {
     matches!(
         (class, verdict),
         (ComplianceClass::Correct, ComplianceVerdict::Correct)
-            | (ComplianceClass::IgnoresScope, ComplianceVerdict::IgnoresScope)
+            | (
+                ComplianceClass::IgnoresScope,
+                ComplianceVerdict::IgnoresScope
+            )
             | (ComplianceClass::AcceptsLong, ComplianceVerdict::AcceptsLong)
             | (ComplianceClass::Cap22, ComplianceVerdict::Cap22)
-            | (ComplianceClass::PrivateLeak, ComplianceVerdict::PrivateMisconfig)
+            | (
+                ComplianceClass::PrivateLeak,
+                ComplianceVerdict::PrivateMisconfig
+            )
     )
 }
 
@@ -193,7 +201,12 @@ pub fn run(config: &Config) -> (Outcome, Report) {
 
     let mut report = Report::new("cache-behavior", "§6.3 cache-compliance classes");
     for (label, paper, class, verdict) in [
-        ("correct", 76usize, ComplianceClass::Correct, ComplianceVerdict::Correct),
+        (
+            "correct",
+            76usize,
+            ComplianceClass::Correct,
+            ComplianceVerdict::Correct,
+        ),
         (
             "ignore scope",
             103,
@@ -206,7 +219,12 @@ pub fn run(config: &Config) -> (Outcome, Report) {
             ComplianceClass::AcceptsLong,
             ComplianceVerdict::AcceptsLong,
         ),
-        ("/22 cap", 8, ComplianceClass::Cap22, ComplianceVerdict::Cap22),
+        (
+            "/22 cap",
+            8,
+            ComplianceClass::Cap22,
+            ComplianceVerdict::Cap22,
+        ),
         (
             "private-prefix misconfig",
             1,

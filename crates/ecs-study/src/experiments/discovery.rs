@@ -77,7 +77,11 @@ pub fn run(config: &Config) -> (Outcome, Report) {
     let mut cdn_zone = Zone::new(cdn_apex.clone());
     let cdn_name = cdn_apex.child("www").expect("valid");
     cdn_zone
-        .add_a(cdn_name.clone(), 60, std::net::Ipv4Addr::new(198, 51, 100, 1))
+        .add_a(
+            cdn_name.clone(),
+            60,
+            std::net::Ipv4Addr::new(198, 51, 100, 1),
+        )
         .expect("in zone");
     let mut cdn = AuthServer::new(
         cdn_zone,
@@ -89,7 +93,11 @@ pub fn run(config: &Config) -> (Outcome, Report) {
     let mut scan_zone = Zone::new(scan_apex.clone());
     let scan_name = scan_apex.child("x1").expect("valid");
     scan_zone
-        .add_a(scan_name.clone(), 60, std::net::Ipv4Addr::new(198, 51, 100, 2))
+        .add_a(
+            scan_name.clone(),
+            60,
+            std::net::Ipv4Addr::new(198, 51, 100, 2),
+        )
         .expect("in zone");
     let mut scan = AuthServer::new(scan_zone, EcsHandling::open(ScopePolicy::SourceMinusK(4)));
 

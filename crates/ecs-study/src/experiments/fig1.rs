@@ -17,6 +17,9 @@ pub struct Config {
     pub trace: PublicCdnTraceGen,
     /// TTLs to sweep.
     pub ttls: Vec<u32>,
+    /// Worker threads for the replay engine (results are identical for
+    /// every value).
+    pub parallelism: usize,
 }
 
 impl Default for Config {
@@ -36,6 +39,7 @@ impl Default for Config {
                 seed: 0,
             },
             ttls: vec![20, 40, 60],
+            parallelism: analysis::default_parallelism(),
         }
     }
 }
@@ -63,6 +67,7 @@ pub fn run(config: &Config) -> (Outcome, Report) {
     for &ttl in &config.ttls {
         let sim = CacheSimulator::new(CacheSimConfig {
             ttl_override: Some(ttl),
+            parallelism: config.parallelism,
             ..CacheSimConfig::default()
         });
         let result = sim.run(&trace);
@@ -140,6 +145,7 @@ mod tests {
                 ..PublicCdnTraceGen::default()
             },
             ttls: vec![20, 40, 60],
+            parallelism: 2,
         }
     }
 

@@ -18,6 +18,9 @@ pub struct Config {
     pub fractions: Vec<u8>,
     /// Random samples per fraction (paper: 3).
     pub samples: usize,
+    /// Worker threads for the replay engine (results are identical for
+    /// every value; a single-resolver trace replays on one).
+    pub parallelism: usize,
 }
 
 impl Default for Config {
@@ -26,6 +29,7 @@ impl Default for Config {
             trace: AllNamesTraceGen::default(),
             fractions: vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
             samples: 3,
+            parallelism: analysis::default_parallelism(),
         }
     }
 }
@@ -47,6 +51,7 @@ pub fn run(config: &Config) -> (Outcome, Report) {
             let sim = CacheSimulator::new(CacheSimConfig {
                 sample_pct: pct,
                 sample_seed: seed as u64,
+                parallelism: config.parallelism,
                 ..CacheSimConfig::default()
             });
             let result = sim.run(&trace);
@@ -114,6 +119,7 @@ mod tests {
             },
             fractions: vec![10, 50, 100],
             samples: 2,
+            parallelism: 2,
         };
         let (out, _report) = run(&config);
         assert_eq!(out.points.len(), 3);

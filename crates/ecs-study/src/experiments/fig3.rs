@@ -20,6 +20,9 @@ pub struct Config {
     pub fractions: Vec<u8>,
     /// Random samples per fraction.
     pub samples: usize,
+    /// Worker threads for the replay engine (results are identical for
+    /// every value; a single-resolver trace replays on one).
+    pub parallelism: usize,
 }
 
 impl Default for Config {
@@ -28,6 +31,7 @@ impl Default for Config {
             trace: AllNamesTraceGen::default(),
             fractions: vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
             samples: 3,
+            parallelism: analysis::default_parallelism(),
         }
     }
 }
@@ -49,6 +53,7 @@ pub fn run(config: &Config) -> (Outcome, Report) {
             let sim = CacheSimulator::new(CacheSimConfig {
                 sample_pct: pct,
                 sample_seed: seed as u64,
+                parallelism: config.parallelism,
                 ..CacheSimConfig::default()
             });
             let result = sim.run(&trace);
@@ -95,7 +100,11 @@ pub fn run(config: &Config) -> (Outcome, Report) {
     );
     let mut detail = String::from("pct  no-ECS  with-ECS\n");
     for (pct, n, e) in &points {
-        detail.push_str(&format!("{pct:>3}  {:.1}%   {:.1}%\n", n * 100.0, e * 100.0));
+        detail.push_str(&format!(
+            "{pct:>3}  {:.1}%   {:.1}%\n",
+            n * 100.0,
+            e * 100.0
+        ));
     }
     report.detail = detail;
     (Outcome { points }, report)
@@ -122,6 +131,7 @@ mod tests {
             },
             fractions: vec![20, 100],
             samples: 2,
+            parallelism: 2,
         };
         let (out, _) = run(&config);
         let (_, no_ecs, with_ecs) = *out.points.last().unwrap();

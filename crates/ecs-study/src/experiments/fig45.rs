@@ -91,7 +91,11 @@ pub fn run(config: &Config) -> (Outcome, Report) {
     let (id, title, paper_harmful) = if config.public_service_only {
         ("fig4", "hidden-resolver distances (MP resolvers)", 0.08)
     } else {
-        ("fig5", "hidden-resolver distances (non-MP resolvers)", 0.078)
+        (
+            "fig5",
+            "hidden-resolver distances (non-MP resolvers)",
+            0.078,
+        )
     };
     let mut report = Report::new(id, title);
     let harmful = analysis_report.harmful_fraction();
@@ -193,7 +197,10 @@ mod tests {
         let harmful = out.report.harmful_fraction();
         // Configured at 8% misplaced; measured should be in the vicinity
         // (nearby hidden resolvers can also happen to be farther).
-        assert!((0.02..0.30).contains(&harmful), "harmful {harmful}\n{report}");
+        assert!(
+            (0.02..0.30).contains(&harmful),
+            "harmful {harmful}\n{report}"
+        );
     }
 
     #[test]

@@ -101,10 +101,7 @@ pub fn run(config: &Config) -> (Outcome, Report) {
     geodb.insert(IpPrefix::new(lab_addr, 24).expect("<=32"), lab_pos);
     for (addr, pos) in &probes {
         for len in 16..=24u8 {
-            geodb.insert(
-                IpPrefix::v4(*addr, len).expect("<=32"),
-                *pos,
-            );
+            geodb.insert(IpPrefix::v4(*addr, len).expect("<=32"), *pos);
         }
     }
 
@@ -114,11 +111,8 @@ pub fn run(config: &Config) -> (Outcome, Report) {
     };
     let apex = Name::from_ascii("cdn.example").expect("valid");
     let qname = apex.child("www").expect("valid");
-    let mut server = AuthServer::new(
-        Zone::new(apex),
-        EcsHandling::open(ScopePolicy::MatchSource),
-    )
-    .with_cdn(behavior, geodb);
+    let mut server = AuthServer::new(Zone::new(apex), EcsHandling::open(ScopePolicy::MatchSource))
+        .with_cdn(behavior, geodb);
     server.set_logging(false);
 
     let latency = LatencyModel::default();
@@ -175,7 +169,10 @@ pub fn run(config: &Config) -> (Outcome, Report) {
         q_below.unique_first_answers < q24.unique_first_answers / 2,
     );
     report.row(
-        format!("median connect time cliff /{} → /{cliff_len}", cliff_len + 1),
+        format!(
+            "median connect time cliff /{} → /{cliff_len}",
+            cliff_len + 1
+        ),
         "huge degradation",
         format!("{:.0} ms → {:.0} ms", q24.median_ms, q_below.median_ms),
         q_below.median_ms > q24.median_ms * 2.0,

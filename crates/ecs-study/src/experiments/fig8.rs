@@ -80,7 +80,10 @@ pub fn run(config: &Config) -> (Outcome, Report) {
 
     let mut geodb = GeoDb::new();
     geodb.insert(IpPrefix::new(client_addr, 24).expect("<=32"), client_pos);
-    geodb.insert(IpPrefix::new(resolver_addr, 24).expect("<=32"), resolver_pos);
+    geodb.insert(
+        IpPrefix::new(resolver_addr, 24).expect("<=32"),
+        resolver_pos,
+    );
     geodb.insert(
         IpPrefix::new(provider_backend, 24).expect("<=32"),
         provider_pos,
@@ -116,7 +119,10 @@ pub fn run(config: &Config) -> (Outcome, Report) {
     // --- Apex access (steps 1–8 of Figure 8) ---
     // Steps 1-2: client → resolver → provider authoritative (apex query,
     // flattened on the backend: steps 3-4 are provider ↔ CDN).
-    let mut apex_q = Message::query(1, Question::a(Name::from_ascii("customer.com").expect("ok")));
+    let mut apex_q = Message::query(
+        1,
+        Question::a(Name::from_ascii("customer.com").expect("ok")),
+    );
     apex_q.set_ecs(client_ecs);
     let apex_resp = provider.handle(&apex_q, resolver_addr, SimTime::ZERO, &mut cdn);
     let e1 = apex_resp.answer_addrs()[0];
@@ -140,8 +146,8 @@ pub fn run(config: &Config) -> (Outcome, Report) {
     let www_resp = provider.handle(&www_q, resolver_addr, SimTime::ZERO, &mut cdn);
     let e2 = www_resp.answer_addrs()[0];
     let (e2_pos, e2_city) = edge_pos(e2);
-    let dns_www_ms = latency.rtt_ms(&client_pos, &resolver_pos)
-        + latency.rtt_ms(&resolver_pos, &provider_pos);
+    let dns_www_ms =
+        latency.rtt_ms(&client_pos, &resolver_pos) + latency.rtt_ms(&resolver_pos, &provider_pos);
     let www_handshake_ms = latency.rtt_ms(&client_pos, &e2_pos);
 
     let apex_total_ms =

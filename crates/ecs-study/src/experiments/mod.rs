@@ -29,19 +29,31 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "§6.1 probing-strategy classification",
             probing::run_default,
         ),
-        ("table1", "§6.2 Table 1: source prefix lengths", table1::run_default),
+        (
+            "table1",
+            "§6.2 Table 1: source prefix lengths",
+            table1::run_default,
+        ),
         (
             "cache-behavior",
             "§6.3 cache-compliance classification",
             cache_behavior::run_default,
         ),
-        ("fig1", "§7.1 Fig 1: cache blow-up CDF vs TTL", fig1::run_default),
+        (
+            "fig1",
+            "§7.1 Fig 1: cache blow-up CDF vs TTL",
+            fig1::run_default,
+        ),
         (
             "fig2",
             "§7.1 Fig 2: blow-up vs client population",
             fig2::run_default,
         ),
-        ("fig3", "§7.2 Fig 3: hit rate with/without ECS", fig3::run_default),
+        (
+            "fig3",
+            "§7.2 Fig 3: hit rate with/without ECS",
+            fig3::run_default,
+        ),
         (
             "table2",
             "§8.1 Table 2: unroutable ECS prefixes",
@@ -67,7 +79,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "§8.3 Fig 7: mapping quality vs prefix length (CDN-2)",
             fig67::run_default_cdn2,
         ),
-        ("fig8", "§8.4 Fig 8: CNAME flattening penalty", fig8::run_default),
+        (
+            "fig8",
+            "§8.4 Fig 8: CNAME flattening penalty",
+            fig8::run_default,
+        ),
         (
             "discovery",
             "§5 passive vs active resolver discovery",

@@ -71,7 +71,10 @@ fn matches_class(truth: ProbingClass, verdict: ProbingVerdict) -> bool {
         (truth, verdict),
         (ProbingClass::Always, ProbingVerdict::Always)
             | (ProbingClass::HostnameProbe, ProbingVerdict::HostnameProbe)
-            | (ProbingClass::IntervalLoopback, ProbingVerdict::IntervalLoopback)
+            | (
+                ProbingClass::IntervalLoopback,
+                ProbingVerdict::IntervalLoopback
+            )
             | (ProbingClass::OnMiss, ProbingVerdict::OnMiss)
             | (ProbingClass::Mixed, ProbingVerdict::Mixed)
     )
@@ -173,7 +176,10 @@ pub fn run(config: &Config) -> (Outcome, Report) {
             ),
         );
         if i < planted {
-            q.set_ecs(EcsOption::from_v4(std::net::Ipv4Addr::new(100, 64, 1, 0), 24));
+            q.set_ecs(EcsOption::from_v4(
+                std::net::Ipv4Addr::new(100, 64, 1, 0),
+                24,
+            ));
         }
         root.handle(&q, spec.addr, SimTime::ZERO);
     }
@@ -192,7 +198,12 @@ pub fn run(config: &Config) -> (Outcome, Report) {
     let count_truth = |c: ProbingClass| truth.values().filter(|x| **x == c).count();
     let mut report = Report::new("probing", "§6.1 probing-strategy classes");
     for (label, paper, class, verdict) in [
-        ("always-ECS", 3382usize, ProbingClass::Always, ProbingVerdict::Always),
+        (
+            "always-ECS",
+            3382usize,
+            ProbingClass::Always,
+            ProbingVerdict::Always,
+        ),
         (
             "hostname-probe",
             258,
@@ -250,7 +261,11 @@ mod tests {
             ..Config::default()
         };
         let (out, report) = run(&config);
-        assert!(out.accuracy >= 0.8, "accuracy {} too low\n{report}", out.accuracy);
+        assert!(
+            out.accuracy >= 0.8,
+            "accuracy {} too low\n{report}",
+            out.accuracy
+        );
         assert_eq!(out.root_offenders_found, out.root_offenders_planted);
     }
 }

@@ -80,7 +80,11 @@ pub fn run(config: &Config) -> (Outcome, Report) {
             };
             let hostname = scan_hostname(&apex, fwd);
             auth.zone_mut()
-                .add_a(hostname.clone(), 60, std::net::Ipv4Addr::new(198, 51, 100, 1))
+                .add_a(
+                    hostname.clone(),
+                    60,
+                    std::net::Ipv4Addr::new(198, 51, 100, 1),
+                )
                 .expect("in zone");
             // The scan probe: a plain A query (no ECS) from the forwarder.
             let q = Message::query(1, Question::a(hostname));
@@ -171,7 +175,13 @@ pub fn run(config: &Config) -> (Outcome, Report) {
         detail.push_str(&format!("  {label:<28} {count}\n"));
     }
     report.detail = detail;
-    (Outcome { table, truth_counts }, report)
+    (
+        Outcome {
+            table,
+            truth_counts,
+        },
+        report,
+    )
 }
 
 /// Default-parameter entry point.

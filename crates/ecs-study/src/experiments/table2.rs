@@ -94,11 +94,8 @@ pub fn run(config: &Config) -> (Outcome, Report) {
 
     let apex = Name::from_ascii("cdn.example").expect("valid");
     let qname = apex.child("www").expect("valid");
-    let mut server = AuthServer::new(
-        Zone::new(apex),
-        EcsHandling::open(ScopePolicy::MatchSource),
-    )
-    .with_cdn(CdnBehavior::table2_cdn(footprint.clone()), geodb);
+    let mut server = AuthServer::new(Zone::new(apex), EcsHandling::open(ScopePolicy::MatchSource))
+        .with_cdn(CdnBehavior::table2_cdn(footprint.clone()), geodb);
 
     let latency = LatencyModel::default();
     let variants: Vec<(String, Option<EcsOption>)> = vec![
@@ -163,20 +160,15 @@ pub fn run(config: &Config) -> (Outcome, Report) {
         format!("{} vs {}", rows[0].location, rows[1].location),
         rows[0].location == rows[1].location,
     );
-    let far = rows[2..]
-        .iter()
-        .map(|r| r.rtt_ms)
-        .fold(0.0f64, f64::max);
+    let far = rows[2..].iter().map(|r| r.rtt_ms).fold(0.0f64, f64::max);
     report.row(
         "worst unroutable mapping is far",
         "285 ms (South Africa)",
         format!("{far:.0} ms"),
         far > near_rtt * 2.0,
     );
-    let distinct: std::collections::HashSet<&str> = rows[2..]
-        .iter()
-        .map(|r| r.location.as_str())
-        .collect();
+    let distinct: std::collections::HashSet<&str> =
+        rows[2..].iter().map(|r| r.location.as_str()).collect();
     report.row(
         "unroutable prefixes map to distinct places",
         "Switzerland / Mountain View / South Africa",
@@ -213,7 +205,10 @@ mod tests {
         // At least one unroutable variant lands much farther away than the
         // resolver-based baseline.
         let near = out.rows[0].rtt_ms.max(out.rows[1].rtt_ms);
-        let worst = out.rows[2..].iter().map(|r| r.rtt_ms).fold(0.0f64, f64::max);
+        let worst = out.rows[2..]
+            .iter()
+            .map(|r| r.rtt_ms)
+            .fold(0.0f64, f64::max);
         assert!(
             worst > near * 2.0 && worst > 60.0,
             "worst unroutable RTT {worst} vs baseline {near}\n{report}"

@@ -120,12 +120,7 @@ fn run_condition(whitelisted: bool, config: &Config) -> Condition {
     for (at, ci) in schedule {
         let (addr, pos) = clients[ci];
         let q = Message::query(1, Question::a(qname.clone()));
-        let resp = resolver.resolve_msg(
-            &q,
-            IpAddr::V4(addr),
-            SimTime::from_micros(at),
-            &mut cdn,
-        );
+        let resp = resolver.resolve_msg(&q, IpAddr::V4(addr), SimTime::from_micros(at), &mut cdn);
         if let Some(first) = resp.answer_addrs().first() {
             // Sample 1-in-50 responses for the latency CDF to keep memory flat.
             if samples.len() < config.queries / 50 {
@@ -165,7 +160,10 @@ pub fn run(config: &Config) -> (Outcome, Report) {
     report.row(
         "mapping quality (median connect)",
         "whitelisted ≪ non-whitelisted",
-        format!("{:.0} ms vs {:.0} ms", on.quality.median_ms, off.quality.median_ms),
+        format!(
+            "{:.0} ms vs {:.0} ms",
+            on.quality.median_ms, off.quality.median_ms
+        ),
         on.quality.median_ms < off.quality.median_ms / 2.0,
     );
     report.row(

@@ -68,45 +68,318 @@ pub struct City {
 
 /// World city table for topology generation.
 pub const CITIES: &[City] = &[
-    City { name: "Cleveland", country: "US", pos: GeoPoint { lat: 41.50, lon: -81.69 } },
-    City { name: "Chicago", country: "US", pos: GeoPoint { lat: 41.88, lon: -87.63 } },
-    City { name: "New York", country: "US", pos: GeoPoint { lat: 40.71, lon: -74.01 } },
-    City { name: "Mountain View", country: "US", pos: GeoPoint { lat: 37.39, lon: -122.08 } },
-    City { name: "Seattle", country: "US", pos: GeoPoint { lat: 47.61, lon: -122.33 } },
-    City { name: "Dallas", country: "US", pos: GeoPoint { lat: 32.78, lon: -96.80 } },
-    City { name: "Miami", country: "US", pos: GeoPoint { lat: 25.76, lon: -80.19 } },
-    City { name: "Toronto", country: "CA", pos: GeoPoint { lat: 43.65, lon: -79.38 } },
-    City { name: "Mexico City", country: "MX", pos: GeoPoint { lat: 19.43, lon: -99.13 } },
-    City { name: "Sao Paulo", country: "BR", pos: GeoPoint { lat: -23.55, lon: -46.63 } },
-    City { name: "Santiago", country: "CL", pos: GeoPoint { lat: -33.45, lon: -70.67 } },
-    City { name: "London", country: "GB", pos: GeoPoint { lat: 51.51, lon: -0.13 } },
-    City { name: "Amsterdam", country: "NL", pos: GeoPoint { lat: 52.37, lon: 4.90 } },
-    City { name: "Frankfurt", country: "DE", pos: GeoPoint { lat: 50.11, lon: 8.68 } },
-    City { name: "Paris", country: "FR", pos: GeoPoint { lat: 48.86, lon: 2.35 } },
-    City { name: "Zurich", country: "CH", pos: GeoPoint { lat: 47.38, lon: 8.54 } },
-    City { name: "Milan", country: "IT", pos: GeoPoint { lat: 45.46, lon: 9.19 } },
-    City { name: "Madrid", country: "ES", pos: GeoPoint { lat: 40.42, lon: -3.70 } },
-    City { name: "Stockholm", country: "SE", pos: GeoPoint { lat: 59.33, lon: 18.07 } },
-    City { name: "Warsaw", country: "PL", pos: GeoPoint { lat: 52.23, lon: 21.01 } },
-    City { name: "Moscow", country: "RU", pos: GeoPoint { lat: 55.76, lon: 37.62 } },
-    City { name: "Istanbul", country: "TR", pos: GeoPoint { lat: 41.01, lon: 28.98 } },
-    City { name: "Dubai", country: "AE", pos: GeoPoint { lat: 25.20, lon: 55.27 } },
-    City { name: "Johannesburg", country: "ZA", pos: GeoPoint { lat: -26.20, lon: 28.05 } },
-    City { name: "Lagos", country: "NG", pos: GeoPoint { lat: 6.52, lon: 3.38 } },
-    City { name: "Cairo", country: "EG", pos: GeoPoint { lat: 30.04, lon: 31.24 } },
-    City { name: "Mumbai", country: "IN", pos: GeoPoint { lat: 19.08, lon: 72.88 } },
-    City { name: "Delhi", country: "IN", pos: GeoPoint { lat: 28.70, lon: 77.10 } },
-    City { name: "Singapore", country: "SG", pos: GeoPoint { lat: 1.35, lon: 103.82 } },
-    City { name: "Jakarta", country: "ID", pos: GeoPoint { lat: -6.21, lon: 106.85 } },
-    City { name: "Hong Kong", country: "HK", pos: GeoPoint { lat: 22.32, lon: 114.17 } },
-    City { name: "Beijing", country: "CN", pos: GeoPoint { lat: 39.90, lon: 116.41 } },
-    City { name: "Shanghai", country: "CN", pos: GeoPoint { lat: 31.23, lon: 121.47 } },
-    City { name: "Guangzhou", country: "CN", pos: GeoPoint { lat: 23.13, lon: 113.26 } },
-    City { name: "Chengdu", country: "CN", pos: GeoPoint { lat: 30.57, lon: 104.07 } },
-    City { name: "Seoul", country: "KR", pos: GeoPoint { lat: 37.57, lon: 126.98 } },
-    City { name: "Tokyo", country: "JP", pos: GeoPoint { lat: 35.68, lon: 139.69 } },
-    City { name: "Sydney", country: "AU", pos: GeoPoint { lat: -33.87, lon: 151.21 } },
-    City { name: "Auckland", country: "NZ", pos: GeoPoint { lat: -36.85, lon: 174.76 } },
+    City {
+        name: "Cleveland",
+        country: "US",
+        pos: GeoPoint {
+            lat: 41.50,
+            lon: -81.69,
+        },
+    },
+    City {
+        name: "Chicago",
+        country: "US",
+        pos: GeoPoint {
+            lat: 41.88,
+            lon: -87.63,
+        },
+    },
+    City {
+        name: "New York",
+        country: "US",
+        pos: GeoPoint {
+            lat: 40.71,
+            lon: -74.01,
+        },
+    },
+    City {
+        name: "Mountain View",
+        country: "US",
+        pos: GeoPoint {
+            lat: 37.39,
+            lon: -122.08,
+        },
+    },
+    City {
+        name: "Seattle",
+        country: "US",
+        pos: GeoPoint {
+            lat: 47.61,
+            lon: -122.33,
+        },
+    },
+    City {
+        name: "Dallas",
+        country: "US",
+        pos: GeoPoint {
+            lat: 32.78,
+            lon: -96.80,
+        },
+    },
+    City {
+        name: "Miami",
+        country: "US",
+        pos: GeoPoint {
+            lat: 25.76,
+            lon: -80.19,
+        },
+    },
+    City {
+        name: "Toronto",
+        country: "CA",
+        pos: GeoPoint {
+            lat: 43.65,
+            lon: -79.38,
+        },
+    },
+    City {
+        name: "Mexico City",
+        country: "MX",
+        pos: GeoPoint {
+            lat: 19.43,
+            lon: -99.13,
+        },
+    },
+    City {
+        name: "Sao Paulo",
+        country: "BR",
+        pos: GeoPoint {
+            lat: -23.55,
+            lon: -46.63,
+        },
+    },
+    City {
+        name: "Santiago",
+        country: "CL",
+        pos: GeoPoint {
+            lat: -33.45,
+            lon: -70.67,
+        },
+    },
+    City {
+        name: "London",
+        country: "GB",
+        pos: GeoPoint {
+            lat: 51.51,
+            lon: -0.13,
+        },
+    },
+    City {
+        name: "Amsterdam",
+        country: "NL",
+        pos: GeoPoint {
+            lat: 52.37,
+            lon: 4.90,
+        },
+    },
+    City {
+        name: "Frankfurt",
+        country: "DE",
+        pos: GeoPoint {
+            lat: 50.11,
+            lon: 8.68,
+        },
+    },
+    City {
+        name: "Paris",
+        country: "FR",
+        pos: GeoPoint {
+            lat: 48.86,
+            lon: 2.35,
+        },
+    },
+    City {
+        name: "Zurich",
+        country: "CH",
+        pos: GeoPoint {
+            lat: 47.38,
+            lon: 8.54,
+        },
+    },
+    City {
+        name: "Milan",
+        country: "IT",
+        pos: GeoPoint {
+            lat: 45.46,
+            lon: 9.19,
+        },
+    },
+    City {
+        name: "Madrid",
+        country: "ES",
+        pos: GeoPoint {
+            lat: 40.42,
+            lon: -3.70,
+        },
+    },
+    City {
+        name: "Stockholm",
+        country: "SE",
+        pos: GeoPoint {
+            lat: 59.33,
+            lon: 18.07,
+        },
+    },
+    City {
+        name: "Warsaw",
+        country: "PL",
+        pos: GeoPoint {
+            lat: 52.23,
+            lon: 21.01,
+        },
+    },
+    City {
+        name: "Moscow",
+        country: "RU",
+        pos: GeoPoint {
+            lat: 55.76,
+            lon: 37.62,
+        },
+    },
+    City {
+        name: "Istanbul",
+        country: "TR",
+        pos: GeoPoint {
+            lat: 41.01,
+            lon: 28.98,
+        },
+    },
+    City {
+        name: "Dubai",
+        country: "AE",
+        pos: GeoPoint {
+            lat: 25.20,
+            lon: 55.27,
+        },
+    },
+    City {
+        name: "Johannesburg",
+        country: "ZA",
+        pos: GeoPoint {
+            lat: -26.20,
+            lon: 28.05,
+        },
+    },
+    City {
+        name: "Lagos",
+        country: "NG",
+        pos: GeoPoint {
+            lat: 6.52,
+            lon: 3.38,
+        },
+    },
+    City {
+        name: "Cairo",
+        country: "EG",
+        pos: GeoPoint {
+            lat: 30.04,
+            lon: 31.24,
+        },
+    },
+    City {
+        name: "Mumbai",
+        country: "IN",
+        pos: GeoPoint {
+            lat: 19.08,
+            lon: 72.88,
+        },
+    },
+    City {
+        name: "Delhi",
+        country: "IN",
+        pos: GeoPoint {
+            lat: 28.70,
+            lon: 77.10,
+        },
+    },
+    City {
+        name: "Singapore",
+        country: "SG",
+        pos: GeoPoint {
+            lat: 1.35,
+            lon: 103.82,
+        },
+    },
+    City {
+        name: "Jakarta",
+        country: "ID",
+        pos: GeoPoint {
+            lat: -6.21,
+            lon: 106.85,
+        },
+    },
+    City {
+        name: "Hong Kong",
+        country: "HK",
+        pos: GeoPoint {
+            lat: 22.32,
+            lon: 114.17,
+        },
+    },
+    City {
+        name: "Beijing",
+        country: "CN",
+        pos: GeoPoint {
+            lat: 39.90,
+            lon: 116.41,
+        },
+    },
+    City {
+        name: "Shanghai",
+        country: "CN",
+        pos: GeoPoint {
+            lat: 31.23,
+            lon: 121.47,
+        },
+    },
+    City {
+        name: "Guangzhou",
+        country: "CN",
+        pos: GeoPoint {
+            lat: 23.13,
+            lon: 113.26,
+        },
+    },
+    City {
+        name: "Chengdu",
+        country: "CN",
+        pos: GeoPoint {
+            lat: 30.57,
+            lon: 104.07,
+        },
+    },
+    City {
+        name: "Seoul",
+        country: "KR",
+        pos: GeoPoint {
+            lat: 37.57,
+            lon: 126.98,
+        },
+    },
+    City {
+        name: "Tokyo",
+        country: "JP",
+        pos: GeoPoint {
+            lat: 35.68,
+            lon: 139.69,
+        },
+    },
+    City {
+        name: "Sydney",
+        country: "AU",
+        pos: GeoPoint {
+            lat: -33.87,
+            lon: 151.21,
+        },
+    },
+    City {
+        name: "Auckland",
+        country: "NZ",
+        pos: GeoPoint {
+            lat: -36.85,
+            lon: 174.76,
+        },
+    },
 ];
 
 /// Looks up a city by name.
@@ -127,16 +400,28 @@ mod tests {
     #[test]
     fn known_distances() {
         // Cleveland to Chicago: ~500 km.
-        let d = city("Cleveland").unwrap().pos.distance_km(&city("Chicago").unwrap().pos);
+        let d = city("Cleveland")
+            .unwrap()
+            .pos
+            .distance_km(&city("Chicago").unwrap().pos);
         assert!((400.0..600.0).contains(&d), "{d}");
         // Beijing to Shanghai: ~1070 km (the paper cites ~1000 km).
-        let d = city("Beijing").unwrap().pos.distance_km(&city("Shanghai").unwrap().pos);
+        let d = city("Beijing")
+            .unwrap()
+            .pos
+            .distance_km(&city("Shanghai").unwrap().pos);
         assert!((950.0..1200.0).contains(&d), "{d}");
         // Beijing to Guangzhou: ~1900 km (paper: ~2000 km).
-        let d = city("Beijing").unwrap().pos.distance_km(&city("Guangzhou").unwrap().pos);
+        let d = city("Beijing")
+            .unwrap()
+            .pos
+            .distance_km(&city("Guangzhou").unwrap().pos);
         assert!((1700.0..2100.0).contains(&d), "{d}");
         // Santiago to Milan: ~12000 km (the paper's Chile/Italy example).
-        let d = city("Santiago").unwrap().pos.distance_km(&city("Milan").unwrap().pos);
+        let d = city("Santiago")
+            .unwrap()
+            .pos
+            .distance_km(&city("Milan").unwrap().pos);
         assert!((11_000.0..13_000.0).contains(&d), "{d}");
     }
 
@@ -168,8 +453,17 @@ mod tests {
     #[test]
     fn city_table_has_papers_locations() {
         for name in [
-            "Cleveland", "Chicago", "Mountain View", "Zurich", "Johannesburg",
-            "Santiago", "Milan", "Beijing", "Shanghai", "Guangzhou", "Toronto",
+            "Cleveland",
+            "Chicago",
+            "Mountain View",
+            "Zurich",
+            "Johannesburg",
+            "Santiago",
+            "Milan",
+            "Beijing",
+            "Shanghai",
+            "Guangzhou",
+            "Toronto",
             "Amsterdam",
         ] {
             assert!(city(name).is_some(), "missing {name}");

@@ -70,9 +70,7 @@ impl LatencyModel {
         } else {
             0.0
         };
-        Some(SimDuration::from_millis_f64(
-            self.one_way_ms(a, b) + jitter,
-        ))
+        Some(SimDuration::from_millis_f64(self.one_way_ms(a, b) + jitter))
     }
 }
 

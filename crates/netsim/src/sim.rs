@@ -128,7 +128,8 @@ impl Simulation {
     /// Jitter-free RTT between two nodes in milliseconds (what a ping would
     /// measure, net of jitter).
     pub fn rtt_ms(&self, a: NodeId, b: NodeId) -> f64 {
-        self.latency.rtt_ms(&self.positions[a.0], &self.positions[b.0])
+        self.latency
+            .rtt_ms(&self.positions[a.0], &self.positions[b.0])
     }
 
     /// Current virtual time.
@@ -155,14 +156,9 @@ impl Simulation {
             &self.positions[dst.0],
             &mut self.rng,
         ) {
-            Some(delay) => self.queue.push(
-                depart + delay,
-                EventKind::Deliver {
-                    src,
-                    dst,
-                    payload,
-                },
-            ),
+            Some(delay) => self
+                .queue
+                .push(depart + delay, EventKind::Deliver { src, dst, payload }),
             None => self.dropped += 1,
         }
     }
@@ -193,14 +189,7 @@ impl Simulation {
                 EventKind::Deliver { src, dst, payload } => {
                     self.delivered += 1;
                     self.dispatch(dst, |node, ctx| {
-                        node.on_packet(
-                            Packet {
-                                src,
-                                dst,
-                                payload,
-                            },
-                            ctx,
-                        )
+                        node.on_packet(Packet { src, dst, payload }, ctx)
                     });
                 }
                 EventKind::Timer { node, token } => {
@@ -310,7 +299,12 @@ mod tests {
         let p = sim.node_mut::<Pinger>(ping).unwrap();
         assert_eq!(p.replies, 1);
         // RTT within jitter bounds (2 × 0.5 ms max).
-        assert!((p.last_rtt_ms - expected).abs() < 1.5, "{} vs {}", p.last_rtt_ms, expected);
+        assert!(
+            (p.last_rtt_ms - expected).abs() < 1.5,
+            "{} vs {}",
+            p.last_rtt_ms,
+            expected
+        );
     }
 
     #[test]

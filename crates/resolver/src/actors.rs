@@ -435,8 +435,12 @@ mod tests {
         let client_addr: IpAddr = "100.66.1.77".parse().unwrap();
 
         let mut zone = Zone::new(name("probe.example"));
-        zone.add_a(name("www.probe.example"), 60, Ipv4Addr::new(198, 51, 100, 1))
-            .unwrap();
+        zone.add_a(
+            name("www.probe.example"),
+            60,
+            Ipv4Addr::new(198, 51, 100, 1),
+        )
+        .unwrap();
         let auth = AuthServer::new(zone, EcsHandling::open(ScopePolicy::SourceMinusK(4)));
         let auth_node = sim.add_node(
             AuthActor::new(auth, book.clone()),
@@ -453,14 +457,8 @@ mod tests {
             city("Dallas").unwrap().pos,
         );
 
-        let hidden_node = sim.add_node(
-            RelayActor::new(egress_node),
-            city("Milan").unwrap().pos,
-        );
-        let fwd_node = sim.add_node(
-            RelayActor::new(hidden_node),
-            city("Santiago").unwrap().pos,
-        );
+        let hidden_node = sim.add_node(RelayActor::new(egress_node), city("Milan").unwrap().pos);
+        let fwd_node = sim.add_node(RelayActor::new(hidden_node), city("Santiago").unwrap().pos);
 
         let query = Message::query(77, Question::a(name("www.probe.example")));
         let client_node = sim.add_node(
@@ -510,8 +508,12 @@ mod tests {
         let client_addr: IpAddr = "100.66.2.42".parse().unwrap();
 
         let mut zone = Zone::new(name("probe.example"));
-        zone.add_a(name("www.probe.example"), 60, Ipv4Addr::new(198, 51, 100, 1))
-            .unwrap();
+        zone.add_a(
+            name("www.probe.example"),
+            60,
+            Ipv4Addr::new(198, 51, 100, 1),
+        )
+        .unwrap();
         let auth = AuthServer::new(zone, EcsHandling::open(ScopePolicy::MatchSource));
         let auth_node = sim.add_node(
             AuthActor::new(auth, book.clone()),
@@ -565,8 +567,12 @@ mod tests {
         let client_addr: IpAddr = "100.66.2.42".parse().unwrap();
 
         let mut zone = Zone::new(name("probe.example"));
-        zone.add_a(name("www.probe.example"), 600, Ipv4Addr::new(198, 51, 100, 1))
-            .unwrap();
+        zone.add_a(
+            name("www.probe.example"),
+            600,
+            Ipv4Addr::new(198, 51, 100, 1),
+        )
+        .unwrap();
         let auth = AuthServer::new(zone, EcsHandling::open(ScopePolicy::MatchSource));
         let auth_node = sim.add_node(
             AuthActor::new(auth, book.clone()),
@@ -645,8 +651,12 @@ mod retry_tests {
         let client_addr: IpAddr = "100.70.1.7".parse().unwrap();
 
         let mut zone = Zone::new(name("probe.example"));
-        zone.add_a(name("www.probe.example"), 60, Ipv4Addr::new(198, 51, 100, 1))
-            .unwrap();
+        zone.add_a(
+            name("www.probe.example"),
+            60,
+            Ipv4Addr::new(198, 51, 100, 1),
+        )
+        .unwrap();
         let auth = AuthServer::new(zone, EcsHandling::open(ScopePolicy::MatchSource));
         let auth_node = sim.add_node(
             AuthActor::new(auth, book.clone()),
@@ -692,7 +702,10 @@ mod retry_tests {
                 answered += 1;
             }
         }
-        assert!(answered >= 9, "retries should absorb 30% loss: {answered}/10");
+        assert!(
+            answered >= 9,
+            "retries should absorb 30% loss: {answered}/10"
+        );
     }
 
     #[test]

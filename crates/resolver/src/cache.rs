@@ -207,18 +207,15 @@ impl EcsCache {
             Some(opt) => {
                 let effective = match self.compliance {
                     // RFC: scope may not exceed source; clamp.
-                    CacheCompliance::Honor => {
-                        opt.scope_prefix_len().min(opt.source_prefix_len())
-                    }
+                    CacheCompliance::Honor => opt.scope_prefix_len().min(opt.source_prefix_len()),
                     // Scope is ignored at lookup; store it anyway (purely
                     // informational — every lookup matches).
                     CacheCompliance::IgnoreScope => {
                         opt.scope_prefix_len().min(opt.source_prefix_len())
                     }
-                    CacheCompliance::CapPrefix(cap) => opt
-                        .scope_prefix_len()
-                        .min(opt.source_prefix_len())
-                        .min(cap),
+                    CacheCompliance::CapPrefix(cap) => {
+                        opt.scope_prefix_len().min(opt.source_prefix_len()).min(cap)
+                    }
                 };
                 if effective == 0 && !self.cache_zero_scope {
                     return false;
@@ -292,7 +289,11 @@ mod tests {
     }
 
     fn rec(s: &str, ttl: u32) -> Vec<Record> {
-        vec![Record::new(name(s), ttl, Rdata::A(Ipv4Addr::new(203, 0, 113, 1)))]
+        vec![Record::new(
+            name(s),
+            ttl,
+            Rdata::A(Ipv4Addr::new(203, 0, 113, 1)),
+        )]
     }
 
     fn ip(s: &str) -> IpAddr {
@@ -307,11 +308,22 @@ mod tests {
     fn scope_24_restricts_to_subnet() {
         let mut c = EcsCache::new(CacheCompliance::Honor);
         let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(24);
-        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            Some(ecs),
+            60,
+            t(0),
+        );
         // Same /24: hit.
-        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.2.200"), t(1)).is_some());
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("192.0.2.200"), t(1))
+            .is_some());
         // Different /24: miss.
-        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.3.1"), t(1)).is_none());
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("192.0.3.1"), t(1))
+            .is_none());
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
     }
@@ -320,24 +332,53 @@ mod tests {
     fn scope_16_serves_whole_slash16() {
         let mut c = EcsCache::new(CacheCompliance::Honor);
         let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(16);
-        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
-        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.99.1"), t(1)).is_some());
-        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.1.0.1"), t(1)).is_none());
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            Some(ecs),
+            60,
+            t(0),
+        );
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("192.0.99.1"), t(1))
+            .is_some());
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("192.1.0.1"), t(1))
+            .is_none());
     }
 
     #[test]
     fn scope_zero_serves_everyone() {
         let mut c = EcsCache::new(CacheCompliance::Honor);
         let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(0);
-        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
-        assert!(c.lookup(&name("a.example"), RecordType::A, ip("8.8.8.8"), t(1)).is_some());
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            Some(ecs),
+            60,
+            t(0),
+        );
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("8.8.8.8"), t(1))
+            .is_some());
     }
 
     #[test]
     fn non_ecs_answers_serve_everyone() {
         let mut c = EcsCache::new(CacheCompliance::Honor);
-        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), None, 60, t(0));
-        assert!(c.lookup(&name("a.example"), RecordType::A, ip("1.1.1.1"), t(1)).is_some());
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            None,
+            60,
+            t(0),
+        );
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("1.1.1.1"), t(1))
+            .is_some());
     }
 
     #[test]
@@ -346,17 +387,25 @@ mod tests {
         // must be treated as scope == source for caching.
         let mut c = EcsCache::new(CacheCompliance::Honor);
         let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 0, 0), 16).with_scope(24);
-        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            Some(ecs),
+            60,
+            t(0),
+        );
         // Everything in the /16 hits, even outside what a /24 scope would allow.
-        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.77.1"), t(1)).is_some());
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("192.0.77.1"), t(1))
+            .is_some());
     }
 
     #[test]
     fn multiple_scoped_entries_coexist() {
         let mut c = EcsCache::new(CacheCompliance::Honor);
         for third in [1u8, 2, 3] {
-            let ecs =
-                EcsOption::from_v4(Ipv4Addr::new(192, 0, third, 0), 24).with_scope(24);
+            let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, third, 0), 24).with_scope(24);
             c.insert(
                 name("a.example"),
                 RecordType::A,
@@ -367,8 +416,12 @@ mod tests {
             );
         }
         assert_eq!(c.len(t(1)), 3);
-        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.2.9"), t(1)).is_some());
-        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.9.9"), t(1)).is_none());
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("192.0.2.9"), t(1))
+            .is_some());
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("192.0.9.9"), t(1))
+            .is_none());
         assert_eq!(c.stats().max_size, 3);
     }
 
@@ -376,8 +429,22 @@ mod tests {
     fn same_scope_replaces() {
         let mut c = EcsCache::new(CacheCompliance::Honor);
         let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(24);
-        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
-        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(5));
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            Some(ecs),
+            60,
+            t(0),
+        );
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            Some(ecs),
+            60,
+            t(5),
+        );
         assert_eq!(c.len(t(6)), 1);
     }
 
@@ -385,9 +452,20 @@ mod tests {
     fn entries_expire_at_ttl() {
         let mut c = EcsCache::new(CacheCompliance::Honor);
         let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(24);
-        c.insert(name("a.example"), RecordType::A, rec("a.example", 20), Some(ecs), 20, t(0));
-        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.2.1"), t(19)).is_some());
-        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.2.1"), t(20)).is_none());
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 20),
+            Some(ecs),
+            20,
+            t(0),
+        );
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("192.0.2.1"), t(19))
+            .is_some());
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("192.0.2.1"), t(20))
+            .is_none());
         assert_eq!(c.len(t(20)), 0);
     }
 
@@ -395,7 +473,14 @@ mod tests {
     fn served_ttl_decreases() {
         let mut c = EcsCache::new(CacheCompliance::Honor);
         let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(24);
-        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            Some(ecs),
+            60,
+            t(0),
+        );
         let answer = c
             .lookup(&name("a.example"), RecordType::A, ip("192.0.2.1"), t(45))
             .unwrap();
@@ -407,20 +492,40 @@ mod tests {
     fn ignore_scope_serves_any_client() {
         let mut c = EcsCache::new(CacheCompliance::IgnoreScope);
         let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(24);
-        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            Some(ecs),
+            60,
+            t(0),
+        );
         // A client on the other side of the world still hits.
-        assert!(c.lookup(&name("a.example"), RecordType::A, ip("8.8.8.8"), t(1)).is_some());
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("8.8.8.8"), t(1))
+            .is_some());
     }
 
     #[test]
     fn cap_prefix_widens_match() {
         let mut c = EcsCache::new(CacheCompliance::CapPrefix(22));
         let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(24);
-        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            Some(ecs),
+            60,
+            t(0),
+        );
         // 192.0.3.x is outside the /24 but inside the /22 (192.0.0.0/22).
-        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.3.1"), t(1)).is_some());
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("192.0.3.1"), t(1))
+            .is_some());
         // 192.0.4.x is outside the /22.
-        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.4.1"), t(1)).is_none());
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("192.0.4.1"), t(1))
+            .is_none());
     }
 
     #[test]
@@ -436,7 +541,9 @@ mod tests {
             60,
             t(0)
         ));
-        assert!(c.lookup(&name("a.example"), RecordType::A, ip("192.0.2.1"), t(1)).is_none());
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("192.0.2.1"), t(1))
+            .is_none());
         // Non-zero scope still caches.
         let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(24);
         assert!(c.insert(
@@ -454,7 +561,14 @@ mod tests {
         let mut c = EcsCache::new(CacheCompliance::Honor);
         assert_eq!(c.stats().hit_rate(), 0.0);
         let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(0);
-        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), Some(ecs), 60, t(0));
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            Some(ecs),
+            60,
+            t(0),
+        );
         c.lookup(&name("a.example"), RecordType::A, ip("1.1.1.1"), t(1));
         c.lookup(&name("b.example"), RecordType::A, ip("1.1.1.1"), t(1));
         assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
@@ -463,14 +577,30 @@ mod tests {
     #[test]
     fn qtype_distinguishes_entries() {
         let mut c = EcsCache::new(CacheCompliance::Honor);
-        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), None, 60, t(0));
-        assert!(c.lookup(&name("a.example"), RecordType::Aaaa, ip("1.1.1.1"), t(1)).is_none());
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            None,
+            60,
+            t(0),
+        );
+        assert!(c
+            .lookup(&name("a.example"), RecordType::Aaaa, ip("1.1.1.1"), t(1))
+            .is_none());
     }
 
     #[test]
     fn clear_resets_entries_not_stats() {
         let mut c = EcsCache::new(CacheCompliance::Honor);
-        c.insert(name("a.example"), RecordType::A, rec("a.example", 60), None, 60, t(0));
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            None,
+            60,
+            t(0),
+        );
         c.lookup(&name("a.example"), RecordType::A, ip("1.1.1.1"), t(1));
         c.clear();
         assert_eq!(c.len(t(1)), 0);
@@ -481,12 +611,29 @@ mod tests {
     fn v6_scopes_work() {
         let mut c = EcsCache::new(CacheCompliance::Honor);
         let ecs = EcsOption::from_v6("2001:db8:1:2::".parse().unwrap(), 56).with_scope(48);
-        c.insert(name("a.example"), RecordType::Aaaa, rec("a.example", 60), Some(ecs), 60, t(0));
+        c.insert(
+            name("a.example"),
+            RecordType::Aaaa,
+            rec("a.example", 60),
+            Some(ecs),
+            60,
+            t(0),
+        );
         assert!(c
-            .lookup(&name("a.example"), RecordType::Aaaa, ip("2001:db8:1:ffff::1"), t(1))
+            .lookup(
+                &name("a.example"),
+                RecordType::Aaaa,
+                ip("2001:db8:1:ffff::1"),
+                t(1)
+            )
             .is_some());
         assert!(c
-            .lookup(&name("a.example"), RecordType::Aaaa, ip("2001:db8:2::1"), t(1))
+            .lookup(
+                &name("a.example"),
+                RecordType::Aaaa,
+                ip("2001:db8:2::1"),
+                t(1)
+            )
             .is_none());
     }
 
@@ -539,13 +686,23 @@ mod negative_cache_tests {
             t(0),
         );
         let hit = c
-            .lookup(&name("gone.example"), RecordType::A, "1.2.3.4".parse().unwrap(), t(1))
+            .lookup(
+                &name("gone.example"),
+                RecordType::A,
+                "1.2.3.4".parse().unwrap(),
+                t(1),
+            )
             .unwrap();
         assert_eq!(hit.rcode, Rcode::NxDomain);
         assert!(hit.records.is_empty());
         // Expires like any entry.
         assert!(c
-            .lookup(&name("gone.example"), RecordType::A, "1.2.3.4".parse().unwrap(), t(61))
+            .lookup(
+                &name("gone.example"),
+                RecordType::A,
+                "1.2.3.4".parse().unwrap(),
+                t(61)
+            )
             .is_none());
     }
 
@@ -563,10 +720,20 @@ mod negative_cache_tests {
             t(0),
         );
         assert!(c
-            .lookup(&name("gone.example"), RecordType::A, "192.0.2.9".parse().unwrap(), t(1))
+            .lookup(
+                &name("gone.example"),
+                RecordType::A,
+                "192.0.2.9".parse().unwrap(),
+                t(1)
+            )
             .is_some());
         assert!(c
-            .lookup(&name("gone.example"), RecordType::A, "192.0.3.9".parse().unwrap(), t(1))
+            .lookup(
+                &name("gone.example"),
+                RecordType::A,
+                "192.0.3.9".parse().unwrap(),
+                t(1)
+            )
             .is_none());
     }
 }

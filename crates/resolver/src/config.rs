@@ -137,7 +137,10 @@ mod tests {
 
         let c = ResolverConfig::jammed_full(A, 1);
         assert_eq!(c.compliance, CacheCompliance::IgnoreScope);
-        assert!(matches!(c.prefix_policy, PrefixPolicy::JammedFull { jam: 1 }));
+        assert!(matches!(
+            c.prefix_policy,
+            PrefixPolicy::JammedFull { jam: 1 }
+        ));
 
         let c = ResolverConfig::long_prefix_acceptor(A);
         assert!(c.accept_client_ecs);

@@ -172,8 +172,7 @@ impl Resolver {
         match self.begin(query, client_src, now) {
             Step::Answer(resp) => resp,
             Step::NeedUpstream(pending) => {
-                let upstream_resp =
-                    upstream.query(&pending.upstream_query, self.config.addr, now);
+                let upstream_resp = upstream.query(&pending.upstream_query, self.config.addr, now);
                 self.complete(pending, &upstream_resp, now)
             }
         }
@@ -199,8 +198,7 @@ impl Resolver {
         } else {
             None
         };
-        let effective_client: IpAddr =
-            client_ecs.as_ref().map(|e| e.addr()).unwrap_or(client_src);
+        let effective_client: IpAddr = client_ecs.as_ref().map(|e| e.addr()).unwrap_or(client_src);
 
         // Cache lookup (unless the probing strategy bypasses the cache for
         // this name).
@@ -553,10 +551,7 @@ mod tests {
         zone2
             .add_a(name("www.other.net"), 60, Ipv4Addr::new(198, 51, 100, 9))
             .unwrap();
-        router.add(AuthServer::new(
-            zone2,
-            EcsHandling::open(ScopePolicy::Zero),
-        ));
+        router.add(AuthServer::new(zone2, EcsHandling::open(ScopePolicy::Zero)));
         let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
         let a = r.resolve_msg(&client_query("www.example.com"), CLIENT, t(0), &mut router);
         assert_eq!(a.answer_addrs()[0].to_string(), "198.51.100.1");
@@ -646,8 +641,11 @@ mod chasing_tests {
             netsim::geo::city("Tokyo").unwrap().pos,
         );
         router.add(
-            AuthServer::new(Zone::new(name("cdn.net")), EcsHandling::open(ScopePolicy::MatchSource))
-                .with_cdn(CdnBehavior::cdn1(footprint), geodb),
+            AuthServer::new(
+                Zone::new(name("cdn.net")),
+                EcsHandling::open(ScopePolicy::MatchSource),
+            )
+            .with_cdn(CdnBehavior::cdn1(footprint), geodb),
         );
         router
     }
@@ -731,8 +729,12 @@ mod adaptive_tests {
     fn learns_zone_scope_and_truncates_future_prefixes() {
         // An authoritative that maps at /20 granularity.
         let mut zone = Zone::new(name("coarse.example"));
-        zone.add_a(name("www.coarse.example"), 20, Ipv4Addr::new(198, 51, 100, 1))
-            .unwrap();
+        zone.add_a(
+            name("www.coarse.example"),
+            20,
+            Ipv4Addr::new(198, 51, 100, 1),
+        )
+        .unwrap();
         let mut auth = AuthServer::new(zone, EcsHandling::open(ScopePolicy::Fixed(20)));
         let mut r = Resolver::new(ResolverConfig {
             adaptive_prefix: true,
@@ -740,11 +742,21 @@ mod adaptive_tests {
         });
         let q = Message::query(1, Question::a(name("www.coarse.example")));
         // First query: nothing learned yet → RFC /24.
-        r.resolve_msg(&q, "100.70.1.1".parse().unwrap(), SimTime::from_secs(0), &mut auth);
+        r.resolve_msg(
+            &q,
+            "100.70.1.1".parse().unwrap(),
+            SimTime::from_secs(0),
+            &mut auth,
+        );
         assert_eq!(auth.log()[0].ecs.unwrap().source_prefix_len(), 24);
         assert_eq!(r.learned_scope(&name("www.coarse.example")), Some(20));
         // Second query (other subnet, past TTL): learned /20 applies.
-        r.resolve_msg(&q, "100.80.1.1".parse().unwrap(), SimTime::from_secs(30), &mut auth);
+        r.resolve_msg(
+            &q,
+            "100.80.1.1".parse().unwrap(),
+            SimTime::from_secs(30),
+            &mut auth,
+        );
         assert_eq!(auth.log()[1].ecs.unwrap().source_prefix_len(), 20);
     }
 
@@ -759,10 +771,20 @@ mod adaptive_tests {
             ..ResolverConfig::rfc_compliant(RES)
         });
         let q = Message::query(1, Question::a(name("www.z.example")));
-        r.resolve_msg(&q, "100.70.1.1".parse().unwrap(), SimTime::from_secs(0), &mut auth);
+        r.resolve_msg(
+            &q,
+            "100.70.1.1".parse().unwrap(),
+            SimTime::from_secs(0),
+            &mut auth,
+        );
         // Scope 0 is not learned; future queries stay at /24.
         assert_eq!(r.learned_scope(&name("www.z.example")), None);
-        r.resolve_msg(&q, "100.80.1.1".parse().unwrap(), SimTime::from_secs(30), &mut auth);
+        r.resolve_msg(
+            &q,
+            "100.80.1.1".parse().unwrap(),
+            SimTime::from_secs(30),
+            &mut auth,
+        );
         assert_eq!(auth.log()[1].ecs.unwrap().source_prefix_len(), 24);
     }
 
@@ -781,7 +803,12 @@ mod adaptive_tests {
             ..ResolverConfig::rfc_compliant(RES)
         });
         let qa = Message::query(1, Question::a(name("a.mix.example")));
-        r.resolve_msg(&qa, "100.70.1.1".parse().unwrap(), SimTime::from_secs(0), &mut auth);
+        r.resolve_msg(
+            &qa,
+            "100.70.1.1".parse().unwrap(),
+            SimTime::from_secs(0),
+            &mut auth,
+        );
         assert_eq!(r.learned_scope(&name("a.mix.example")), Some(16));
         // Server policy shifts finer (Fixed(24)-like via a new server).
         let mut zone2 = Zone::new(name("mix.example"));
@@ -790,7 +817,12 @@ mod adaptive_tests {
             .unwrap();
         let mut auth24 = AuthServer::new(zone2, EcsHandling::open(ScopePolicy::MatchSource));
         let qb = Message::query(2, Question::a(name("b.mix.example")));
-        r.resolve_msg(&qb, "100.70.1.1".parse().unwrap(), SimTime::from_secs(1), &mut auth24);
+        r.resolve_msg(
+            &qb,
+            "100.70.1.1".parse().unwrap(),
+            SimTime::from_secs(1),
+            &mut auth24,
+        );
         // learned = max(16, 24-ish). The /16-learned state truncated the
         // outgoing prefix to 16, so the response scope echoes 16 and the
         // memory stays at 16 — the known one-way ratchet of adaptation.

@@ -66,4 +66,4 @@ pub use cache::{CacheCompliance, CacheStats, EcsCache};
 pub use config::ResolverConfig;
 pub use engine::{PendingQuery, Resolver, Step, Upstream, ZoneRouter};
 pub use prefix_policy::PrefixPolicy;
-pub use probing::{ProbingStrategy, ProbingState};
+pub use probing::{ProbingState, ProbingStrategy};

@@ -113,9 +113,7 @@ impl PrefixPolicy {
             PrefixPolicy::ResolverOwn => {
                 EcsOption::new(own_addr, if own_addr.is_ipv4() { 24 } else { 56 })
             }
-            PrefixPolicy::Loopback => {
-                EcsOption::from_v4(std::net::Ipv4Addr::new(127, 0, 0, 1), 32)
-            }
+            PrefixPolicy::Loopback => EcsOption::from_v4(std::net::Ipv4Addr::new(127, 0, 0, 1), 32),
             PrefixPolicy::PrivateLeak => {
                 EcsOption::from_v4(std::net::Ipv4Addr::new(10, 0, 0, 0), 24)
             }

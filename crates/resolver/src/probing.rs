@@ -323,8 +323,7 @@ mod every_kth_tests {
         let s = ProbingStrategy::EveryKth { k: 1 };
         let mut st = ProbingState::default();
         assert!((0..5).all(|i| {
-            s.decide(&n, true, false, SimTime::from_secs(i), &mut st)
-                == EcsDecision::SendClientEcs
+            s.decide(&n, true, false, SimTime::from_secs(i), &mut st) == EcsDecision::SendClientEcs
         }));
     }
 }

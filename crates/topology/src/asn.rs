@@ -12,9 +12,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Identifies an autonomous system.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct AsId(pub u32);
 
 /// An autonomous system with geographic presence.
@@ -57,9 +55,12 @@ pub fn jitter_position<R: Rng>(center: GeoPoint, radius_km: f64, rng: &mut R) ->
 /// * `chinese_ases - 1` further Chinese ASes (the paper: 19 Chinese ASes
 ///   among scan-dataset egress ASes);
 /// * `other_ases` spread across the remaining countries in the city table.
-pub fn generate_ases<R: Rng>(chinese_ases: usize, other_ases: usize, rng: &mut R) -> Vec<AutonomousSystem> {
-    let chinese_cities: Vec<&'static City> =
-        CITIES.iter().filter(|c| c.country == "CN").collect();
+pub fn generate_ases<R: Rng>(
+    chinese_ases: usize,
+    other_ases: usize,
+    rng: &mut R,
+) -> Vec<AutonomousSystem> {
+    let chinese_cities: Vec<&'static City> = CITIES.iter().filter(|c| c.country == "CN").collect();
     let non_chinese: Vec<&'static City> = CITIES.iter().filter(|c| c.country != "CN").collect();
 
     let mut out = Vec::with_capacity(chinese_ases + other_ases);
@@ -128,7 +129,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let ases = generate_ases(5, 10, &mut rng);
         assert_eq!(ases[0].country, "CN");
-        assert!(ases[0].cities.len() >= 3, "dominant AS covers Chinese cities");
+        assert!(
+            ases[0].cities.len() >= 3,
+            "dominant AS covers Chinese cities"
+        );
     }
 
     #[test]
@@ -147,11 +151,12 @@ mod tests {
         let ases = generate_ases(2, 5, &mut rng);
         for a in &ases {
             let pos = a.pick_position(&mut rng);
-            let close = a
-                .cities
-                .iter()
-                .any(|c| c.pos.distance_km(&pos) < 120.0);
-            assert!(close, "AS{} position {pos} far from all home cities", a.id.0);
+            let close = a.cities.iter().any(|c| c.pos.distance_km(&pos) < 120.0);
+            assert!(
+                close,
+                "AS{} position {pos} far from all home cities",
+                a.id.0
+            );
         }
     }
 

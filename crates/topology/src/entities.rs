@@ -191,8 +191,9 @@ mod tests {
             assert!(a < 3);
         }
         // Different keys reach different edges.
-        let distinct: std::collections::HashSet<_> =
-            (0..100u64).map(|k| cdn.arbitrary_edge(k).unwrap()).collect();
+        let distinct: std::collections::HashSet<_> = (0..100u64)
+            .map(|k| cdn.arbitrary_edge(k).unwrap())
+            .collect();
         assert_eq!(distinct.len(), 3);
     }
 }

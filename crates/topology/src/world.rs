@@ -133,7 +133,12 @@ impl World {
         // this is what makes public resolvers poor location proxies.
         let service_regions: Vec<&'static str> = {
             let mut names: Vec<&'static str> = vec![
-                "Mountain View", "Dallas", "Frankfurt", "Singapore", "Sao Paulo", "Tokyo",
+                "Mountain View",
+                "Dallas",
+                "Frankfurt",
+                "Singapore",
+                "Sao Paulo",
+                "Tokyo",
             ];
             names.shuffle(&mut rng);
             names

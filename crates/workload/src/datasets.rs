@@ -290,12 +290,8 @@ impl PublicCdnTraceGen {
     pub fn generate(&self) -> TraceSet {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut alloc = AddrAllocator::new();
-        let mut universe = NameUniverse::generate(
-            (self.hostnames / 4).max(1),
-            4,
-            1.0,
-            self.seed ^ 0x5EED,
-        );
+        let mut universe =
+            NameUniverse::generate((self.hostnames / 4).max(1), 4, 1.0, self.seed ^ 0x5EED);
         universe.set_uniform_ttl(self.ttl);
 
         // Resolver addresses and their client subnet pools. Real egress
@@ -321,7 +317,11 @@ impl PublicCdnTraceGen {
         // coarser. Fixed per name (a CDN's granularity for a property is
         // stable over a 3-hour window).
         let scopes: Vec<u8> = (0..universe.len())
-            .map(|_| *[24u8, 24, 24, 24, 24, 16, 16, 8].choose(&mut rng).expect("non-empty"))
+            .map(|_| {
+                *[24u8, 24, 24, 24, 24, 16, 16, 8]
+                    .choose(&mut rng)
+                    .expect("non-empty")
+            })
             .collect();
 
         let mut set = TraceSet::new("public-resolver/cdn");
@@ -342,6 +342,9 @@ impl PublicCdnTraceGen {
             });
         }
         set.sort_by_time();
+        // Intern names and resolvers now, while the trace is hot: replay
+        // then never hashes a Name.
+        set.build_index();
         set
     }
 }
@@ -424,10 +427,18 @@ impl AllNamesTraceGen {
         // the equivalent in the 32..=64 range, chosen at query time from
         // the client family.
         let v4_scopes: Vec<u8> = (0..universe.len())
-            .map(|_| *[24u8, 24, 24, 24, 20, 16, 16, 12].choose(&mut rng).expect("non-empty"))
+            .map(|_| {
+                *[24u8, 24, 24, 24, 20, 16, 16, 12]
+                    .choose(&mut rng)
+                    .expect("non-empty")
+            })
             .collect();
         let v6_scopes: Vec<u8> = (0..universe.len())
-            .map(|_| *[48u8, 48, 48, 56, 40, 32].choose(&mut rng).expect("non-empty"))
+            .map(|_| {
+                *[48u8, 48, 48, 56, 40, 32]
+                    .choose(&mut rng)
+                    .expect("non-empty")
+            })
             .collect();
 
         let mut set = TraceSet::new("all-names");
@@ -455,6 +466,7 @@ impl AllNamesTraceGen {
             });
         }
         set.sort_by_time();
+        set.build_index();
         set
     }
 }
@@ -526,7 +538,10 @@ mod tests {
         assert!(t.records.iter().all(|r| r.response_scope.unwrap() > 0));
         assert!(t.records.iter().all(|r| r.ttl == 20));
         // Time-ordered within duration.
-        assert!(t.records.windows(2).all(|w| w[0].at_micros <= w[1].at_micros));
+        assert!(t
+            .records
+            .windows(2)
+            .all(|w| w[0].at_micros <= w[1].at_micros));
         assert!(t.records.last().unwrap().at_micros < gen.duration.as_micros());
     }
 
@@ -551,8 +566,7 @@ mod tests {
         // Non-zero scopes throughout (dataset definition).
         assert!(t.records.iter().all(|r| r.response_scope.unwrap() > 0));
         // TTL mix is diverse.
-        let ttls: std::collections::HashSet<u32> =
-            t.records.iter().map(|r| r.ttl).collect();
+        let ttls: std::collections::HashSet<u32> = t.records.iter().map(|r| r.ttl).collect();
         assert!(ttls.len() >= 3);
         // Every record has a client and its ECS source contains the client.
         assert!(t

@@ -120,12 +120,14 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<TraceSet, TraceIoError> {
                 got: fields.len(),
             });
         }
-        let bad = |field: &'static str| TraceIoError::BadField { line: lineno, field };
+        let bad = |field: &'static str| TraceIoError::BadField {
+            line: lineno,
+            field,
+        };
         let at_micros: u64 = fields[0].parse().map_err(|_| bad("at_micros"))?;
         let resolver: IpAddr = fields[1].parse().map_err(|_| bad("resolver"))?;
         let qname = Name::from_ascii(fields[2]).map_err(|_| bad("qname"))?;
-        let qtype =
-            RecordType::from_u16(fields[3].parse().map_err(|_| bad("qtype"))?);
+        let qtype = RecordType::from_u16(fields[3].parse().map_err(|_| bad("qtype"))?);
         let ecs_source = match fields[4] {
             "-" => None,
             s => {
@@ -214,7 +216,8 @@ mod tests {
 
     #[test]
     fn field_errors_carry_line_numbers() {
-        let data = b"#ecs-trace v1 t\n1\t9.9.9.9\ta.example.\t1\t-\t-\t60\t-\nbroken line\n".to_vec();
+        let data =
+            b"#ecs-trace v1 t\n1\t9.9.9.9\ta.example.\t1\t-\t-\t60\t-\nbroken line\n".to_vec();
         let err = read_trace(std::io::Cursor::new(data)).unwrap_err();
         assert_eq!(err, TraceIoError::FieldCount { line: 3, got: 1 });
 
@@ -231,7 +234,9 @@ mod tests {
 
     #[test]
     fn empty_lines_skipped() {
-        let data = b"#ecs-trace v1 t\n\n1\t9.9.9.9\ta.example.\t1\t10.0.0.0/24\t24\t60\t10.0.0.7\n\n".to_vec();
+        let data =
+            b"#ecs-trace v1 t\n\n1\t9.9.9.9\ta.example.\t1\t10.0.0.0/24\t24\t60\t10.0.0.7\n\n"
+                .to_vec();
         let set = read_trace(std::io::Cursor::new(data)).unwrap();
         assert_eq!(set.len(), 1);
         assert_eq!(set.records[0].ecs_source.unwrap().len(), 24);

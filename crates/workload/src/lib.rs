@@ -25,15 +25,17 @@
 //! ```
 
 pub mod datasets;
+pub mod intern;
 pub mod io;
 pub mod names;
 pub mod trace;
 pub mod zipf;
 
 pub use datasets::{
-    AllNamesTraceGen, CdnDatasetGen, ComplianceClass, PrefixClass, ProbingClass,
-    PublicCdnTraceGen, ResolverSpec, ScanDatasetGen,
+    AllNamesTraceGen, CdnDatasetGen, ComplianceClass, PrefixClass, ProbingClass, PublicCdnTraceGen,
+    ResolverSpec, ScanDatasetGen,
 };
+pub use intern::{Interner, TraceIndex};
 pub use io::{read_trace, write_trace, TraceIoError};
 pub use names::NameUniverse;
 pub use trace::{TraceRecord, TraceSet};

@@ -23,7 +23,7 @@ pub struct NameUniverse {
 
 /// TTL buckets mirroring common operational choices. Weights sum to 100.
 const TTL_BUCKETS: &[(u32, u32)] = &[
-    (20, 35),   // CDN-style rapid re-mapping
+    (20, 35), // CDN-style rapid re-mapping
     (60, 25),
     (300, 25),
     (3600, 15),

@@ -10,6 +10,8 @@ use dns_wire::{IpPrefix, Name, RecordType};
 use serde::{Deserialize, Serialize};
 use std::net::IpAddr;
 
+use crate::intern::TraceIndex;
+
 /// One logged query/response pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceRecord {
@@ -32,12 +34,22 @@ pub struct TraceRecord {
 }
 
 /// A whole trace plus its metadata.
+///
+/// A trace may carry a cached [`TraceIndex`] (built by the generators, or
+/// on demand via [`TraceSet::build_index`]) mapping every record to dense
+/// `(resolver id, name id)` pairs so replay never hashes or clones a
+/// [`Name`]. The cache is positional: it is dropped by
+/// [`TraceSet::sort_by_time`] and ignored when the record count no longer
+/// matches; rewriting `records` in place at the same length requires
+/// calling [`TraceSet::build_index`] again.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TraceSet {
     /// Trace records in non-decreasing time order.
     pub records: Vec<TraceRecord>,
     /// Label for reports.
     pub label: String,
+    /// Cached interned view of `records`.
+    index: Option<TraceIndex>,
 }
 
 impl TraceSet {
@@ -46,7 +58,37 @@ impl TraceSet {
         TraceSet {
             records: Vec::new(),
             label: label.into(),
+            index: None,
         }
+    }
+
+    /// The cached interned view, if present and still covering every
+    /// record. Returns `None` (rather than building one) so read-only
+    /// consumers can fall back to a local build without `&mut self`.
+    pub fn index(&self) -> Option<&TraceIndex> {
+        let idx = self.index.as_ref()?;
+        if idx.len() != self.records.len() {
+            return None;
+        }
+        // Spot-check alignment: catches most in-place rewrites that kept
+        // the record count unchanged.
+        if let Some(last) = self.records.last() {
+            let i = self.records.len() - 1;
+            debug_assert_eq!(
+                idx.resolvers()[idx.resolver_id(i) as usize],
+                last.resolver,
+                "stale TraceIndex: records were rewritten in place"
+            );
+        }
+        Some(idx)
+    }
+
+    /// Builds (or rebuilds) and caches the interned view.
+    pub fn build_index(&mut self) -> &TraceIndex {
+        if self.index().is_none() {
+            self.index = Some(TraceIndex::build(&self.records));
+        }
+        self.index.as_ref().expect("just built")
     }
 
     /// Number of records.
@@ -88,13 +130,18 @@ impl TraceSet {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().filter(|r| r.ecs_source.is_some()).count() as f64
+        self.records
+            .iter()
+            .filter(|r| r.ecs_source.is_some())
+            .count() as f64
             / self.records.len() as f64
     }
 
-    /// Asserts (in debug builds) and repairs time ordering.
+    /// Asserts (in debug builds) and repairs time ordering. Drops any
+    /// cached index: it is positional and sorting reorders records.
     pub fn sort_by_time(&mut self) {
         self.records.sort_by_key(|r| r.at_micros);
+        self.index = None;
     }
 }
 
@@ -130,6 +177,34 @@ mod tests {
         t.sort_by_time();
         assert_eq!(t.records[0].at_micros, 1);
         assert_eq!(t.records[2].at_micros, 5);
+    }
+
+    #[test]
+    fn index_caches_and_invalidates() {
+        let mut t = TraceSet::new("test");
+        t.records.push(rec(5, 1, "a.example.com"));
+        t.records.push(rec(1, 2, "b.example.com"));
+        assert!(t.index().is_none(), "no index until built");
+        t.build_index();
+        let idx = t.index().expect("built");
+        assert_eq!(idx.num_resolvers(), 2);
+        assert_eq!(idx.num_names(), 2);
+        // Sorting reorders records, so the positional cache is dropped.
+        t.sort_by_time();
+        assert!(t.index().is_none());
+        t.build_index();
+        let idx = t.index().expect("rebuilt");
+        assert_eq!(
+            idx.resolvers()[idx.resolver_id(0) as usize],
+            t.records[0].resolver
+        );
+        // Growing the trace makes the cache stale by length.
+        t.records.push(rec(9, 3, "c.example.com"));
+        assert!(t.index().is_none());
+        assert_eq!(t.build_index().num_resolvers(), 3);
+        // A clone shares the Arc-backed index.
+        let c = t.clone();
+        assert!(c.index().is_some());
     }
 
     #[test]

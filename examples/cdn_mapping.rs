@@ -16,7 +16,10 @@ fn main() {
             ..config
         });
         println!("--- {label} ---");
-        println!("{:<6} {:>12} {:>12} {:>16}", "prefix", "median ms", "p90 ms", "unique answers");
+        println!(
+            "{:<6} {:>12} {:>12} {:>16}",
+            "prefix", "median ms", "p90 ms", "unique answers"
+        );
         for (len, q) in &outcome.by_length {
             println!(
                 "/{:<5} {:>12.1} {:>12.1} {:>16}",

@@ -23,7 +23,10 @@ fn main() {
         world.egress_resolvers.len()
     );
 
-    for (label, public_only) in [("via major public service", true), ("via other resolvers", false)] {
+    for (label, public_only) in [
+        ("via major public service", true),
+        ("via other resolvers", false),
+    ] {
         let combos = combos_from_world(&world, Some(public_only));
         let report = HiddenAnalysis::default().analyze(&combos);
         println!("--- {label} ({} combinations) ---", combos.len());

@@ -37,11 +37,8 @@ fn main() {
     // --- 3. The CDN's authoritative server, ECS open ---
     let apex = Name::from_ascii("cdn.example").unwrap();
     let www = apex.child("www").unwrap();
-    let mut cdn = AuthServer::new(
-        Zone::new(apex),
-        EcsHandling::open(ScopePolicy::MatchSource),
-    )
-    .with_cdn(CdnBehavior::cdn1(footprint.clone()), geodb);
+    let mut cdn = AuthServer::new(Zone::new(apex), EcsHandling::open(ScopePolicy::MatchSource))
+        .with_cdn(CdnBehavior::cdn1(footprint.clone()), geodb);
 
     // --- 4. An RFC-compliant recursive resolver ---
     let resolver_addr: IpAddr = "9.9.9.9".parse().unwrap();

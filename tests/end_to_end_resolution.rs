@@ -9,7 +9,9 @@ use dns_wire::{IpPrefix, Message, Name, Question};
 use netsim::geo::city;
 use netsim::{AddressBook, SimDuration, SimTime, Simulation};
 use parking_lot::RwLock;
-use resolver::actors::{AuthActor, ClientActor, EgressActor, FrontendActor, RelayActor, SharedBook};
+use resolver::actors::{
+    AuthActor, ClientActor, EgressActor, FrontendActor, RelayActor, SharedBook,
+};
 use resolver::{Resolver, ResolverConfig};
 use topology::{CdnFootprint, EdgeServerSpec};
 
@@ -98,7 +100,10 @@ fn ecs_tailors_answers_per_client_subnet_through_real_packets() {
         (IpPrefix::new(client_jp, 24).unwrap(), "Tokyo"),
         (IpPrefix::new(egress_addr, 24).unwrap(), "Frankfurt"),
     ]);
-    let auth_node = sim.add_node(AuthActor::new(cdn, book.clone()), city("Frankfurt").unwrap().pos);
+    let auth_node = sim.add_node(
+        AuthActor::new(cdn, book.clone()),
+        city("Frankfurt").unwrap().pos,
+    );
     let egress_node = sim.add_node(
         EgressActor::new(
             Resolver::new(ResolverConfig::rfc_compliant(egress_addr)),
@@ -164,7 +169,10 @@ fn without_ecs_all_clients_share_the_resolvers_edge() {
         (IpPrefix::new(client_jp, 24).unwrap(), "Tokyo"),
         (IpPrefix::new(egress_addr, 24).unwrap(), "Frankfurt"),
     ]);
-    let auth_node = sim.add_node(AuthActor::new(cdn, book.clone()), city("Frankfurt").unwrap().pos);
+    let auth_node = sim.add_node(
+        AuthActor::new(cdn, book.clone()),
+        city("Frankfurt").unwrap().pos,
+    );
     let mut config = ResolverConfig::rfc_compliant(egress_addr);
     config.probing = resolver::ProbingStrategy::ZoneWhitelist { zones: vec![] };
     let egress_node = sim.add_node(
@@ -234,7 +242,10 @@ fn anycast_service_preserves_client_subnet_across_frontends() {
         (IpPrefix::new(client_addr, 24).unwrap(), "Sydney"),
         (IpPrefix::new(egress_addr, 24).unwrap(), "Dallas"),
     ]);
-    let auth_node = sim.add_node(AuthActor::new(cdn, book.clone()), city("Dallas").unwrap().pos);
+    let auth_node = sim.add_node(
+        AuthActor::new(cdn, book.clone()),
+        city("Dallas").unwrap().pos,
+    );
     let egress_node = sim.add_node(
         EgressActor::new(
             Resolver::new(ResolverConfig::anycast_service_egress(egress_addr)),
@@ -289,7 +300,10 @@ fn relay_chains_preserve_transaction_ids_end_to_end() {
     zone.add_a(name("www.probe.example"), 60, Ipv4Addr::new(1, 2, 3, 4))
         .unwrap();
     let auth = AuthServer::new(zone, EcsHandling::open(ScopePolicy::Zero));
-    let auth_node = sim.add_node(AuthActor::new(auth, book.clone()), city("Paris").unwrap().pos);
+    let auth_node = sim.add_node(
+        AuthActor::new(auth, book.clone()),
+        city("Paris").unwrap().pos,
+    );
     let egress_node = sim.add_node(
         EgressActor::new(
             Resolver::new(ResolverConfig::rfc_compliant(egress_addr)),

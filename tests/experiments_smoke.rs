@@ -41,6 +41,7 @@ fn fig1_scaled() {
             ..workload::PublicCdnTraceGen::default()
         },
         ttls: vec![20, 60],
+        parallelism: 4,
     });
     assert!(out.series[0].cdf.quantile(0.5) > 1.3);
     assert!(out.series[1].cdf.max() >= out.series[0].cdf.max());
@@ -59,12 +60,14 @@ fn fig2_and_fig3_scaled() {
         trace: trace.clone(),
         fractions: vec![20, 100],
         samples: 2,
+        parallelism: 2,
     });
     assert!(out2.points[1].1 > out2.points[0].1, "blow-up grows");
     let (out3, _) = fig3::run(&fig3::Config {
         trace,
         fractions: vec![100],
         samples: 2,
+        parallelism: 2,
     });
     let (_, no_ecs, with_ecs) = out3.points[0];
     assert!(with_ecs < no_ecs * 0.7, "{no_ecs} vs {with_ecs}");
@@ -125,8 +128,19 @@ fn registry_ids_are_unique_and_complete() {
     deduped.dedup();
     assert_eq!(ids, deduped);
     for required in [
-        "probing", "table1", "cache-behavior", "fig1", "fig2", "fig3", "table2", "fig4", "fig5",
-        "fig6", "fig7", "fig8", "discovery",
+        "probing",
+        "table1",
+        "cache-behavior",
+        "fig1",
+        "fig2",
+        "fig3",
+        "table2",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "discovery",
     ] {
         assert!(ids.contains(&required), "missing {required}");
     }
@@ -136,11 +150,8 @@ fn registry_ids_are_unique_and_complete() {
 fn design_doc_indexes_every_experiment() {
     // DESIGN.md's per-experiment index must mention every registered
     // experiment id, so the documentation cannot silently drift.
-    let design = std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../DESIGN.md"
-    ))
-    .expect("DESIGN.md at workspace root");
+    let design = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"))
+        .expect("DESIGN.md at workspace root");
     for (id, _, _) in registry() {
         assert!(
             design.contains(&format!("`{id}`")),
@@ -151,11 +162,9 @@ fn design_doc_indexes_every_experiment() {
 
 #[test]
 fn experiments_doc_exists_with_core_sections() {
-    let text = std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../EXPERIMENTS.md"
-    ))
-    .expect("EXPERIMENTS.md at workspace root");
+    let text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md"))
+            .expect("EXPERIMENTS.md at workspace root");
     for needle in [
         "Table 1",
         "Table 2",

@@ -16,8 +16,12 @@ fn name(s: &str) -> Name {
 
 fn auth(scope_policy: ScopePolicy, ttl: u32) -> AuthServer {
     let mut zone = Zone::new(name("prop.example"));
-    zone.add_a(name("www.prop.example"), ttl, Ipv4Addr::new(198, 51, 100, 1))
-        .unwrap();
+    zone.add_a(
+        name("www.prop.example"),
+        ttl,
+        Ipv4Addr::new(198, 51, 100, 1),
+    )
+    .unwrap();
     AuthServer::new(zone, EcsHandling::open(scope_policy))
 }
 

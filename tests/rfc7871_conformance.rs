@@ -97,11 +97,8 @@ fn resolvers_omit_ecs_on_ns_queries() {
 /// must not cache the failure as a positive answer.
 #[test]
 fn formerr_from_pre_edns_server_is_not_cached_as_answer() {
-    let mut auth = AuthServer::new(
-        zone_with(&["c.conf.example"], 60),
-        EcsHandling::disabled(),
-    )
-    .without_edns();
+    let mut auth =
+        AuthServer::new(zone_with(&["c.conf.example"], 60), EcsHandling::disabled()).without_edns();
     let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
     let client: IpAddr = "100.70.1.1".parse().unwrap();
     let q = Message::query(1, Question::a(name("c.conf.example")));

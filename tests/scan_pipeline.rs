@@ -32,11 +32,7 @@ fn scan_hostname(fwd: IpAddr) -> Name {
 fn decode_forwarder(qname: &Name) -> Option<IpAddr> {
     let s = qname.to_string();
     let label = s.split('.').next()?;
-    label
-        .strip_prefix('x')?
-        .replace('-', ".")
-        .parse()
-        .ok()
+    label.strip_prefix('x')?.replace('-', ".").parse().ok()
 }
 
 #[test]
@@ -61,7 +57,10 @@ fn scan_discovers_hidden_resolvers_from_ecs_prefixes() {
         .unwrap();
     }
     let auth = AuthServer::new(zone, EcsHandling::open(ScopePolicy::SourceMinusK(4)));
-    let auth_node = sim.add_node(AuthActor::new(auth, book.clone()), city("Chicago").unwrap().pos);
+    let auth_node = sim.add_node(
+        AuthActor::new(auth, book.clone()),
+        city("Chicago").unwrap().pos,
+    );
 
     // An egress that derives ECS from its immediate sender (anti-spoofing
     // override — the behaviour that exposes hidden resolvers).
@@ -153,10 +152,17 @@ fn scan_server_returns_source_minus_4_scope() {
     let fwd: IpAddr = "100.70.1.1".parse().unwrap();
 
     let mut zone = Zone::new(name("probe.example"));
-    zone.add_a(scan_hostname(fwd), 60, std::net::Ipv4Addr::new(198, 51, 100, 1))
-        .unwrap();
+    zone.add_a(
+        scan_hostname(fwd),
+        60,
+        std::net::Ipv4Addr::new(198, 51, 100, 1),
+    )
+    .unwrap();
     let auth = AuthServer::new(zone, EcsHandling::open(ScopePolicy::SourceMinusK(4)));
-    let auth_node = sim.add_node(AuthActor::new(auth, book.clone()), city("Chicago").unwrap().pos);
+    let auth_node = sim.add_node(
+        AuthActor::new(auth, book.clone()),
+        city("Chicago").unwrap().pos,
+    );
     let egress_node = sim.add_node(
         EgressActor::new(
             Resolver::new(ResolverConfig::rfc_compliant(egress_addr)),

@@ -1,0 +1,306 @@
+//! Minimal, API-compatible stand-in for `criterion`.
+//!
+//! Implements the group/bench/iter surface this workspace's benches use,
+//! measuring wall-clock time with a fixed warm-up and a few timed samples,
+//! and printing `name: median time/iter (throughput)` lines. No plots, no
+//! statistics beyond min/median, no HTML reports — but `cargo bench`
+//! output remains comparable run-to-run on the same machine.
+//!
+//! Respects the benchmark-name filter argument `cargo bench -- <filter>`
+//! and ignores harness flags (`--bench`, `--quiet`, ...).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed samples per benchmark (upstream default is 100;
+/// the stub trades precision for suite runtime).
+const DEFAULT_SAMPLES: usize = 12;
+/// Minimum measured duration per sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the target with harness flags plus an
+        // optional name filter; the first non-flag argument is the filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        run_bench(&name, self.filter.as_deref(), self.sample_size, None, f);
+        self
+    }
+}
+
+/// Throughput annotation: reported as a rate next to the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.clamp(2, 100));
+        self
+    }
+
+    /// Sets the throughput used to report a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_bench(
+            &name,
+            self.criterion.filter.as_deref(),
+            self.sample_size
+                .unwrap_or(self.criterion.sample_size)
+                .min(20),
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finishes the group (upstream writes reports here; the stub prints
+    /// a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// A `function-name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times the routine: warm-up, then `sample_count` timed samples of
+    /// however many iterations fit the per-sample target.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up and per-iteration cost estimate.
+        let mut iters_per_sample = 1u64;
+        let warmup_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warmup_start.elapsed() >= Duration::from_millis(10) {
+                break;
+            }
+            iters_per_sample += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / iters_per_sample as f64;
+        let target = SAMPLE_TARGET.as_secs_f64();
+        let batch = ((target / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+fn run_bench<F>(
+    name: &str,
+    filter: Option<&str>,
+    sample_count: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        samples_ns: Vec::new(),
+        sample_count,
+    };
+    f(&mut bencher);
+    if bencher.samples_ns.is_empty() {
+        println!("{name:<60} (no measurement)");
+        return;
+    }
+    bencher
+        .samples_ns
+        .sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = bencher.samples_ns[bencher.samples_ns.len() / 2];
+    let min = bencher.samples_ns[0];
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!("  {:>10}/s", human_bytes(n as f64 / (median / 1e9))),
+        Throughput::Elements(n) => {
+            format!("  {:>12.0} elem/s", n as f64 / (median / 1e9))
+        }
+    });
+    println!(
+        "{name:<60} median {:>12}  min {:>12}{}",
+        human_time(median),
+        human_time(min),
+        rate.unwrap_or_default()
+    );
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_bytes(bytes_per_sec: f64) -> String {
+    if bytes_per_sec < 1024.0 {
+        format!("{bytes_per_sec:.0} B")
+    } else if bytes_per_sec < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", bytes_per_sec / 1024.0)
+    } else if bytes_per_sec < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} MiB", bytes_per_sec / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GiB", bytes_per_sec / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+/// Declares a function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_are_sane() {
+        assert_eq!(human_time(12.0), "12.0 ns");
+        assert_eq!(human_time(1500.0), "1.50 µs");
+        assert!(human_bytes(2048.0).contains("KiB"));
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            sample_count: 3,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+        });
+        assert_eq!(b.samples_ns.len(), 3);
+        assert!(b.samples_ns.iter().all(|&ns| ns >= 0.0));
+    }
+}

@@ -1,0 +1,59 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use core::fmt::Debug;
+use core::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Bounds on a generated collection's length.
+pub trait SizeRange {
+    /// Draws a length.
+    fn pick_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for Range<usize> {
+    fn pick_len(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "vec(): empty size range");
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick_len(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeRange for usize {
+    fn pick_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+/// Strategy producing `Vec`s of an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S, R> Strategy for VecStrategy<S, R>
+where
+    S: Strategy,
+    R: SizeRange,
+{
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick_len(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors whose length falls in `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}

@@ -1,0 +1,178 @@
+//! Minimal, API-compatible stand-in for `proptest`.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of proptest it uses: the [`Strategy`] trait with `prop_map`,
+//! tuple/range/`Just`/union strategies, [`collection::vec`],
+//! [`option::of`], a regex-subset [`string::string_regex`], and the
+//! [`proptest!`]/[`prop_oneof!`]/[`prop_assert!`] macros.
+//!
+//! Differences from upstream, deliberate for an offline stub:
+//!
+//! * **No shrinking.** A failing case is reported verbatim (inputs are
+//!   printed before the panic propagates) instead of being minimized.
+//! * **No persistence.** `*.proptest-regressions` files are not read or
+//!   written; pin interesting cases as explicit unit tests instead.
+//! * **Deterministic seeding.** Each property derives its RNG seed from
+//!   the test's name, so runs are reproducible across invocations.
+
+#![warn(missing_docs)]
+
+use core::fmt::Debug;
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::TestRng;
+
+/// Per-property configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Everything a property-test file usually imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running `config.cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let inputs = {
+                        let mut d = String::new();
+                        $(
+                            d.push_str("  ");
+                            d.push_str(stringify!($arg));
+                            d.push_str(" = ");
+                            d.push_str(&format!("{:?}\n", &$arg));
+                        )+
+                        d
+                    };
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body }),
+                    );
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest '{}': failing case #{} of {}; inputs:\n{}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            inputs,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniformly picks one of several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts a condition inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_compose() {
+        let mut rng = crate::TestRng::for_test("strategies_compose");
+        let s = (0u8..4, any::<bool>()).prop_map(|(a, b)| (a * 2, !b));
+        for _ in 0..100 {
+            let (a, b) = s.generate(&mut rng);
+            assert!(a <= 6 && a % 2 == 0);
+            let _ = b;
+        }
+        let u = prop_oneof![Just(1u8), Just(2), Just(3)];
+        for _ in 0..100 {
+            assert!((1..=3).contains(&u.generate(&mut rng)));
+        }
+        let v = crate::collection::vec(0u32..10, 2..5);
+        for _ in 0..50 {
+            let items = v.generate(&mut rng);
+            assert!((2..5).contains(&items.len()));
+            assert!(items.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_runs_cases(x in 0u32..100, y in crate::option::of(0u8..5)) {
+            prop_assert!(x < 100);
+            if let Some(v) = y {
+                prop_assert!(v < 5);
+            }
+        }
+    }
+}

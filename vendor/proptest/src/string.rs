@@ -1,0 +1,296 @@
+//! String strategies (`proptest::string::string_regex`).
+//!
+//! Supports the regex subset property tests actually use: literals,
+//! character classes (`[a-z0-9-]`), groups, alternation, and the
+//! quantifiers `?`, `*`, `+`, `{n}`, `{n,}`, `{n,m}`. Unbounded
+//! quantifiers are capped at 8 repetitions.
+
+use core::fmt;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+/// Pattern-parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported regex: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// A sequence of alternatives (`a|b|c`); generation picks one.
+    Alt(Vec<Vec<(Node, u32, u32)>>),
+    /// A literal character.
+    Char(char),
+    /// A character class; each entry is an inclusive range.
+    Class(Vec<(char, char)>),
+}
+
+/// Strategy generating strings matching a regex subset.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    root: Node,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        emit(&self.root, rng, &mut out);
+        out
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Char(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (a, b) in ranges {
+                let span = *b as u32 - *a as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(*a as u32 + pick).expect("in-range char"));
+                    return;
+                }
+                pick -= span;
+            }
+        }
+        Node::Alt(alternatives) => {
+            let seq = &alternatives[rng.gen_range(0..alternatives.len())];
+            for (child, min, max) in seq {
+                let n = rng.gen_range(*min..=*max);
+                for _ in 0..n {
+                    emit(child, rng, out);
+                }
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(msg: impl Into<String>) -> Result<T, Error> {
+        Err(Error {
+            message: msg.into(),
+        })
+    }
+
+    /// alt := concat ('|' concat)*
+    fn parse_alt(&mut self, in_group: bool) -> Result<Node, Error> {
+        let mut alternatives = vec![self.parse_concat(in_group)?];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            alternatives.push(self.parse_concat(in_group)?);
+        }
+        Ok(Node::Alt(alternatives))
+    }
+
+    /// concat := (atom quant?)*
+    fn parse_concat(&mut self, in_group: bool) -> Result<Vec<(Node, u32, u32)>, Error> {
+        let mut seq = Vec::new();
+        loop {
+            match self.chars.peek() {
+                None | Some('|') => break,
+                Some(')') if in_group => break,
+                Some(')') => return Self::err("unbalanced ')'"),
+                _ => {}
+            }
+            let atom = self.parse_atom()?;
+            let (min, max) = self.parse_quant()?;
+            seq.push((atom, min, max));
+        }
+        Ok(seq)
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, Error> {
+        match self.chars.next() {
+            Some('(') => {
+                let inner = self.parse_alt(true)?;
+                if self.chars.next() != Some(')') {
+                    return Self::err("unbalanced '('");
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Node::Class(vec![(' ', '~')])),
+            Some('\\') => match self.chars.next() {
+                Some(
+                    c @ ('\\' | '.' | '[' | ']' | '(' | ')' | '{' | '}' | '|' | '?' | '*' | '+'
+                    | '-'),
+                ) => Ok(Node::Char(c)),
+                Some('d') => Ok(Node::Class(vec![('0', '9')])),
+                Some('w') => Ok(Node::Class(vec![
+                    ('a', 'z'),
+                    ('A', 'Z'),
+                    ('0', '9'),
+                    ('_', '_'),
+                ])),
+                other => Self::err(format!("unsupported escape {other:?}")),
+            },
+            Some(c @ ('?' | '*' | '+' | '{')) => Self::err(format!("dangling quantifier '{c}'")),
+            Some(c) => Ok(Node::Char(c)),
+            None => Self::err("unexpected end of pattern"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, Error> {
+        let mut ranges = Vec::new();
+        if self.chars.peek() == Some(&'^') {
+            return Self::err("negated classes are unsupported");
+        }
+        loop {
+            let lo = match self.chars.next() {
+                Some(']') => {
+                    if ranges.is_empty() {
+                        return Self::err("empty character class");
+                    }
+                    return Ok(Node::Class(ranges));
+                }
+                Some('\\') => self.chars.next().ok_or_else(|| Error {
+                    message: "trailing backslash in class".into(),
+                })?,
+                Some(c) => c,
+                None => return Self::err("unterminated character class"),
+            };
+            if self.chars.peek() == Some(&'-') {
+                self.chars.next();
+                match self.chars.peek() {
+                    // Trailing '-' is a literal.
+                    Some(']') | None => {
+                        ranges.push((lo, lo));
+                        ranges.push(('-', '-'));
+                    }
+                    Some(_) => {
+                        let hi = self.chars.next().expect("peeked");
+                        if hi < lo {
+                            return Self::err("inverted class range");
+                        }
+                        ranges.push((lo, hi));
+                    }
+                }
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+    }
+
+    /// quant := '?' | '*' | '+' | '{' n (',' m?)? '}'
+    fn parse_quant(&mut self) -> Result<(u32, u32), Error> {
+        match self.chars.peek() {
+            Some('?') => {
+                self.chars.next();
+                Ok((0, 1))
+            }
+            Some('*') => {
+                self.chars.next();
+                Ok((0, UNBOUNDED_CAP))
+            }
+            Some('+') => {
+                self.chars.next();
+                Ok((1, UNBOUNDED_CAP))
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut spec = String::new();
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => return Self::err("unterminated '{'"),
+                    }
+                }
+                let parts: Vec<&str> = spec.split(',').collect();
+                let parse_n = |s: &str| -> Result<u32, Error> {
+                    s.trim().parse().map_err(|_| Error {
+                        message: format!("bad repetition count '{s}'"),
+                    })
+                };
+                match parts.as_slice() {
+                    [n] => {
+                        let n = parse_n(n)?;
+                        Ok((n, n))
+                    }
+                    [n, ""] => {
+                        let n = parse_n(n)?;
+                        Ok((n, n + UNBOUNDED_CAP))
+                    }
+                    [n, m] => Ok((parse_n(n)?, parse_n(m)?)),
+                    _ => Self::err(format!("bad repetition spec '{{{spec}}}'")),
+                }
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+}
+
+/// Builds a strategy generating strings that match `pattern`.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut parser = Parser {
+        chars: pattern.chars().peekable(),
+    };
+    let root = parser.parse_alt(false)?;
+    if parser.chars.next().is_some() {
+        return Parser::err("trailing input after pattern");
+    }
+    Ok(RegexGeneratorStrategy { root })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_matching_labels() {
+        let s = string_regex("[a-z0-9]([a-z0-9-]{0,14}[a-z0-9])?").unwrap();
+        let mut rng = TestRng::for_test("generates_matching_labels");
+        for _ in 0..2000 {
+            let v = s.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() <= 16, "{v:?}");
+            assert!(
+                v.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{v:?}"
+            );
+            assert!(!v.starts_with('-') && !v.ends_with('-'), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn supports_alternation_and_counts() {
+        let s = string_regex("(ab|cd){2}x?").unwrap();
+        let mut rng = TestRng::for_test("supports_alternation_and_counts");
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            let stripped = v.strip_suffix('x').unwrap_or(&v);
+            assert_eq!(stripped.len(), 4, "{v:?}");
+            assert!(stripped
+                .as_bytes()
+                .chunks(2)
+                .all(|c| c == b"ab" || c == b"cd"));
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_syntax() {
+        assert!(string_regex("[^a]").is_err());
+        assert!(string_regex("a(b").is_err());
+        assert!(string_regex("*a").is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! Deterministic RNG for property generation.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// The generator handed to strategies. Deterministically seeded from the
+/// property's name so failures reproduce across runs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for a named property.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h),
+        }
+    }
+
+    /// Builds an RNG from an explicit seed.
+    pub fn from_seed_u64(seed: u64) -> Self {
+        TestRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

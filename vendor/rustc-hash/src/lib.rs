@@ -1,0 +1,113 @@
+//! Minimal, API-compatible stand-in for `rustc-hash`.
+//!
+//! Implements the Fx hash — the word-at-a-time multiply-xor hash rustc
+//! itself uses — plus the [`FxHashMap`]/[`FxHashSet`] aliases. Fx is not
+//! DoS-resistant, which is exactly why it is fast: the cache-simulation
+//! hot path hashes billions of small interned keys where SipHash's keyed
+//! rounds are pure overhead.
+
+#![warn(missing_docs)]
+
+use core::hash::{BuildHasherDefault, Hasher};
+use std::collections::{HashMap, HashSet};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hasher: one rotate-xor-multiply per word of input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_ne_bytes(buf));
+            bytes = &bytes[8..];
+        }
+        if !bytes.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            self.add_to_hash(u64::from_ne_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i.wrapping_mul(7)), i as u64);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(41, 287)], 41);
+
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        use core::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        let h = |v: u64| b.hash_one(v);
+        assert_eq!(h(12345), h(12345));
+        let distinct: std::collections::HashSet<u64> = (0..10_000).map(h).collect();
+        assert_eq!(distinct.len(), 10_000);
+    }
+}

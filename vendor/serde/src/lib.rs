@@ -1,0 +1,107 @@
+//! Minimal, API-compatible stand-in for `serde`.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of serde's API it touches: the [`Serialize`]/[`Deserialize`]
+//! traits, narrow [`Serializer`]/[`Deserializer`] contracts, and no-op
+//! `#[derive(Serialize, Deserialize)]` macros (from the sibling
+//! `serde_derive` stub). Nothing in the workspace performs serde-driven
+//! serialization — trace I/O is a hand-rolled TSV format — so the derives
+//! only need to keep the annotations compiling.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use core::fmt::Display;
+
+/// A serializable value.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A narrow serializer contract covering the formats this workspace's
+/// manual impls emit (strings and integers).
+pub trait Serializer: Sized {
+    /// Success value.
+    type Ok;
+    /// Error value.
+    type Error: ser::Error;
+
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u16`.
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u32`.
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A deserializable value.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A narrow deserializer contract: self-describing scalar extraction.
+pub trait Deserializer<'de>: Sized {
+    /// Error value.
+    type Error: de::Error;
+
+    /// Extracts a string.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+    /// Extracts a `u16`.
+    fn deserialize_u16(self) -> Result<u16, Self::Error>;
+    /// Extracts a `u32`.
+    fn deserialize_u32(self) -> Result<u32, Self::Error>;
+    /// Extracts a `u64`.
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+impl<'de> Deserialize<'de> for u16 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u16()
+    }
+}
+
+impl<'de> Deserialize<'de> for u32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u32()
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u64()
+    }
+}
+
+/// Serialization-side error support.
+pub mod ser {
+    use super::Display;
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error support.
+pub mod de {
+    use super::Display;
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}

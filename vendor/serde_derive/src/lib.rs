@@ -1,0 +1,21 @@
+//! No-op derive macros for the vendored `serde` stub.
+//!
+//! `#[derive(Serialize, Deserialize)]` annotations throughout the
+//! workspace exist for API parity with the real serde; nothing consumes
+//! the generated impls (trace I/O is hand-rolled TSV). These derives
+//! therefore expand to nothing, which keeps every annotation compiling
+//! without pulling in syn/quote — neither of which is available offline.
+
+use proc_macro::TokenStream;
+
+/// Expands `#[derive(Serialize)]` to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands `#[derive(Deserialize)]` to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
