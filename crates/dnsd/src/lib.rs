@@ -32,7 +32,9 @@
 pub mod client;
 pub mod server;
 pub mod tcp;
+pub mod upstream;
 
 pub use client::{DigClient, DigError};
-pub use server::{ServerHandle, UdpAuthServer};
+pub use server::{ServerFaults, ServerHandle, UdpAuthServer};
 pub use tcp::{tcp_exchange, TcpAuthServer, TcpServerHandle};
+pub use upstream::SocketUpstream;

@@ -2,7 +2,7 @@
 
 use std::io;
 use std::net::{ToSocketAddrs, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -14,6 +14,19 @@ use parking_lot::Mutex;
 /// Maximum UDP datagram we accept (RFC 6891 recommends supporting 4096).
 const MAX_DATAGRAM: usize = 4096;
 
+/// Deterministic fault knobs for a [`UdpAuthServer`], for exercising client
+/// and resolver failure paths against a real socket without any randomness:
+/// the first `drop_first` queries are swallowed (the client sees timeouts),
+/// and with `truncate_udp` every UDP answer comes back TC with its records
+/// stripped (forcing the RFC 7766 TCP fallback).
+#[derive(Debug, Default)]
+pub struct ServerFaults {
+    /// How many initial queries to swallow without replying.
+    pub drop_first: u32,
+    /// Truncate every UDP reply (records stripped, TC set).
+    pub truncate_udp: bool,
+}
+
 /// An authoritative DNS server bound to a UDP socket.
 ///
 /// The server maps wall-clock time onto the [`SimTime`] axis the
@@ -24,9 +37,20 @@ pub struct UdpAuthServer {
     auth: Arc<Mutex<AuthServer>>,
     started: Instant,
     stop: Arc<AtomicBool>,
+    /// Remaining queries to drop (counts down from
+    /// [`ServerFaults::drop_first`]).
+    drop_remaining: AtomicU32,
+    truncate_udp: bool,
 }
 
 /// Handle to a spawned server thread.
+///
+/// Both [`ServerHandle::shutdown`] and dropping the handle stop the serve
+/// loop and join its thread exactly once; `shutdown` is just the explicit
+/// spelling. Stopping is not instantaneous: the loop notices the stop flag
+/// only when its blocking `recv_from` returns, so shutdown can lag by up to
+/// the socket's 50 ms read timeout (the price of running without a
+/// self-pipe or non-blocking poll loop).
 pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     thread: Option<std::thread::JoinHandle<()>>,
@@ -35,21 +59,26 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// Signals the serve loop to stop and joins the thread.
-    pub fn shutdown(mut self) {
+    /// Signals the serve loop to stop and joins the thread. Idempotent with
+    /// [`Drop`]: whichever runs first does the work, the other finds the
+    /// thread already taken.
+    fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
     }
+
+    /// Signals the serve loop to stop and joins the thread (see the type
+    /// docs for the shutdown-latency bound).
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+        self.stop_and_join();
     }
 }
 
@@ -57,14 +86,27 @@ impl UdpAuthServer {
     /// Binds to an address (e.g. `"127.0.0.1:5353"`; port 0 picks one).
     pub fn bind<A: ToSocketAddrs>(addr: A, auth: AuthServer) -> io::Result<Self> {
         let socket = UdpSocket::bind(addr)?;
-        // A short read timeout keeps the serve loop responsive to shutdown.
+        // A short read timeout keeps the serve loop responsive to shutdown
+        // (see [`ServerHandle`] for the resulting latency bound).
         socket.set_read_timeout(Some(Duration::from_millis(50)))?;
         Ok(UdpAuthServer {
             socket,
             auth: Arc::new(Mutex::new(auth)),
             started: Instant::now(),
             stop: Arc::new(AtomicBool::new(false)),
+            drop_remaining: AtomicU32::new(0),
+            truncate_udp: false,
         })
+    }
+
+    /// Arms deterministic fault injection (see [`ServerFaults`]).
+    pub fn with_faults(self, faults: ServerFaults) -> Self {
+        self.drop_remaining
+            .store(faults.drop_first, Ordering::SeqCst);
+        UdpAuthServer {
+            truncate_udp: faults.truncate_udp,
+            ..self
+        }
     }
 
     /// The bound address.
@@ -97,8 +139,21 @@ impl UdpAuthServer {
         if query.is_response() {
             return Ok(false);
         }
+        // Fault injection: swallow the first N queries (the client times
+        // out, exactly as if the reply was lost in the network).
+        if self
+            .drop_remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            return Ok(true);
+        }
         let now = SimTime::from_micros(self.started.elapsed().as_micros() as u64);
-        let resp = self.auth.lock().handle(&query, peer.ip(), now);
+        let mut resp = self.auth.lock().handle(&query, peer.ip(), now);
+        if self.truncate_udp {
+            resp.flags.tc = true;
+            resp.answers.clear();
+        }
         if let Ok(bytes) = resp.to_bytes() {
             let _ = self.socket.send_to(&bytes, peer);
         }

@@ -49,6 +49,12 @@ pub struct TcpAuthServer {
 }
 
 /// Handle to a spawned TCP server thread.
+///
+/// [`TcpServerHandle::shutdown`] and dropping the handle both stop the
+/// accept loop and join its thread exactly once. The loop polls a
+/// non-blocking listener with a 10 ms sleep between empty polls, so an idle
+/// server shuts down within ~10 ms; a server mid-connection first finishes
+/// that exchange, bounded by the 2 s per-connection read timeout.
 pub struct TcpServerHandle {
     stop: Arc<AtomicBool>,
     thread: Option<std::thread::JoinHandle<()>>,
@@ -57,21 +63,25 @@ pub struct TcpServerHandle {
 }
 
 impl TcpServerHandle {
-    /// Signals the accept loop to stop and joins the thread.
-    pub fn shutdown(mut self) {
+    /// Signals the accept loop to stop and joins the thread. Idempotent
+    /// with [`Drop`]: whichever runs first does the work.
+    fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
     }
+
+    /// Signals the accept loop to stop and joins the thread (see the type
+    /// docs for the shutdown-latency bound).
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
 }
 
 impl Drop for TcpServerHandle {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+        self.stop_and_join();
     }
 }
 

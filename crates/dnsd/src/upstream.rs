@@ -1,0 +1,116 @@
+//! The resolution engine over real sockets.
+//!
+//! [`SocketUpstream`] implements [`resolver::Upstream`] against a live DNS
+//! server address: one UDP datagram per attempt, surfacing lost replies as
+//! [`UpstreamError::Timeout`] and TC answers as [`UpstreamError::Truncated`],
+//! with [`resolver::Upstream::query_tcp`] doing a real RFC 7766 framed TCP
+//! exchange. This closes the loop between the deterministic engine and the
+//! `dnsd` servers: the same retry/backoff/ECS-withdrawal policy that runs
+//! in the simulator drives real packets on loopback.
+//!
+//! Retrying is the *engine's* job: each [`SocketUpstream::query`] call is a
+//! single attempt with a single socket timeout, so the engine's
+//! [`resolver::RetryPolicy`] decides how many attempts happen and what each
+//! one carries.
+
+use std::io;
+use std::net::{IpAddr, SocketAddr, UdpSocket};
+use std::time::Duration;
+
+use dns_wire::{Message, Rcode};
+use netsim::SimTime;
+use resolver::{Upstream, UpstreamError};
+
+/// A single-server upstream over real UDP/TCP sockets.
+pub struct SocketUpstream {
+    server: SocketAddr,
+    socket: UdpSocket,
+    /// Per-attempt socket timeout (also the TCP connect/read timeout).
+    pub timeout: Duration,
+}
+
+impl SocketUpstream {
+    /// Creates an upstream aimed at `server`, on an ephemeral local port,
+    /// with a 500 ms per-attempt timeout.
+    pub fn new(server: SocketAddr) -> io::Result<Self> {
+        let socket = UdpSocket::bind(("0.0.0.0", 0))?;
+        Ok(SocketUpstream {
+            server,
+            socket,
+            timeout: Duration::from_millis(500),
+        })
+    }
+
+    /// Sets the per-attempt timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// One UDP attempt: send, then wait (within the timeout) for a reply
+    /// whose id matches.
+    fn udp_attempt(&mut self, q: &Message) -> Result<Message, UpstreamError> {
+        let bytes = q
+            .to_bytes()
+            .map_err(|_| UpstreamError::Rcode(Rcode::FormErr))?;
+        let io_fail = |_| UpstreamError::Rcode(Rcode::ServFail);
+        self.socket
+            .set_read_timeout(Some(self.timeout))
+            .map_err(io_fail)?;
+        self.socket.send_to(&bytes, self.server).map_err(io_fail)?;
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.socket.recv_from(&mut buf) {
+                Ok((n, from)) if from == self.server => {
+                    if let Ok(resp) = Message::from_bytes(&buf[..n]) {
+                        if resp.id == q.id && resp.is_response() {
+                            return Ok(resp);
+                        }
+                    }
+                    // Garbled or mismatched: keep listening in this window.
+                }
+                Ok(_) => {} // stray sender
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Err(UpstreamError::Timeout);
+                }
+                Err(_) => return Err(UpstreamError::Rcode(Rcode::ServFail)),
+            }
+        }
+    }
+}
+
+impl Upstream for SocketUpstream {
+    fn query(
+        &mut self,
+        q: &Message,
+        _from: IpAddr,
+        _now: SimTime,
+    ) -> Result<Message, UpstreamError> {
+        let resp = self.udp_attempt(q)?;
+        if resp.flags.tc {
+            return Err(UpstreamError::Truncated(Box::new(resp)));
+        }
+        Ok(resp)
+    }
+
+    fn query_tcp(
+        &mut self,
+        q: &Message,
+        _from: IpAddr,
+        _now: SimTime,
+    ) -> Result<Message, UpstreamError> {
+        match crate::tcp::tcp_exchange(self.server, q, self.timeout) {
+            Ok(resp) => Ok(resp),
+            Err(crate::DigError::Timeout) => Err(UpstreamError::Timeout),
+            Err(crate::DigError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Err(UpstreamError::Timeout)
+            }
+            Err(_) => Err(UpstreamError::Rcode(Rcode::ServFail)),
+        }
+    }
+}

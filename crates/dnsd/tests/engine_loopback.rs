@@ -1,0 +1,152 @@
+//! Loopback end-to-end: the resolution engine's retry and TCP-fallback
+//! policy driving real sockets.
+//!
+//! The same `Resolver` that runs in the deterministic simulator is wired to
+//! a live `UdpAuthServer`/`TcpAuthServer` pair through `SocketUpstream`,
+//! with server-side fault injection (`ServerFaults`) standing in for a
+//! lossy network. Every test skips gracefully when the environment offers
+//! no loopback sockets.
+
+use std::net::IpAddr;
+use std::time::Duration;
+
+use authoritative::{AuthServer, EcsHandling, ScopePolicy, Zone};
+use dns_wire::{Message, Name, Question};
+use dnsd::{ServerFaults, SocketUpstream, TcpAuthServer, UdpAuthServer};
+use netsim::SimTime;
+use resolver::{Resolver, ResolverConfig};
+
+fn name(s: &str) -> Name {
+    Name::from_ascii(s).unwrap()
+}
+
+fn demo_auth() -> AuthServer {
+    let mut zone = Zone::new(name("demo.example"));
+    zone.add_a(
+        name("www.demo.example"),
+        60,
+        std::net::Ipv4Addr::new(198, 51, 100, 7),
+    )
+    .unwrap();
+    AuthServer::new(zone, EcsHandling::open(ScopePolicy::MatchSource))
+}
+
+const RES: &str = "9.9.9.9";
+const CLIENT: &str = "192.0.2.77";
+
+fn client_query() -> Message {
+    Message::query(21, Question::a(name("www.demo.example")))
+}
+
+#[test]
+fn truncated_udp_falls_back_to_real_tcp() {
+    let Ok(udp) = UdpAuthServer::bind("127.0.0.1:0", demo_auth()) else {
+        eprintln!("skipping: no loopback UDP socket available");
+        return;
+    };
+    let udp = udp.with_faults(ServerFaults {
+        truncate_udp: true,
+        ..ServerFaults::default()
+    });
+    let addr = udp.local_addr().unwrap();
+    // Same port, same zone state, TCP transport (the port spaces are
+    // disjoint, so binding usually succeeds; skip if this host disagrees).
+    let Ok(tcp) = TcpAuthServer::bind(addr, udp.auth()) else {
+        eprintln!("skipping: cannot bind TCP on the UDP port");
+        return;
+    };
+    let udp_handle = udp.spawn();
+    let tcp_handle = tcp.spawn();
+
+    let mut up = SocketUpstream::new(addr)
+        .unwrap()
+        .with_timeout(Duration::from_secs(2));
+    let res_addr: IpAddr = RES.parse().unwrap();
+    let mut r = Resolver::new(ResolverConfig::rfc_compliant(res_addr));
+    let resp = r.resolve_msg(
+        &client_query(),
+        CLIENT.parse().unwrap(),
+        SimTime::ZERO,
+        &mut up,
+    );
+
+    assert_eq!(resp.answer_addrs().len(), 1, "TCP recovered the answer");
+    assert!(!resp.flags.tc);
+    assert_eq!(r.stats().tcp_fallbacks, 1);
+    assert_eq!(r.stats().servfail_responses, 0);
+    // Both transports hit the same authoritative: one truncated UDP
+    // exchange, one full TCP exchange.
+    assert_eq!(udp_handle.auth.lock().log().len(), 2);
+
+    udp_handle.shutdown();
+    tcp_handle.shutdown();
+}
+
+#[test]
+fn dropped_queries_are_retried_with_ecs_withdrawn() {
+    let Ok(udp) = UdpAuthServer::bind("127.0.0.1:0", demo_auth()) else {
+        eprintln!("skipping: no loopback UDP socket available");
+        return;
+    };
+    let udp = udp.with_faults(ServerFaults {
+        drop_first: 2,
+        ..ServerFaults::default()
+    });
+    let addr = udp.local_addr().unwrap();
+    let handle = udp.spawn();
+
+    // Short socket timeout so two swallowed attempts cost well under a
+    // second of wall clock; the engine's RetryPolicy (4 attempts) retries.
+    let mut up = SocketUpstream::new(addr)
+        .unwrap()
+        .with_timeout(Duration::from_millis(200));
+    let res_addr: IpAddr = RES.parse().unwrap();
+    let mut r = Resolver::new(ResolverConfig::rfc_compliant(res_addr));
+    let resp = r.resolve_msg(
+        &client_query(),
+        CLIENT.parse().unwrap(),
+        SimTime::ZERO,
+        &mut up,
+    );
+
+    assert_eq!(resp.answer_addrs().len(), 1, "third attempt succeeded");
+    let s = r.stats();
+    assert_eq!(s.retries, 2);
+    assert_eq!(s.upstream_timeouts, 2);
+    assert_eq!(s.ecs_withdrawals, 1, "withdrawn once, then already absent");
+    assert!(r.probing_state().marked_non_ecs);
+    // Swallowed queries never reached the handler; the one answered query
+    // arrived without ECS (RFC 7871 §7.1.3 retry).
+    let log = handle.auth.lock().log().to_vec();
+    assert_eq!(log.len(), 1);
+    assert!(log[0].ecs.is_none());
+
+    handle.shutdown();
+}
+
+#[test]
+fn unreachable_server_ends_in_servfail_not_hang() {
+    // Bind-then-drop for a (very likely) dead port.
+    let Ok(sock) = std::net::UdpSocket::bind("127.0.0.1:0") else {
+        eprintln!("skipping: no loopback UDP socket available");
+        return;
+    };
+    let dead = sock.local_addr().unwrap();
+    drop(sock);
+
+    let mut up = SocketUpstream::new(dead)
+        .unwrap()
+        .with_timeout(Duration::from_millis(50));
+    let res_addr: IpAddr = RES.parse().unwrap();
+    let mut r = Resolver::new(ResolverConfig::rfc_compliant(res_addr));
+    let resp = r.resolve_msg(
+        &client_query(),
+        CLIENT.parse().unwrap(),
+        SimTime::ZERO,
+        &mut up,
+    );
+    // Four 50 ms attempts later: a clean SERVFAIL, never silence.
+    assert_eq!(resp.rcode, dns_wire::Rcode::ServFail);
+    assert_eq!(r.stats().servfail_responses, 1);
+    assert_eq!(r.stats().upstream_timeouts as usize, 4);
+}

@@ -4,6 +4,7 @@ pub mod adaptive;
 pub mod amplification;
 pub mod cache_behavior;
 pub mod discovery;
+pub mod faults;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -103,6 +104,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "whitelist",
             "§9 extension: whitelisted vs non-whitelisted resolvers",
             whitelist::run_default,
+        ),
+        (
+            "faults",
+            "extension: robustness under injected faults",
+            faults::run_default,
         ),
     ]
 }

@@ -11,6 +11,8 @@
 //!   resolution;
 //! * [`GeoPoint`] — positions on the globe with haversine distances;
 //! * [`LatencyModel`] — distance → one-way delay, with deterministic jitter;
+//! * [`FaultPlan`] — deterministic fault injection (loss, blackholes, extra
+//!   jitter, DNS reply truncation and RCODE rewriting) on the send path;
 //! * [`Simulation`] — the event loop: nodes implement [`Node`], receive
 //!   packets and timers, and emit actions through a [`Ctx`].
 //!
@@ -44,6 +46,7 @@
 
 pub mod addrbook;
 pub mod event;
+pub mod fault;
 pub mod geo;
 pub mod latency;
 pub mod sim;
@@ -51,6 +54,7 @@ pub mod time;
 
 pub use addrbook::AddressBook;
 pub use event::{EventQueue, ScheduledEvent};
+pub use fault::{FaultPlan, FaultStats, LinkFaults};
 pub use geo::{GeoPoint, EARTH_RADIUS_KM};
 pub use latency::LatencyModel;
 pub use sim::{Ctx, Node, NodeId, Packet, Simulation};

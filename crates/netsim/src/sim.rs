@@ -4,6 +4,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultPlan, FaultStats};
 use crate::geo::GeoPoint;
 use crate::latency::LatencyModel;
 use crate::time::{SimDuration, SimTime};
@@ -88,6 +89,8 @@ pub struct Simulation {
     clock: SimTime,
     rng: SmallRng,
     latency: LatencyModel,
+    faults: FaultPlan,
+    fault_stats: FaultStats,
     delivered: u64,
     dropped: u64,
 }
@@ -100,6 +103,13 @@ impl Simulation {
 
     /// Creates a simulation with a custom latency model.
     pub fn with_latency(seed: u64, latency: LatencyModel) -> Self {
+        Simulation::with_faults(seed, latency, FaultPlan::none())
+    }
+
+    /// Creates a simulation with a custom latency model and a fault plan
+    /// applied on the send path. With [`FaultPlan::none`] the run is
+    /// bit-identical to one built via [`Simulation::with_latency`].
+    pub fn with_faults(seed: u64, latency: LatencyModel, faults: FaultPlan) -> Self {
         Simulation {
             nodes: Vec::new(),
             positions: Vec::new(),
@@ -107,9 +117,26 @@ impl Simulation {
             clock: SimTime::ZERO,
             rng: SmallRng::seed_from_u64(seed),
             latency,
+            faults,
+            fault_stats: FaultStats::default(),
             delivered: 0,
             dropped: 0,
         }
+    }
+
+    /// Replaces the fault plan mid-run (e.g. to heal or degrade links).
+    pub fn set_fault_plan(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Counters of the faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// Adds a node at a position; returns its id.
@@ -148,17 +175,26 @@ impl Simulation {
     }
 
     /// Injects a packet from `src` to `dst` at `now + after` plus network
-    /// latency. This is how experiments bootstrap traffic.
-    pub fn inject(&mut self, src: NodeId, dst: NodeId, payload: Vec<u8>, after: SimDuration) {
+    /// latency. This is how experiments bootstrap traffic. The fault plan
+    /// is consulted first: it may drop, delay, or mangle the payload.
+    pub fn inject(&mut self, src: NodeId, dst: NodeId, mut payload: Vec<u8>, after: SimDuration) {
+        let Some(extra) =
+            self.faults
+                .apply(src, dst, &mut payload, &mut self.rng, &mut self.fault_stats)
+        else {
+            self.dropped += 1;
+            return;
+        };
         let depart = self.clock + after;
         match self.latency.sample(
             &self.positions[src.0],
             &self.positions[dst.0],
             &mut self.rng,
         ) {
-            Some(delay) => self
-                .queue
-                .push(depart + delay, EventKind::Deliver { src, dst, payload }),
+            Some(delay) => self.queue.push(
+                depart + delay + extra,
+                EventKind::Deliver { src, dst, payload },
+            ),
             None => self.dropped += 1,
         }
     }
@@ -365,6 +401,52 @@ mod tests {
         sim.run();
         assert_eq!(sim.delivered(), 0);
         assert_eq!(sim.dropped(), 1);
+    }
+
+    #[test]
+    fn fault_plan_blackhole_drops_on_send_path() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        let mut sim = Simulation::with_faults(
+            4,
+            LatencyModel::default(),
+            FaultPlan::uniform(LinkFaults {
+                blackhole: true,
+                ..LinkFaults::NONE
+            }),
+        );
+        let a = sim.add_node(Echo { seen: 0 }, city("Paris").unwrap().pos);
+        let b = sim.add_node(Echo { seen: 0 }, city("London").unwrap().pos);
+        sim.inject(a, b, vec![1], SimDuration::ZERO);
+        sim.run();
+        assert_eq!(sim.delivered(), 0);
+        assert_eq!(sim.dropped(), 1);
+        assert_eq!(sim.fault_stats().dropped_blackhole, 1);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_plan() {
+        use crate::fault::FaultPlan;
+        let run = |faulted: bool| {
+            let mut sim = if faulted {
+                Simulation::with_faults(5, LatencyModel::default(), FaultPlan::none())
+            } else {
+                Simulation::new(5)
+            };
+            let echo = sim.add_node(Echo { seen: 0 }, city("Tokyo").unwrap().pos);
+            let ping = sim.add_node(
+                Pinger {
+                    replies: 0,
+                    last_rtt_ms: 0.0,
+                    sent_at: SimTime::ZERO,
+                    peer: Some(echo),
+                },
+                city("Sydney").unwrap().pos,
+            );
+            sim.inject(ping, echo, vec![7], SimDuration::ZERO);
+            sim.run();
+            (sim.now(), sim.delivered())
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

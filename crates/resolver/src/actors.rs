@@ -77,10 +77,12 @@ impl Node for RelayActor {
 /// An egress resolver as a simulation node. Wraps [`Resolver`] and a zone →
 /// authoritative-address routing table.
 ///
-/// Upstream exchanges are retried: each outstanding query arms a timer, and
-/// unanswered queries are resent up to [`EgressActor::MAX_RETRIES`] times
-/// before the client is given SERVFAIL — so resolution survives the
-/// simulator's loss model.
+/// Upstream exchanges are retried per the wrapped resolver's
+/// [`crate::config::RetryPolicy`]: each outstanding query arms a timer with
+/// that attempt's (exponentially backed-off) timeout, timed-out ECS queries
+/// are retransmitted without the option (RFC 7871 §7.1.3), and once the
+/// attempt budget is spent the client gets SERVFAIL — so resolution
+/// survives the simulator's loss model and never hangs or loops.
 pub struct EgressActor {
     resolver: Resolver,
     /// Zone apex → authoritative server address, searched most-specific
@@ -94,15 +96,11 @@ struct PendingUpstream {
     client: NodeId,
     query: PendingQuery,
     auth_node: NodeId,
-    retries_left: u8,
+    /// 0-based attempt currently in flight.
+    attempt: u8,
 }
 
 impl EgressActor {
-    /// Retransmissions before giving up on an upstream query.
-    pub const MAX_RETRIES: u8 = 3;
-    /// Retransmission timeout.
-    pub const RETRY_TIMEOUT: netsim::SimDuration = netsim::SimDuration::from_secs(2);
-
     /// Creates an egress actor.
     pub fn new(resolver: Resolver, routes: Vec<(Name, IpAddr)>, book: SharedBook) -> Self {
         let mut routes = routes;
@@ -139,6 +137,12 @@ impl Node for EgressActor {
             return;
         };
         if msg.is_response() {
+            // A truncated reply is unusable; completing with it would
+            // negative-cache an empty answer. Ignore it — the retry timer
+            // resends (packet-level sims have no TCP leg to fall back to).
+            if msg.flags.tc {
+                return;
+            }
             // An authoritative answered one of our upstream queries.
             if let Some(p) = self.pending.remove(&msg.id) {
                 let resp = self.resolver.complete(p.query, &msg, ctx.now());
@@ -170,17 +174,18 @@ impl Node for EgressActor {
                 };
                 let id = pending.upstream_query.id;
                 if let Ok(bytes) = pending.upstream_query.to_bytes() {
+                    let timeout = self.resolver.config().retry.timeout_for(0);
                     self.pending.insert(
                         id,
                         PendingUpstream {
                             client: pkt.src,
                             query: pending,
                             auth_node,
-                            retries_left: Self::MAX_RETRIES,
+                            attempt: 0,
                         },
                     );
                     ctx.send(auth_node, bytes);
-                    ctx.set_timer(Self::RETRY_TIMEOUT, id as u64);
+                    ctx.set_timer(timeout, id as u64);
                 }
             }
         }
@@ -189,22 +194,33 @@ impl Node for EgressActor {
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
         let id = token as u16;
         // Still pending? The upstream answer never came: retransmit or fail.
+        let attempts = self.resolver.config().retry.attempts.max(1);
         let give_up = match self.pending.get_mut(&id) {
             None => return, // answered in the meantime
-            Some(p) if p.retries_left > 0 => {
-                p.retries_left -= 1;
+            Some(p) if p.attempt + 1 < attempts => {
+                // The in-flight attempt timed out: withdraw ECS if the
+                // policy says so (RFC 7871 §7.1.3), then retransmit with
+                // the next attempt's backed-off timeout.
+                self.resolver
+                    .note_upstream_timeout(&mut p.query.upstream_query, p.attempt);
+                p.attempt += 1;
+                self.resolver.note_retry_sent(&p.query.upstream_query);
                 if let Ok(bytes) = p.query.upstream_query.to_bytes() {
                     ctx.send(p.auth_node, bytes);
                 }
-                ctx.set_timer(Self::RETRY_TIMEOUT, token);
+                let timeout = self.resolver.config().retry.timeout_for(p.attempt);
+                ctx.set_timer(timeout, token);
                 false
             }
-            Some(_) => true,
+            Some(p) => {
+                self.resolver
+                    .note_upstream_timeout(&mut p.query.upstream_query, p.attempt);
+                true
+            }
         };
         if give_up {
             let p = self.pending.remove(&id).expect("checked above");
-            let mut fail = dns_wire::Message::response_to(&p.query.client_query);
-            fail.rcode = dns_wire::Rcode::ServFail;
+            let fail = self.resolver.give_up(&p.query.client_query);
             if let Ok(bytes) = fail.to_bytes() {
                 ctx.send(p.client, bytes);
             }
@@ -637,7 +653,7 @@ mod retry_tests {
         Name::from_ascii(s).unwrap()
     }
 
-    fn lossy_world(loss: f64, seed: u64) -> (Simulation, NodeId, NodeId) {
+    fn lossy_world(loss: f64, seed: u64) -> (Simulation, NodeId, NodeId, NodeId) {
         let book: SharedBook = Arc::new(RwLock::new(AddressBook::new()));
         let mut sim = Simulation::with_latency(
             seed,
@@ -682,7 +698,7 @@ mod retry_tests {
             b.bind(client_addr, client_node);
         }
         ClientActor::arm(&mut sim, client_node);
-        (sim, client_node, auth_node)
+        (sim, client_node, auth_node, egress_node)
     }
 
     #[test]
@@ -692,7 +708,7 @@ mod retry_tests {
         // Check several seeds to exercise different loss patterns.
         let mut answered = 0;
         for seed in 0..10 {
-            let (mut sim, client_node, _) = lossy_world(0.3, seed);
+            let (mut sim, client_node, _, _) = lossy_world(0.3, seed);
             sim.run();
             let c = sim.node_mut::<ClientActor>(client_node).unwrap();
             if c.responses
@@ -710,7 +726,7 @@ mod retry_tests {
 
     #[test]
     fn total_loss_yields_servfail_not_silence() {
-        let (mut sim, client_node, _) = lossy_world(1.0, 7);
+        let (mut sim, client_node, _, egress_node) = lossy_world(1.0, 7);
         sim.run();
         let c = sim.node_mut::<ClientActor>(client_node).unwrap();
         // The egress → client response leg is also lossy under loss=1.0, so
@@ -718,6 +734,11 @@ mod retry_tests {
         // cleanly (no pending state, simulation terminates) — reaching this
         // point at all proves no infinite retry loop.
         assert!(c.responses.len() <= 1);
+        // Whatever did get through was accounted for: every exchange the
+        // egress started either completed or ended in a counted SERVFAIL.
+        let e = sim.node_mut::<EgressActor>(egress_node).unwrap();
+        let s = e.resolver().stats();
+        assert_eq!(s.upstream_timeouts, s.retries + s.servfail_responses);
     }
 
     #[test]
@@ -725,12 +746,54 @@ mod retry_tests {
         // No loss: the answer arrives well before the 2 s retry timer; the
         // timer must find nothing pending and do nothing (exactly one
         // upstream query in the authoritative log).
-        let (mut sim, client_node, auth_node) = lossy_world(0.0, 1);
+        let (mut sim, client_node, auth_node, egress_node) = lossy_world(0.0, 1);
         sim.run();
         let c = sim.node_mut::<ClientActor>(client_node).unwrap();
         assert_eq!(c.responses.len(), 1);
         let a = sim.node_mut::<AuthActor>(auth_node).unwrap();
         assert_eq!(a.server().log().len(), 1, "no spurious retransmissions");
+        let e = sim.node_mut::<EgressActor>(egress_node).unwrap();
+        let s = e.resolver().stats();
+        assert_eq!(
+            (s.retries, s.upstream_timeouts, s.servfail_responses),
+            (0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn egress_backoff_spaces_retransmissions_exponentially() {
+        // Blackhole only the egress → authoritative link: queries vanish,
+        // the client leg stays clean, and the authoritative log is empty.
+        // The egress must send 4 attempts spaced 2/4/8 s apart.
+        let (mut sim, client_node, auth_node, egress_node) = lossy_world(0.0, 5);
+        let plan = {
+            let mut p = netsim::FaultPlan::none();
+            p.set_link(
+                egress_node,
+                auth_node,
+                netsim::LinkFaults {
+                    blackhole: true,
+                    ..netsim::LinkFaults::NONE
+                },
+            );
+            p
+        };
+        sim.set_fault_plan(plan);
+        sim.run();
+        // 1 client query + 3 client retransmissions each hit the egress;
+        // the first created the pending exchange, later ones were cache
+        // misses creating their own exchanges (same id → keyed per id).
+        let e = sim.node_mut::<EgressActor>(egress_node).unwrap();
+        let s = e.resolver().stats();
+        assert!(s.servfail_responses >= 1, "gave up cleanly: {s:?}");
+        assert!(e.resolver().probing_state().marked_non_ecs);
+        // The blackhole swallowed every upstream attempt.
+        assert_eq!(sim.fault_stats().dropped_blackhole, s.upstream_queries);
+        let c = sim.node_mut::<ClientActor>(client_node).unwrap();
+        assert!(c
+            .responses
+            .iter()
+            .all(|(_, m)| m.rcode == dns_wire::Rcode::ServFail));
     }
 }
 

@@ -4,9 +4,57 @@
 
 use std::net::IpAddr;
 
+use netsim::SimDuration;
+
 use crate::cache::CacheCompliance;
 use crate::prefix_policy::PrefixPolicy;
 use crate::probing::ProbingStrategy;
+
+/// Retry/backoff policy for upstream exchanges.
+///
+/// Attempts are spaced on the *SimTime axis*: after a timed-out attempt the
+/// engine advances its virtual clock by the current timeout and multiplies
+/// the timeout by `backoff` (exponential backoff, RFC 1035 §4.2.1 spirit).
+/// The ECS knobs implement RFC 7871 §7.1.3: a resolver whose ECS query goes
+/// unanswered retries without the option and remembers the server as
+/// non-ECS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per upstream exchange (first try + retries), ≥ 1.
+    pub attempts: u8,
+    /// Timeout of the first attempt.
+    pub initial_timeout: SimDuration,
+    /// Multiplier applied to the timeout after each timed-out attempt.
+    pub backoff: f64,
+    /// RFC 7871 §7.1.3: when an ECS query times out, withdraw the option
+    /// from the retry and mark the server non-ECS in the probing state.
+    pub withdraw_ecs_on_timeout: bool,
+    /// Retry FORMERR responses to ECS queries once without the option
+    /// (ECS-intolerant middleboxes/servers). Off by default: the stock
+    /// engine surfaces FORMERR to the client unchanged.
+    pub withdraw_ecs_on_formerr: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            initial_timeout: SimDuration::from_secs(2),
+            backoff: 2.0,
+            withdraw_ecs_on_timeout: true,
+            withdraw_ecs_on_formerr: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The timeout in effect for 0-based attempt `attempt`
+    /// (`initial_timeout * backoff^attempt`, rounded to microseconds).
+    pub fn timeout_for(&self, attempt: u8) -> SimDuration {
+        let scale = self.backoff.max(0.0).powi(attempt as i32);
+        SimDuration::from_micros((self.initial_timeout.as_micros() as f64 * scale).round() as u64)
+    }
+}
 
 /// Full behavioural configuration of a recursive resolver.
 #[derive(Debug, Clone)]
@@ -42,6 +90,8 @@ pub struct ResolverConfig {
     /// "this can get complicated very quickly" trap the paper warns
     /// about), and the learned value is the maximum scope ever observed.
     pub adaptive_prefix: bool,
+    /// How upstream exchanges are retried when the transport fails.
+    pub retry: RetryPolicy,
 }
 
 impl ResolverConfig {
@@ -58,6 +108,7 @@ impl ResolverConfig {
             echo_ecs_to_client: true,
             negative_ttl: 60,
             adaptive_prefix: false,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -158,5 +209,18 @@ mod tests {
 
         let c = ResolverConfig::anycast_service_egress(A);
         assert!(c.accept_client_ecs);
+    }
+
+    #[test]
+    fn retry_policy_backs_off_exponentially() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.timeout_for(0), SimDuration::from_secs(2));
+        assert_eq!(p.timeout_for(1), SimDuration::from_secs(4));
+        assert_eq!(p.timeout_for(2), SimDuration::from_secs(8));
+        let flat = RetryPolicy {
+            backoff: 1.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(flat.timeout_for(3), flat.initial_timeout);
     }
 }

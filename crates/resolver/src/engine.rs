@@ -16,16 +16,68 @@ use crate::cache::{CacheStats, EcsCache};
 use crate::config::ResolverConfig;
 use crate::probing::{EcsDecision, ProbingState};
 
+/// Why an upstream exchange failed at the transport layer.
+///
+/// In-band DNS failures (SERVFAIL, FORMERR, REFUSED arriving as parseable
+/// messages) are *not* errors at this level — they come back as `Ok`
+/// messages, exactly as a socket would deliver them. The error variants
+/// cover the cases where no usable message arrived at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpstreamError {
+    /// No (matching) reply before the transport timeout — the lost-packet
+    /// case RFC 7871 §7.1.3 tells resolvers to treat as possible ECS
+    /// intolerance.
+    Timeout,
+    /// The reply arrived truncated (TC) and unusable over UDP; carries the
+    /// truncated message so callers can inspect it before retrying over
+    /// TCP.
+    Truncated(Box<Message>),
+    /// The transport itself failed and the failure is best classified by
+    /// an RCODE (e.g. an ICMP-unreachable mapped to SERVFAIL by a stub).
+    Rcode(Rcode),
+}
+
+impl std::fmt::Display for UpstreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpstreamError::Timeout => write!(f, "upstream query timed out"),
+            UpstreamError::Truncated(_) => write!(f, "upstream reply truncated"),
+            UpstreamError::Rcode(rc) => write!(f, "upstream transport failure ({rc:?})"),
+        }
+    }
+}
+
+impl std::error::Error for UpstreamError {}
+
 /// Where a resolver sends its upstream queries.
+///
+/// The contract is fallible: transports that can lose packets or truncate
+/// replies surface those as [`UpstreamError`]s, and the engine's retry
+/// policy ([`crate::config::RetryPolicy`]) decides what happens next.
+/// In-process upstreams (an [`AuthServer`], a [`ZoneRouter`]) are
+/// infallible and always return `Ok`.
 pub trait Upstream {
     /// Performs one upstream exchange: the resolver at `from` sends `q`,
     /// the authoritative side answers.
-    fn query(&mut self, q: &Message, from: IpAddr, now: SimTime) -> Message;
+    fn query(&mut self, q: &Message, from: IpAddr, now: SimTime) -> Result<Message, UpstreamError>;
+
+    /// Retries an exchange over TCP after a truncated UDP reply (RFC 7766).
+    /// Defaults to [`Upstream::query`] — correct for upstreams that never
+    /// truncate; socket-backed implementations override this with a real
+    /// TCP exchange.
+    fn query_tcp(
+        &mut self,
+        q: &Message,
+        from: IpAddr,
+        now: SimTime,
+    ) -> Result<Message, UpstreamError> {
+        self.query(q, from, now)
+    }
 }
 
 impl Upstream for AuthServer {
-    fn query(&mut self, q: &Message, from: IpAddr, now: SimTime) -> Message {
-        self.handle(q, from, now)
+    fn query(&mut self, q: &Message, from: IpAddr, now: SimTime) -> Result<Message, UpstreamError> {
+        Ok(self.handle(q, from, now))
     }
 }
 
@@ -67,20 +119,20 @@ impl ZoneRouter {
 }
 
 impl Upstream for ZoneRouter {
-    fn query(&mut self, q: &Message, from: IpAddr, now: SimTime) -> Message {
+    fn query(&mut self, q: &Message, from: IpAddr, now: SimTime) -> Result<Message, UpstreamError> {
         match q.question().map(|qq| qq.name.clone()) {
             Some(name) => match self.server_for(&name) {
-                Some(server) => server.handle(q, from, now),
+                Some(server) => Ok(server.handle(q, from, now)),
                 None => {
                     let mut resp = Message::response_to(q);
                     resp.rcode = Rcode::Refused;
-                    resp
+                    Ok(resp)
                 }
             },
             None => {
                 let mut resp = Message::response_to(q);
                 resp.rcode = Rcode::FormErr;
-                resp
+                Ok(resp)
             }
         }
     }
@@ -91,10 +143,21 @@ impl Upstream for ZoneRouter {
 pub struct ResolverStats {
     /// Client queries handled.
     pub client_queries: u64,
-    /// Queries sent upstream (cache misses + probe bypasses).
+    /// Queries sent upstream (cache misses + probe bypasses + retries).
     pub upstream_queries: u64,
     /// Upstream queries that carried an ECS option.
     pub upstream_ecs_queries: u64,
+    /// Retransmissions after a failed attempt.
+    pub retries: u64,
+    /// Attempts that ended in a transport timeout.
+    pub upstream_timeouts: u64,
+    /// ECS options withdrawn from a retry (RFC 7871 §7.1.3 or the FORMERR
+    /// downgrade).
+    pub ecs_withdrawals: u64,
+    /// TC-bit replies that triggered a TCP re-query (RFC 7766).
+    pub tcp_fallbacks: u64,
+    /// Client queries answered SERVFAIL after the attempt budget ran out.
+    pub servfail_responses: u64,
 }
 
 /// A recursive resolver instance.
@@ -146,6 +209,12 @@ impl Resolver {
         self.stats
     }
 
+    /// The probing state (per-server ECS-capability memory), for assertions
+    /// in tests and experiments.
+    pub fn probing_state(&self) -> &ProbingState {
+        &self.probing_state
+    }
+
     /// Live cache size at `now`.
     pub fn cache_len(&mut self, now: SimTime) -> usize {
         self.cache.len(now)
@@ -162,6 +231,10 @@ impl Resolver {
     /// * `client_src` — the immediate sender's address (a client, a
     ///   forwarder, or a hidden resolver — the resolver cannot tell!);
     /// * `upstream` — the authoritative side.
+    ///
+    /// Failed upstream attempts are retried per the configured
+    /// [`crate::config::RetryPolicy`]; when every attempt fails the client
+    /// gets SERVFAIL (never silence, never a hang).
     pub fn resolve_msg<U: Upstream>(
         &mut self,
         query: &Message,
@@ -171,11 +244,112 @@ impl Resolver {
     ) -> Message {
         match self.begin(query, client_src, now) {
             Step::Answer(resp) => resp,
-            Step::NeedUpstream(pending) => {
-                let upstream_resp = upstream.query(&pending.upstream_query, self.config.addr, now);
-                self.complete(pending, &upstream_resp, now)
-            }
+            Step::NeedUpstream(pending) => self.drive_upstream(pending, now, upstream),
         }
+    }
+
+    /// Runs the upstream exchange for `pending` to completion: retries with
+    /// exponential backoff on the SimTime axis, withdraws ECS per RFC 7871
+    /// §7.1.3, falls back to TCP on truncation, and answers SERVFAIL once
+    /// the attempt budget is spent.
+    ///
+    /// Time is virtual: each timed-out attempt advances the local clock by
+    /// that attempt's timeout, so cache inserts and probing-state updates
+    /// happen at the moment the answer would really have arrived.
+    pub fn drive_upstream<U: Upstream>(
+        &mut self,
+        mut pending: PendingQuery,
+        now: SimTime,
+        upstream: &mut U,
+    ) -> Message {
+        let policy = self.config.retry.clone();
+        let attempts = policy.attempts.max(1);
+        let mut at = now;
+        let mut attempt: u8 = 0;
+        loop {
+            match upstream.query(&pending.upstream_query, self.config.addr, at) {
+                Ok(resp) if resp.flags.tc => {
+                    // RFC 7766: a truncated UDP reply is re-asked over TCP.
+                    self.stats.tcp_fallbacks += 1;
+                    if let Ok(full) =
+                        upstream.query_tcp(&pending.upstream_query, self.config.addr, at)
+                    {
+                        return self.complete(pending, &full, at);
+                    }
+                }
+                Ok(resp)
+                    if resp.rcode == Rcode::FormErr
+                        && policy.withdraw_ecs_on_formerr
+                        && pending.upstream_query.ecs().is_some() =>
+                {
+                    // An ECS-intolerant server: drop the option and re-ask
+                    // immediately (no timeout elapsed, no attempt consumed —
+                    // this fires at most once since the option is now gone).
+                    pending.upstream_query.clear_ecs();
+                    self.probing_state.mark_non_ecs();
+                    self.stats.ecs_withdrawals += 1;
+                    self.note_retry_sent(&pending.upstream_query);
+                    continue;
+                }
+                Ok(resp) => return self.complete(pending, &resp, at),
+                Err(UpstreamError::Truncated(_)) => {
+                    self.stats.tcp_fallbacks += 1;
+                    if let Ok(full) =
+                        upstream.query_tcp(&pending.upstream_query, self.config.addr, at)
+                    {
+                        return self.complete(pending, &full, at);
+                    }
+                }
+                Err(UpstreamError::Timeout) => {
+                    at += self.note_upstream_timeout(&mut pending.upstream_query, attempt);
+                }
+                Err(UpstreamError::Rcode(_)) => {}
+            }
+            attempt += 1;
+            if attempt >= attempts {
+                return self.give_up(&pending.client_query);
+            }
+            self.note_retry_sent(&pending.upstream_query);
+        }
+    }
+
+    /// Records a timed-out attempt (0-based `attempt`) for an exchange whose
+    /// upstream query is `upstream_query`, withdrawing ECS per RFC 7871
+    /// §7.1.3 when the policy says so, and returns how long the attempt
+    /// waited. Exposed for asynchronous drivers (the netsim actors) that run
+    /// their own timers instead of [`Resolver::drive_upstream`].
+    pub fn note_upstream_timeout(
+        &mut self,
+        upstream_query: &mut Message,
+        attempt: u8,
+    ) -> netsim::SimDuration {
+        self.stats.upstream_timeouts += 1;
+        if self.config.retry.withdraw_ecs_on_timeout && upstream_query.ecs().is_some() {
+            upstream_query.clear_ecs();
+            self.probing_state.mark_non_ecs();
+            self.stats.ecs_withdrawals += 1;
+        }
+        self.config.retry.timeout_for(attempt)
+    }
+
+    /// Records one retransmission of `upstream_query`. Exposed for
+    /// asynchronous drivers.
+    pub fn note_retry_sent(&mut self, upstream_query: &Message) {
+        self.stats.retries += 1;
+        self.stats.upstream_queries += 1;
+        if upstream_query.ecs().is_some() {
+            self.stats.upstream_ecs_queries += 1;
+        }
+    }
+
+    /// Builds the SERVFAIL answer for a client whose upstream exchange
+    /// exhausted its attempt budget, and counts it. Nothing is cached: the
+    /// failure is transient, not a property of the name.
+    pub fn give_up(&mut self, client_query: &Message) -> Message {
+        self.stats.servfail_responses += 1;
+        let mut resp = Message::response_to(client_query);
+        resp.rcode = Rcode::ServFail;
+        resp
     }
 
     /// Phase one: cache lookup and ECS decision. Returns either an
@@ -593,6 +767,192 @@ mod tests {
         r.resolve_msg(&client_query("www.example.com"), CLIENT, t(0), &mut auth);
         assert_eq!(r.stats().upstream_ecs_queries, 1);
         assert_eq!(r.stats().client_queries, 1);
+    }
+}
+
+#[cfg(test)]
+mod retry_tests {
+    use super::*;
+    use authoritative::{EcsHandling, ScopePolicy, Zone};
+    use dns_wire::Question;
+    use std::collections::VecDeque;
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        Name::from_ascii(s).unwrap()
+    }
+
+    const CLIENT: IpAddr = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 77));
+    const RES: IpAddr = IpAddr::V4(Ipv4Addr::new(9, 9, 9, 9));
+
+    /// What a scripted upstream does on one UDP attempt.
+    enum Act {
+        /// Answer normally from the inner zone.
+        Answer,
+        /// Answer with the TC bit set and no records (in-band truncation).
+        Tc,
+        /// Fail with this transport error.
+        Fail(UpstreamError),
+    }
+
+    /// Pops one `Act` per UDP query; once the script runs dry it answers
+    /// normally. TCP always answers from the zone.
+    struct Scripted {
+        inner: AuthServer,
+        script: VecDeque<Act>,
+        /// (carried ECS?, virtual time) per UDP attempt.
+        udp_log: Vec<(bool, SimTime)>,
+        tcp_calls: u32,
+    }
+
+    impl Scripted {
+        fn new(script: Vec<Act>) -> Self {
+            let mut zone = Zone::new(name("example.com"));
+            zone.add_a(name("www.example.com"), 60, Ipv4Addr::new(198, 51, 100, 1))
+                .unwrap();
+            Scripted {
+                inner: AuthServer::new(zone, EcsHandling::open(ScopePolicy::MatchSource)),
+                script: VecDeque::from(script),
+                udp_log: Vec::new(),
+                tcp_calls: 0,
+            }
+        }
+    }
+
+    impl Upstream for Scripted {
+        fn query(
+            &mut self,
+            q: &Message,
+            from: IpAddr,
+            now: SimTime,
+        ) -> Result<Message, UpstreamError> {
+            self.udp_log.push((q.ecs().is_some(), now));
+            match self.script.pop_front() {
+                Some(Act::Fail(e)) => Err(e),
+                Some(Act::Tc) => {
+                    let mut resp = Message::response_to(q);
+                    resp.flags.tc = true;
+                    Ok(resp)
+                }
+                Some(Act::Answer) | None => Ok(self.inner.handle(q, from, now)),
+            }
+        }
+
+        fn query_tcp(
+            &mut self,
+            q: &Message,
+            from: IpAddr,
+            now: SimTime,
+        ) -> Result<Message, UpstreamError> {
+            self.tcp_calls += 1;
+            Ok(self.inner.handle(q, from, now))
+        }
+    }
+
+    fn q() -> Message {
+        Message::query(9, Question::a(name("www.example.com")))
+    }
+
+    #[test]
+    fn timeout_retries_without_ecs_and_marks_server() {
+        let mut up = Scripted::new(vec![Act::Fail(UpstreamError::Timeout), Act::Answer]);
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        let resp = r.resolve_msg(&q(), CLIENT, SimTime::ZERO, &mut up);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(up.udp_log.len(), 2);
+        assert!(up.udp_log[0].0, "first attempt carries ECS");
+        assert!(!up.udp_log[1].0, "retry withdrew ECS (RFC 7871 §7.1.3)");
+        // The retry happens after the first attempt's 2 s timeout elapsed.
+        assert_eq!(up.udp_log[1].1, SimTime::from_secs(2));
+        assert!(r.probing_state().marked_non_ecs);
+        let s = r.stats();
+        assert_eq!(
+            (s.retries, s.upstream_timeouts, s.ecs_withdrawals),
+            (1, 1, 1)
+        );
+        assert_eq!(s.upstream_queries, 2);
+        assert_eq!(s.upstream_ecs_queries, 1);
+    }
+
+    #[test]
+    fn attempt_budget_exhaustion_yields_servfail_with_backoff() {
+        let mut up = Scripted::new(vec![
+            Act::Fail(UpstreamError::Timeout),
+            Act::Fail(UpstreamError::Timeout),
+            Act::Fail(UpstreamError::Timeout),
+            Act::Fail(UpstreamError::Timeout),
+        ]);
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        let resp = r.resolve_msg(&q(), CLIENT, SimTime::ZERO, &mut up);
+        assert_eq!(resp.rcode, Rcode::ServFail);
+        assert!(resp.answers.is_empty());
+        // 4 attempts at t = 0, 2, 6, 14 (exponential backoff: 2, 4, 8 s).
+        let times: Vec<u64> = up
+            .udp_log
+            .iter()
+            .map(|(_, t)| t.as_micros() / 1_000_000)
+            .collect();
+        assert_eq!(times, vec![0, 2, 6, 14]);
+        assert_eq!(r.stats().servfail_responses, 1);
+        assert_eq!(r.stats().retries, 3);
+        // SERVFAIL is not cached: the next query goes upstream again.
+        r.resolve_msg(&q(), CLIENT, SimTime::from_secs(20), &mut up);
+        assert_eq!(up.udp_log.len(), 5);
+    }
+
+    #[test]
+    fn truncated_error_falls_back_to_tcp() {
+        let mut up = Scripted::new(vec![Act::Fail(UpstreamError::Truncated(Box::new(
+            Message::response_to(&q()),
+        )))]);
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        let resp = r.resolve_msg(&q(), CLIENT, SimTime::ZERO, &mut up);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(up.tcp_calls, 1);
+        assert_eq!(r.stats().tcp_fallbacks, 1);
+        assert_eq!(r.stats().servfail_responses, 0);
+    }
+
+    #[test]
+    fn tc_bit_reply_falls_back_to_tcp() {
+        let mut up = Scripted::new(vec![Act::Tc]);
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        let resp = r.resolve_msg(&q(), CLIENT, SimTime::ZERO, &mut up);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(up.tcp_calls, 1);
+        assert_eq!(r.stats().tcp_fallbacks, 1);
+    }
+
+    #[test]
+    fn formerr_downgrade_is_opt_in_and_withdraws_ecs() {
+        // Default policy: FORMERR passes through to the client untouched.
+        let mut up = Scripted::new(vec![Act::Fail(UpstreamError::Rcode(Rcode::ServFail))]);
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        let resp = r.resolve_msg(&q(), CLIENT, SimTime::ZERO, &mut up);
+        assert_eq!(resp.answers.len(), 1, "Rcode error consumed one attempt");
+        assert_eq!(r.stats().retries, 1);
+    }
+
+    #[test]
+    fn fault_free_paths_leave_new_counters_at_zero() {
+        // Bit-identical guarantee: with an infallible upstream the engine
+        // takes the exact pre-fault path and the new counters stay zero.
+        let mut up = Scripted::new(vec![]);
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        r.resolve_msg(&q(), CLIENT, SimTime::ZERO, &mut up);
+        let s = r.stats();
+        assert_eq!(s.upstream_queries, 1);
+        assert_eq!(
+            (
+                s.retries,
+                s.upstream_timeouts,
+                s.ecs_withdrawals,
+                s.tcp_fallbacks,
+                s.servfail_responses
+            ),
+            (0, 0, 0, 0, 0)
+        );
+        assert!(!r.probing_state().marked_non_ecs);
     }
 }
 

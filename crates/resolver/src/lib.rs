@@ -59,11 +59,15 @@ pub mod actors;
 pub mod cache;
 pub mod config;
 pub mod engine;
+pub mod faulty;
 pub mod prefix_policy;
 pub mod probing;
 
 pub use cache::{CacheCompliance, CacheStats, EcsCache};
-pub use config::ResolverConfig;
-pub use engine::{PendingQuery, Resolver, Step, Upstream, ZoneRouter};
+pub use config::{ResolverConfig, RetryPolicy};
+pub use engine::{
+    PendingQuery, Resolver, ResolverStats, Step, Upstream, UpstreamError, ZoneRouter,
+};
+pub use faulty::{FaultyUpstream, InjectedFault, InjectionStats};
 pub use prefix_policy::PrefixPolicy;
 pub use probing::{ProbingState, ProbingStrategy};

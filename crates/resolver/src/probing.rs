@@ -76,6 +76,19 @@ pub struct ProbingState {
     pub ecs_supported: Option<bool>,
     /// Address-query counter (drives [`ProbingStrategy::EveryKth`]).
     pub query_counter: u64,
+    /// RFC 7871 §7.1.3: set after an ECS query to this server timed out
+    /// (or FORMERR'd, when that downgrade is enabled). While set, every
+    /// strategy omits ECS; a later response carrying a valid ECS option
+    /// clears it.
+    pub marked_non_ecs: bool,
+}
+
+impl ProbingState {
+    /// Remembers the server as non-ECS (RFC 7871 §7.1.3). Cleared by
+    /// [`ProbingStrategy::record_response`] on the next valid ECS reply.
+    pub fn mark_non_ecs(&mut self) {
+        self.marked_non_ecs = true;
+    }
 }
 
 impl ProbingStrategy {
@@ -95,6 +108,11 @@ impl ProbingStrategy {
         state: &mut ProbingState,
     ) -> EcsDecision {
         if !is_address_query {
+            return EcsDecision::Omit;
+        }
+        if state.marked_non_ecs {
+            // The server is remembered as non-ECS after an unanswered (or
+            // rejected) ECS query; keep traffic plain until it recovers.
             return EcsDecision::Omit;
         }
         match self {
@@ -164,9 +182,13 @@ impl ProbingStrategy {
     }
 
     /// Records the outcome of a probe (a response carrying / not carrying a
-    /// valid ECS option).
+    /// valid ECS option). A valid ECS reply also clears a non-ECS mark left
+    /// by an earlier timeout: the server evidently supports the option now.
     pub fn record_response(&self, had_valid_ecs: bool, state: &mut ProbingState) {
         state.ecs_supported = Some(had_valid_ecs);
+        if had_valid_ecs {
+            state.marked_non_ecs = false;
+        }
     }
 }
 
@@ -280,6 +302,37 @@ mod tests {
             s.decide(&name("y.example"), true, false, t(0), &mut st),
             EcsDecision::Omit
         );
+    }
+
+    #[test]
+    fn non_ecs_mark_suppresses_every_strategy_until_cleared() {
+        let mut st = ProbingState::default();
+        st.mark_non_ecs();
+        for s in [
+            ProbingStrategy::Always,
+            ProbingStrategy::EveryKth { k: 1 },
+            ProbingStrategy::IntervalProbe {
+                period: SimDuration::from_secs(1800),
+                use_own_address: true,
+            },
+        ] {
+            assert_eq!(
+                s.decide(&name("a.example"), true, false, t(0), &mut st),
+                EcsDecision::Omit,
+                "{s:?} must omit while marked non-ECS"
+            );
+        }
+        // A reply carrying valid ECS clears the mark; ECS flows again.
+        ProbingStrategy::Always.record_response(true, &mut st);
+        assert!(!st.marked_non_ecs);
+        assert_eq!(
+            ProbingStrategy::Always.decide(&name("a.example"), true, false, t(1), &mut st),
+            EcsDecision::SendClientEcs
+        );
+        // A non-ECS reply does NOT clear the mark.
+        st.mark_non_ecs();
+        ProbingStrategy::Always.record_response(false, &mut st);
+        assert!(st.marked_non_ecs);
     }
 
     #[test]

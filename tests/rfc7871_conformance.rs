@@ -6,7 +6,7 @@ use std::net::{IpAddr, Ipv4Addr};
 use authoritative::{AuthServer, EcsHandling, ScopePolicy, Zone};
 use dns_wire::{EcsOption, Message, Name, Question, RecordClass, RecordType};
 use netsim::SimTime;
-use resolver::{Resolver, ResolverConfig};
+use resolver::{FaultyUpstream, InjectedFault, Resolver, ResolverConfig, RetryPolicy};
 
 fn name(s: &str) -> Name {
     Name::from_ascii(s).unwrap()
@@ -195,4 +195,108 @@ fn own_address_probing_is_expressible_and_routable() {
     let sent = auth.log()[0].ecs.unwrap();
     assert!(!sent.is_non_routable(), "own-address probe is routable");
     assert_eq!(sent.to_v4(), Some(Ipv4Addr::new(9, 9, 9, 0)));
+}
+
+/// §7.1.3: if an ECS query times out, the retry goes out *without* the
+/// option, and the server is remembered as non-ECS so later queries stay
+/// plain too.
+#[test]
+fn timed_out_ecs_query_is_retried_without_ecs_and_server_marked() {
+    let inner = AuthServer::new(
+        zone_with(&["w.conf.example", "w2.conf.example"], 60),
+        EcsHandling::open(ScopePolicy::MatchSource),
+    );
+    let mut up = FaultyUpstream::scripted(inner, vec![InjectedFault::Timeout]);
+    let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+    let q = Message::query(1, Question::a(name("w.conf.example")));
+    let client: IpAddr = "100.70.1.1".parse().unwrap();
+    let resp = r.resolve_msg(&q, client, t(0), &mut up);
+
+    assert_eq!(
+        resp.answer_addrs().len(),
+        1,
+        "the retry recovered an answer"
+    );
+    let s = r.stats();
+    assert_eq!(s.upstream_timeouts, 1);
+    assert_eq!(s.retries, 1);
+    assert_eq!(s.ecs_withdrawals, 1);
+    assert!(
+        r.probing_state().marked_non_ecs,
+        "server remembered as non-ECS"
+    );
+    // Only the retry reached the authoritative, and it carried no ECS.
+    assert_eq!(up.inner().log().len(), 1);
+    assert!(up.inner().log()[0].ecs.is_none(), "§7.1.3 retry is plain");
+
+    // The mark outlives the exchange: a fresh name (a guaranteed cache
+    // miss — the plain answer above was cached globally) also goes out
+    // plain, even for an unrelated client.
+    let q2 = Message::query(2, Question::a(name("w2.conf.example")));
+    let far: IpAddr = "100.70.2.1".parse().unwrap();
+    r.resolve_msg(&q2, far, t(5), &mut up);
+    assert_eq!(up.inner().log().len(), 2);
+    assert!(
+        up.inner().log()[1].ecs.is_none(),
+        "mark suppresses later ECS"
+    );
+}
+
+/// §7.1.3 also allows keeping ECS on retry when the operator judges the
+/// timeout unrelated to the option; `withdraw_ecs_on_timeout: false`
+/// expresses that posture and must leave the option attached.
+#[test]
+fn timeout_retry_keeps_ecs_when_withdrawal_is_disabled() {
+    let inner = AuthServer::new(
+        zone_with(&["x.conf.example"], 60),
+        EcsHandling::open(ScopePolicy::MatchSource),
+    );
+    let mut up = FaultyUpstream::scripted(inner, vec![InjectedFault::Timeout]);
+    let mut config = ResolverConfig::rfc_compliant(RES);
+    config.retry = RetryPolicy {
+        withdraw_ecs_on_timeout: false,
+        ..RetryPolicy::default()
+    };
+    let mut r = Resolver::new(config);
+    let q = Message::query(1, Question::a(name("x.conf.example")));
+    let client: IpAddr = "100.70.1.1".parse().unwrap();
+    let resp = r.resolve_msg(&q, client, t(0), &mut up);
+
+    assert_eq!(resp.answer_addrs().len(), 1);
+    assert_eq!(r.stats().retries, 1);
+    assert_eq!(r.stats().ecs_withdrawals, 0, "nothing withdrawn");
+    assert!(!r.probing_state().marked_non_ecs);
+    assert!(up.inner().log()[0].ecs.is_some(), "retry kept the option");
+}
+
+/// §7.1.3's FORMERR clause: a server answering an ECS query with FORMERR
+/// may be a pre-EDNS(-ECS) implementation; with the downgrade enabled the
+/// resolver retries immediately without the option and marks the server.
+#[test]
+fn formerr_on_ecs_query_downgrades_to_plain_retry_when_enabled() {
+    let inner = AuthServer::new(
+        zone_with(&["y.conf.example"], 60),
+        EcsHandling::open(ScopePolicy::MatchSource),
+    );
+    let mut up = FaultyUpstream::scripted(inner, vec![InjectedFault::FormErr]);
+    let mut config = ResolverConfig::rfc_compliant(RES);
+    config.retry = RetryPolicy {
+        withdraw_ecs_on_formerr: true,
+        ..RetryPolicy::default()
+    };
+    let mut r = Resolver::new(config);
+    let q = Message::query(1, Question::a(name("y.conf.example")));
+    let client: IpAddr = "100.70.1.1".parse().unwrap();
+    let resp = r.resolve_msg(&q, client, t(0), &mut up);
+
+    assert_eq!(resp.rcode, dns_wire::Rcode::NoError);
+    assert_eq!(resp.answer_addrs().len(), 1, "plain retry got the answer");
+    let s = r.stats();
+    assert_eq!(s.ecs_withdrawals, 1);
+    assert_eq!(s.upstream_timeouts, 0, "FORMERR is not a timeout");
+    assert!(r.probing_state().marked_non_ecs);
+    // The injected FORMERR never reached the zone; the one logged query is
+    // the downgraded retry, option-free.
+    assert_eq!(up.inner().log().len(), 1);
+    assert!(up.inner().log()[0].ecs.is_none());
 }
