@@ -50,6 +50,12 @@ pub struct CacheSimConfig {
     /// Worker threads to shard resolvers across. `0` and `1` both mean
     /// sequential; results are identical for every value.
     pub parallelism: usize,
+    /// Per-resolver, per-mode cap on live entries. Exceeding it evicts the
+    /// least-recently-used entry (touch = hit or insert), modelling a
+    /// memory-bounded resolver; eviction order is deterministic at any
+    /// `parallelism` because each resolver's records replay in trace order
+    /// within its shard. `None` never evicts early (the paper's assumption).
+    pub capacity: Option<usize>,
 }
 
 impl Default for CacheSimConfig {
@@ -59,6 +65,7 @@ impl Default for CacheSimConfig {
             sample_pct: 100,
             sample_seed: 0,
             parallelism: 1,
+            capacity: None,
         }
     }
 }
@@ -74,7 +81,7 @@ pub fn default_parallelism() -> usize {
 }
 
 /// Per-resolver outcome.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct ResolverCacheResult {
     /// The resolver.
     pub resolver: IpAddr,
@@ -88,6 +95,10 @@ pub struct ResolverCacheResult {
     pub hits_no_ecs: u64,
     /// Total lookups (same in both modes).
     pub lookups: u64,
+    /// LRU evictions forced by [`CacheSimConfig::capacity`], ECS mode.
+    pub evictions_ecs: u64,
+    /// LRU evictions forced by [`CacheSimConfig::capacity`], plain mode.
+    pub evictions_no_ecs: u64,
 }
 
 impl ResolverCacheResult {
@@ -168,13 +179,17 @@ type Key = (u32, u32, RecordType);
 
 /// One cached line — both modes' live entries for a key, in one arena slot
 /// found by a single hash lookup per record.
+///
+/// Every entry carries the per-resolver recency tick of its last touch
+/// (insert or hit) so a capacity bound can evict deterministic LRU order.
 struct Slot {
     /// Shard-local resolver index.
     resolver: u32,
-    /// Plain-mode entries carry no scope: just expiries.
-    plain: Vec<SimTime>,
-    /// ECS-mode entries: scope prefix (`None` serves everyone) and expiry.
-    ecs: Vec<(Option<IpPrefix>, SimTime)>,
+    /// Plain-mode entries: (expiry, last-touch tick).
+    plain: Vec<(SimTime, u64)>,
+    /// ECS-mode entries: scope prefix (`None` serves everyone), expiry,
+    /// last-touch tick.
+    ecs: Vec<(Option<IpPrefix>, SimTime, u64)>,
 }
 
 /// Per-resolver accumulators for one shard, indexed by shard-local
@@ -187,6 +202,8 @@ struct ShardStats {
     hits_plain: Vec<u64>,
     hits_ecs: Vec<u64>,
     lookups: Vec<u64>,
+    evictions_plain: Vec<u64>,
+    evictions_ecs: Vec<u64>,
 }
 
 impl ShardStats {
@@ -199,6 +216,8 @@ impl ShardStats {
             hits_plain: vec![0; locals],
             hits_ecs: vec![0; locals],
             lookups: vec![0; locals],
+            evictions_plain: vec![0; locals],
+            evictions_ecs: vec![0; locals],
         }
     }
 }
@@ -237,6 +256,36 @@ fn purge<E>(
     }
 }
 
+/// Removes one resolver's least-recently-touched entry in one mode.
+///
+/// `slot_list` is the resolver's own slots, so the O(entries) scan is
+/// bounded by the capacity it enforces. Ticks are unique per (resolver,
+/// mode) — each replayed record touches at most one entry per mode — so
+/// the minimum is unique and eviction order is deterministic.
+fn evict_lru<E>(
+    slots: &mut [Slot],
+    slot_list: &[u32],
+    entries_of: impl Fn(&mut Slot) -> &mut Vec<E>,
+    tick_of: impl Fn(&E) -> u64,
+) -> bool {
+    let mut best: Option<(u64, u32, usize)> = None;
+    for &si in slot_list {
+        for (ei, e) in entries_of(&mut slots[si as usize]).iter().enumerate() {
+            let t = tick_of(e);
+            if best.is_none_or(|(bt, _, _)| t < bt) {
+                best = Some((t, si, ei));
+            }
+        }
+    }
+    match best {
+        Some((_, si, ei)) => {
+            entries_of(&mut slots[si as usize]).remove(ei);
+            true
+        }
+        None => false,
+    }
+}
+
 /// Replays the full record stream, simulating only resolvers assigned to
 /// `shard`, both modes in a single pass.
 fn simulate_shard(
@@ -246,11 +295,19 @@ fn simulate_shard(
     shard: usize,
     num_shards: usize,
 ) -> ShardStats {
-    let mut stats = ShardStats::new(shard_width(index.num_resolvers(), shard, num_shards));
+    let locals = shard_width(index.num_resolvers(), shard, num_shards);
+    let mut stats = ShardStats::new(locals);
     let mut slots: Vec<Slot> = Vec::new();
     let mut slot_ids: FxHashMap<Key, u32> = FxHashMap::default();
     let mut heap_plain: BinaryHeap<Reverse<(SimTime, u32)>> = BinaryHeap::new();
     let mut heap_ecs: BinaryHeap<Reverse<(SimTime, u32)>> = BinaryHeap::new();
+    // Per-resolver recency clock and slot registry (for LRU scans under a
+    // capacity bound).
+    let mut ticks: Vec<u64> = vec![0; locals];
+    let mut resolver_slots: Vec<Vec<u32>> = vec![Vec::new(); locals];
+    // A zero capacity would evict the entry just inserted forever; clamp
+    // to one entry, the smallest cache that can function.
+    let capacity = config.capacity.map(|c| c.max(1));
 
     let resolver_ids = index.resolver_ids();
     for (i, rec) in records.iter().enumerate() {
@@ -267,6 +324,8 @@ fn simulate_shard(
         let expiry = now + SimDuration::from_secs(ttl as u64);
 
         stats.lookups[local as usize] += 1;
+        ticks[local as usize] += 1;
+        let tick = ticks[local as usize];
 
         let slot_idx = *slot_ids
             .entry((rid, index.name_id(i), rec.qtype))
@@ -276,6 +335,7 @@ fn simulate_shard(
                     plain: Vec::new(),
                     ecs: Vec::new(),
                 });
+                resolver_slots[local as usize].push((slots.len() - 1) as u32);
                 (slots.len() - 1) as u32
             });
 
@@ -285,7 +345,7 @@ fn simulate_shard(
             &mut stats.live_plain,
             now,
             |s| &mut s.plain,
-            |&e| e,
+            |&(e, _)| e,
         );
         purge(
             &mut heap_ecs,
@@ -299,20 +359,35 @@ fn simulate_shard(
         let slot = &mut slots[slot_idx as usize];
 
         // Plain mode: ECS ignored entirely, any live entry serves.
-        if slot.plain.iter().any(|&exp| exp > now) {
+        if let Some(e) = slot.plain.iter_mut().find(|(exp, _)| *exp > now) {
+            e.1 = tick;
             stats.hits_plain[local as usize] += 1;
         } else {
-            slot.plain.push(expiry);
+            slot.plain.push((expiry, tick));
             heap_plain.push(Reverse((expiry, slot_idx)));
-            let lv = &mut stats.live_plain[local as usize];
-            *lv += 1;
+            stats.live_plain[local as usize] += 1;
+            if let Some(cap) = capacity {
+                while stats.live_plain[local as usize] > cap
+                    && evict_lru(
+                        &mut slots,
+                        &resolver_slots[local as usize],
+                        |s| &mut s.plain,
+                        |&(_, t)| t,
+                    )
+                {
+                    stats.live_plain[local as usize] -= 1;
+                    stats.evictions_plain[local as usize] += 1;
+                }
+            }
+            let lv = stats.live_plain[local as usize];
             let mx = &mut stats.max_plain[local as usize];
-            *mx = (*mx).max(*lv);
+            *mx = (*mx).max(lv);
         }
 
         // ECS mode: obey source/scope from the trace.
         let source = rec.ecs_source;
-        let hit = slot.ecs.iter().any(|(scope, exp)| {
+        let slot = &mut slots[slot_idx as usize];
+        let hit = slot.ecs.iter_mut().find(|(scope, exp, _)| {
             *exp > now
                 && match (scope, source.as_ref()) {
                     (None, _) => true, // non-ECS entry serves all
@@ -320,7 +395,8 @@ fn simulate_shard(
                     (Some(p), None) => p.is_default_route(),
                 }
         });
-        if hit {
+        if let Some(e) = hit {
+            e.2 = tick;
             stats.hits_ecs[local as usize] += 1;
         } else {
             let entry_prefix = match (source, rec.response_scope) {
@@ -330,12 +406,25 @@ fn simulate_shard(
                 (Some(_), None) => None,
                 (None, _) => None,
             };
-            slot.ecs.push((entry_prefix, expiry));
+            slot.ecs.push((entry_prefix, expiry, tick));
             heap_ecs.push(Reverse((expiry, slot_idx)));
-            let lv = &mut stats.live_ecs[local as usize];
-            *lv += 1;
+            stats.live_ecs[local as usize] += 1;
+            if let Some(cap) = capacity {
+                while stats.live_ecs[local as usize] > cap
+                    && evict_lru(
+                        &mut slots,
+                        &resolver_slots[local as usize],
+                        |s| &mut s.ecs,
+                        |e| e.2,
+                    )
+                {
+                    stats.live_ecs[local as usize] -= 1;
+                    stats.evictions_ecs[local as usize] += 1;
+                }
+            }
+            let lv = stats.live_ecs[local as usize];
             let mx = &mut stats.max_ecs[local as usize];
-            *mx = (*mx).max(*lv);
+            *mx = (*mx).max(lv);
         }
     }
     stats
@@ -419,6 +508,8 @@ impl CacheSimulator {
                 hits_ecs: stats.hits_ecs[local],
                 hits_no_ecs: stats.hits_plain[local],
                 lookups,
+                evictions_ecs: stats.evictions_ecs[local],
+                evictions_no_ecs: stats.evictions_plain[local],
             });
         }
         per_resolver.sort_by_key(|r| r.resolver);
@@ -621,6 +712,128 @@ mod tests {
     }
 
     #[test]
+    fn capacity_bounds_peak_and_counts_evictions() {
+        // Three concurrent subnet entries for one name, capacity 2: the
+        // third ECS insert evicts the LRU first entry.
+        let records = vec![
+            rec(0, "a.example.com", "10.1.1.0", 24, 600),
+            rec(1, "a.example.com", "10.1.2.0", 24, 600),
+            rec(2, "a.example.com", "10.1.3.0", 24, 600),
+        ];
+        let mut t = TraceSet::new("t");
+        t.records = records;
+        t.sort_by_time();
+        let r = CacheSimulator::new(CacheSimConfig {
+            capacity: Some(2),
+            ..CacheSimConfig::default()
+        })
+        .run(&t);
+        let res = &r.per_resolver[0];
+        assert_eq!(res.max_size_ecs, 2, "bound never exceeded");
+        assert_eq!(res.evictions_ecs, 1);
+        // Plain mode never held more than one entry: no pressure.
+        assert_eq!(res.max_size_no_ecs, 1);
+        assert_eq!(res.evictions_no_ecs, 0);
+    }
+
+    #[test]
+    fn eviction_is_lru_with_hits_refreshing_recency() {
+        // Warm 10.1.1.0 and 10.1.2.0, re-touch 10.1.1.0, then insert a
+        // third subnet under capacity 2: the LRU victim is 10.1.2.0, so a
+        // final 10.1.1.0 query still hits.
+        let records = vec![
+            rec(0, "a.example.com", "10.1.1.0", 24, 600),
+            rec(1, "a.example.com", "10.1.2.0", 24, 600),
+            rec(2, "a.example.com", "10.1.1.0", 24, 600), // hit: refresh
+            rec(3, "a.example.com", "10.1.3.0", 24, 600), // evicts 10.1.2.0
+            rec(4, "a.example.com", "10.1.1.0", 24, 600), // still cached
+            rec(5, "a.example.com", "10.1.2.0", 24, 600), // evicted: miss
+        ];
+        let mut t = TraceSet::new("t");
+        t.records = records;
+        t.sort_by_time();
+        let r = CacheSimulator::new(CacheSimConfig {
+            capacity: Some(2),
+            ..CacheSimConfig::default()
+        })
+        .run(&t);
+        let res = &r.per_resolver[0];
+        assert_eq!(res.hits_ecs, 2, "t=2 and t=4 hit");
+        assert_eq!(res.evictions_ecs, 2, "t=3 evicts .2, t=5 evicts LRU again");
+        assert_eq!(res.max_size_ecs, 2);
+    }
+
+    #[test]
+    fn unbounded_capacity_matches_default_exactly() {
+        let records: Vec<TraceRecord> = (0..200)
+            .map(|i| {
+                rec(
+                    i / 5,
+                    &format!("h{}.example.com", i % 7),
+                    &format!("10.3.{}.0", i % 23),
+                    24,
+                    40,
+                )
+            })
+            .collect();
+        let mut t = TraceSet::new("t");
+        t.records = records;
+        t.sort_by_time();
+        let plain = CacheSimulator::new(CacheSimConfig::default()).run(&t);
+        let huge = CacheSimulator::new(CacheSimConfig {
+            capacity: Some(usize::MAX),
+            ..CacheSimConfig::default()
+        })
+        .run(&t);
+        assert_eq!(plain.per_resolver, huge.per_resolver);
+        assert!(plain.per_resolver.iter().all(|r| r.evictions_ecs == 0));
+    }
+
+    #[test]
+    fn capacity_is_deterministic_at_any_parallelism() {
+        let records: Vec<TraceRecord> = (0..400)
+            .map(|i| {
+                let mut r = rec(
+                    i / 7,
+                    &format!("h{}.example.com", i % 13),
+                    &format!("10.2.{}.0", i % 31),
+                    if i % 3 == 0 { 16 } else { 24 },
+                    20 + (i as u32 % 4) * 20,
+                );
+                r.resolver = IpAddr::V4(Ipv4Addr::new(9, 9, 9, (i % 5) as u8 + 1));
+                r
+            })
+            .collect();
+        let mut t = TraceSet::new("t");
+        t.records = records;
+        t.sort_by_time();
+        let config = CacheSimConfig {
+            capacity: Some(3),
+            ..CacheSimConfig::default()
+        };
+        let sequential = CacheSimulator::new(config.clone()).run(&t);
+        assert!(
+            sequential.per_resolver.iter().any(|r| r.evictions_ecs > 0),
+            "the bound must actually bite for this to test anything"
+        );
+        assert!(sequential
+            .per_resolver
+            .iter()
+            .all(|r| r.max_size_ecs <= 3 && r.max_size_no_ecs <= 3));
+        for parallelism in [2, 3, 8, 64] {
+            let sharded = CacheSimulator::new(CacheSimConfig {
+                parallelism,
+                ..config.clone()
+            })
+            .run(&t);
+            assert_eq!(
+                sequential.per_resolver, sharded.per_resolver,
+                "parallelism={parallelism}"
+            );
+        }
+    }
+
+    #[test]
     fn shard_widths_cover_all_resolvers() {
         for resolvers in 0..20 {
             for shards in 1..8 {
@@ -639,6 +852,8 @@ mod tests {
             hits_ecs: 0,
             hits_no_ecs: 0,
             lookups: 0,
+            evictions_ecs: 0,
+            evictions_no_ecs: 0,
         };
         assert_eq!(res.blowup_factor(), 1.0);
         assert_eq!(res.hit_rate_ecs(), 0.0);

@@ -152,6 +152,9 @@ mod legacy {
                     hits_ecs: ecs_mode.hits.get(&rid).copied().unwrap_or(0),
                     hits_no_ecs: plain_mode.hits.get(&rid).copied().unwrap_or(0),
                     lookups: lookups.get(&rid).copied().unwrap_or(0),
+                    // The seed engine never evicted early.
+                    evictions_ecs: 0,
+                    evictions_no_ecs: 0,
                 }
             })
             .collect();
@@ -233,8 +236,44 @@ fn main() {
         measurements.push(m);
     }
 
+    // Bounded-cache variants: capacity = ∞ must cost <10% over the
+    // unbounded path (the ticks it carries are the only overhead); a tight
+    // capacity additionally pays the LRU scans its evictions require.
+    eprintln!("timing bounded engine (capacity = usize::MAX) ...");
+    let sim = CacheSimulator::new(CacheSimConfig {
+        capacity: Some(usize::MAX),
+        ..CacheSimConfig::default()
+    });
+    let (inf_result, inf_m) = time_runs("bounded_inf", 1, records, || sim.run(&trace));
+    assert_eq!(
+        inf_result.per_resolver, legacy_result.per_resolver,
+        "infinite capacity changed results"
+    );
+    measurements.push(inf_m);
+
+    eprintln!("timing bounded engine (capacity = 64) ...");
+    let sim = CacheSimulator::new(CacheSimConfig {
+        capacity: Some(64),
+        ..CacheSimConfig::default()
+    });
+    let (tight_result, tight_m) = time_runs("bounded_64", 1, records, || sim.run(&trace));
+    let tight_evictions: u64 = tight_result
+        .per_resolver
+        .iter()
+        .map(|r| r.evictions_ecs + r.evictions_no_ecs)
+        .sum();
+    assert!(
+        tight_result
+            .per_resolver
+            .iter()
+            .all(|r| r.max_size_ecs <= 64 && r.max_size_no_ecs <= 64),
+        "capacity bound exceeded"
+    );
+    measurements.push(tight_m);
+
     let baseline = measurements[0].records_per_sec;
     let seq = measurements[1].records_per_sec;
+    let bounded_inf = measurements[measurements.len() - 2].records_per_sec;
 
     let mut json = String::from("{\n");
     json.push_str("  \"benchmark\": \"cache_sim_replay\",\n");
@@ -258,6 +297,10 @@ fn main() {
     json.push_str(&format!(
         "  \"single_thread_speedup_vs_seed\": {:.2},\n",
         seq / baseline
+    ));
+    json.push_str(&format!(
+        "  \"bounded_cache\": {{\"overhead_at_infinite_capacity\": {:.4}, \"evictions_at_capacity_64\": {tight_evictions}}},\n",
+        1.0 - bounded_inf / seq
     ));
     json.push_str("  \"results_identical_across_engines_and_threads\": true\n");
     json.push_str("}\n");

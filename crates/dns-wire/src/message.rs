@@ -206,7 +206,10 @@ impl Message {
     pub fn from_bytes(bytes: &[u8]) -> WireResult<Self> {
         let mut r = WireReader::new(bytes);
         let header = Header::read(&mut r)?;
-        let mut questions = Vec::with_capacity(header.qdcount as usize);
+        // Bounded preallocation: a question is at least 5 wire bytes (root
+        // name + type + class), so never reserve more slots than the
+        // remaining bytes could encode.
+        let mut questions = Vec::with_capacity(r.capacity_for(header.qdcount, 5));
         for _ in 0..header.qdcount {
             questions.push(Question::read(&mut r).map_err(|e| match e {
                 WireError::Truncated { .. } => WireError::CountMismatch {
@@ -269,7 +272,9 @@ fn read_section(
     count: u16,
     section: &'static str,
 ) -> WireResult<Vec<Record>> {
-    let mut out = Vec::with_capacity(count as usize);
+    // A record is at least 11 wire bytes (root owner + type + class + TTL +
+    // RDLENGTH); bound the preallocation by what the buffer could hold.
+    let mut out = Vec::with_capacity(r.capacity_for(count, 11));
     for _ in 0..count {
         out.push(Record::read(r).map_err(|e| match e {
             WireError::Truncated { .. } => WireError::CountMismatch { section },
@@ -435,6 +440,23 @@ mod tests {
         let mut bytes = m.to_bytes().unwrap();
         // Claim 2 questions.
         bytes[5] = 2;
+        assert!(matches!(
+            Message::from_bytes(&bytes),
+            Err(WireError::CountMismatch { .. }) | Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_counts_fail_cleanly_without_huge_allocation() {
+        // A 12-byte datagram claiming 65 535 records in every section must
+        // fail with a parse error (and, per the bounded-preallocation
+        // guard, reserve no section capacity at all on the way).
+        let mut bytes = sample_query().to_bytes().unwrap();
+        bytes.truncate(12);
+        for i in [4, 6, 8, 10] {
+            bytes[i] = 0xFF;
+            bytes[i + 1] = 0xFF;
+        }
         assert!(matches!(
             Message::from_bytes(&bytes),
             Err(WireError::CountMismatch { .. }) | Err(WireError::Truncated { .. })

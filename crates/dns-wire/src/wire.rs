@@ -98,6 +98,20 @@ impl<'a> WireReader<'a> {
         Ok(s)
     }
 
+    /// Upper-bounds a section's `Vec` preallocation from a header count.
+    ///
+    /// A hostile header can claim 65 535 records while the message holds
+    /// only a handful of bytes; allocating `count` slots up front would let
+    /// a 12-byte datagram reserve megabytes. Clamp to the number of
+    /// entries the unread bytes could possibly encode, at `min_wire` bytes
+    /// each (the smallest legal encoding — for a record, a 1-byte root
+    /// owner + type + class + TTL + RDLENGTH = 11 bytes). Parsing still
+    /// attempts `count` entries and fails with the usual truncation/count
+    /// errors; only the speculative allocation is bounded.
+    pub fn capacity_for(&self, count: u16, min_wire: usize) -> usize {
+        (count as usize).min(self.remaining() / min_wire.max(1))
+    }
+
     /// Returns a sub-reader limited to the next `n` bytes and advances this
     /// reader past them. The sub-reader still sees the full message for
     /// compression-pointer resolution but its cursor starts at the sub-slice.
@@ -278,6 +292,20 @@ mod tests {
         let data = [1, 2];
         let mut r = WireReader::new(&data);
         assert!(r.sub_reader(3, "rdata").is_err());
+    }
+
+    #[test]
+    fn capacity_for_clamps_hostile_counts() {
+        let data = [0u8; 40];
+        let mut r = WireReader::new(&data);
+        r.read_u16("skip").unwrap();
+        // 38 bytes remain: at most 3 eleven-byte records could fit, however
+        // large the claimed count.
+        assert_eq!(r.capacity_for(u16::MAX, 11), 3);
+        // An honest count below the ceiling passes through unchanged.
+        assert_eq!(r.capacity_for(2, 11), 2);
+        // A zero min_wire must not divide by zero.
+        assert_eq!(r.capacity_for(10, 0), 10);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Fuzz-style properties for the hardened wire decoder: arbitrary bytes
+//! never panic, parsed structure never exceeds what the input bytes could
+//! encode (the observable face of the bounded-preallocation guard), and
+//! decode ∘ encode is a fixpoint for everything that parses.
+//!
+//! CI runs this file with `PROPTEST_CASES=1024` for a deeper sweep; the
+//! in-tree default keeps `cargo test` fast.
+
+use dns_wire::{EcsOption, Message, Name, Question, Rdata, Record};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(
+        proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,12}[a-z0-9])?").unwrap(),
+        0..5,
+    )
+    .prop_map(|labels| Name::from_ascii(&labels.join(".")).unwrap())
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), 0u32..100_000, any::<u32>())
+        .prop_map(|(n, ttl, a)| Record::new(n, ttl, Rdata::A(Ipv4Addr::from(a))))
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        arb_name(),
+        proptest::collection::vec(arb_record(), 0..5),
+        proptest::option::of(
+            (any::<u32>(), 0u8..=32)
+                .prop_map(|(a, len)| EcsOption::from_v4(Ipv4Addr::from(a), len)),
+        ),
+    )
+        .prop_map(|(id, qname, answers, ecs)| {
+            let mut m = Message::query(id, Question::a(qname));
+            m.flags.qr = !answers.is_empty();
+            m.answers = answers;
+            if let Some(e) = ecs {
+                m.set_ecs(e);
+            }
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        // Parse-or-clean-error on any input; no panic, no hang.
+        let _ = Message::from_bytes(&data);
+    }
+
+    #[test]
+    fn parsed_structure_is_bounded_by_input_size(
+        data in proptest::collection::vec(any::<u8>(), 12..1200)
+    ) {
+        // A question takes at least 5 wire bytes, a record at least 11
+        // (even with a 2-byte compressed owner name), so whatever parses
+        // can never hold more entries than the body bytes could encode —
+        // a hostile header cannot inflate the in-memory message.
+        if let Ok(m) = Message::from_bytes(&data) {
+            let body = data.len() - 12;
+            prop_assert!(m.questions.len() <= body / 5);
+            let records = m.answers.len()
+                + m.authorities.len()
+                + m.additionals.len()
+                + usize::from(m.edns.is_some());
+            prop_assert!(records <= body / 11);
+        }
+    }
+
+    #[test]
+    fn bit_flips_in_valid_messages_never_panic(
+        msg in arb_message(),
+        idx in any::<u16>(),
+        val in any::<u8>(),
+    ) {
+        let mut bytes = msg.to_bytes().unwrap();
+        let n = bytes.len();
+        bytes[idx as usize % n] = val;
+        // Corrupted headers, counts, lengths, pointers: all must fail
+        // cleanly or parse to something bounded — never panic.
+        let _ = Message::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_valid_messages(msg in arb_message()) {
+        let bytes = msg.to_bytes().unwrap();
+        prop_assert_eq!(Message::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn decode_encode_decode_is_a_fixpoint(
+        data in proptest::collection::vec(any::<u8>(), 0..600)
+    ) {
+        // Anything the decoder accepts must reserialize to bytes it
+        // accepts again, identically: the parsed form is self-consistent
+        // even when the original bytes were adversarial.
+        if let Ok(m) = Message::from_bytes(&data) {
+            if let Ok(bytes) = m.to_bytes() {
+                prop_assert_eq!(Message::from_bytes(&bytes).unwrap(), m);
+            }
+        }
+    }
+}

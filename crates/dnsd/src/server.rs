@@ -2,7 +2,7 @@
 
 use std::io;
 use std::net::{ToSocketAddrs, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,6 +41,11 @@ pub struct UdpAuthServer {
     /// [`ServerFaults::drop_first`]).
     drop_remaining: AtomicU32,
     truncate_udp: bool,
+    /// Datagrams dropped because they did not decode as DNS — the hardened
+    /// decoder rejected them. Visible after shutdown via
+    /// [`ServerHandle::malformed_drops`], so hostile-input tests can assert
+    /// the drop actually happened rather than inferring it from silence.
+    malformed_drops: Arc<AtomicU64>,
 }
 
 /// Handle to a spawned server thread.
@@ -56,6 +61,7 @@ pub struct ServerHandle {
     thread: Option<std::thread::JoinHandle<()>>,
     /// Shared access to the server state (query log inspection).
     pub auth: Arc<Mutex<AuthServer>>,
+    malformed_drops: Arc<AtomicU64>,
 }
 
 impl ServerHandle {
@@ -73,6 +79,11 @@ impl ServerHandle {
     /// docs for the shutdown-latency bound).
     pub fn shutdown(mut self) {
         self.stop_and_join();
+    }
+
+    /// Datagrams dropped so far because they failed to decode.
+    pub fn malformed_drops(&self) -> u64 {
+        self.malformed_drops.load(Ordering::SeqCst)
     }
 }
 
@@ -96,6 +107,7 @@ impl UdpAuthServer {
             stop: Arc::new(AtomicBool::new(false)),
             drop_remaining: AtomicU32::new(0),
             truncate_udp: false,
+            malformed_drops: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -119,6 +131,11 @@ impl UdpAuthServer {
         self.auth.clone()
     }
 
+    /// Datagrams dropped so far because they failed to decode.
+    pub fn malformed_drops(&self) -> u64 {
+        self.malformed_drops.load(Ordering::SeqCst)
+    }
+
     /// Serves one datagram if one arrives before the read timeout.
     /// Returns `Ok(true)` when a query was handled.
     pub fn serve_once(&self) -> io::Result<bool> {
@@ -134,6 +151,7 @@ impl UdpAuthServer {
         };
         // Malformed packets are dropped, as real servers drop them.
         let Ok(query) = Message::from_bytes(&buf[..n]) else {
+            self.malformed_drops.fetch_add(1, Ordering::SeqCst);
             return Ok(false);
         };
         if query.is_response() {
@@ -164,6 +182,7 @@ impl UdpAuthServer {
     pub fn spawn(self) -> ServerHandle {
         let stop = self.stop.clone();
         let auth = self.auth.clone();
+        let malformed_drops = self.malformed_drops.clone();
         let thread = std::thread::spawn(move || {
             while !self.stop.load(Ordering::SeqCst) {
                 if let Err(e) = self.serve_once() {
@@ -176,6 +195,7 @@ impl UdpAuthServer {
             stop,
             thread: Some(thread),
             auth,
+            malformed_drops,
         }
     }
 }
@@ -239,7 +259,15 @@ mod tests {
             .unwrap();
         // Garbage.
         client.send_to(&[0xFF, 0x00, 0x01], addr).unwrap();
-        // A response message (must be ignored).
+        // A hostile header: valid 12-byte frame claiming 65535 records of
+        // every section. The bounded decoder rejects it without allocating.
+        let mut hostile = vec![0u8; 12];
+        for i in (4..12).step_by(2) {
+            hostile[i] = 0xFF;
+            hostile[i + 1] = 0xFF;
+        }
+        client.send_to(&hostile, addr).unwrap();
+        // A response message (must be ignored, but it *does* decode).
         let q = Message::query(1, Question::a(Name::from_ascii("x.demo.example").unwrap()));
         let mut resp = Message::response_to(&q);
         resp.flags.qr = true;
@@ -247,6 +275,9 @@ mod tests {
 
         let mut buf = [0u8; 512];
         assert!(client.recv_from(&mut buf).is_err(), "no reply expected");
+        // Exactly the two undecodable datagrams counted; the well-formed
+        // response was ignored silently, not counted as malformed.
+        assert_eq!(handle.malformed_drops(), 2);
         handle.shutdown();
     }
 }

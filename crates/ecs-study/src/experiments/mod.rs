@@ -11,6 +11,7 @@ pub mod fig3;
 pub mod fig45;
 pub mod fig67;
 pub mod fig8;
+pub mod overload;
 pub mod probing;
 pub mod table1;
 pub mod table2;
@@ -109,6 +110,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "faults",
             "extension: robustness under injected faults",
             faults::run_default,
+        ),
+        (
+            "overload",
+            "extension: graceful degradation under overload",
+            overload::run_default,
         ),
     ]
 }

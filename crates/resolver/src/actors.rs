@@ -18,7 +18,7 @@ use dns_wire::{Message, Name};
 use netsim::{AddressBook, Ctx, Node, NodeId, Packet, SimTime};
 use parking_lot::RwLock;
 
-use crate::engine::{PendingQuery, Resolver, Step};
+use crate::engine::{FlightKey, PendingQuery, Resolver, Step};
 
 /// Shared address directory type used by every actor.
 pub type SharedBook = Arc<RwLock<AddressBook>>;
@@ -90,6 +90,9 @@ pub struct EgressActor {
     routes: Vec<(Name, IpAddr)>,
     book: SharedBook,
     pending: HashMap<u16, PendingUpstream>,
+    /// Coalescing index: flight key → owning pending id. Only populated
+    /// when [`crate::config::OverloadConfig::coalesce`] is on.
+    flights: HashMap<FlightKey, u16>,
 }
 
 struct PendingUpstream {
@@ -98,6 +101,18 @@ struct PendingUpstream {
     auth_node: NodeId,
     /// 0-based attempt currently in flight.
     attempt: u8,
+    /// This flight's coalescing key, when coalescing is on.
+    flight: Option<FlightKey>,
+    /// Queries that joined this flight instead of going upstream.
+    joiners: Vec<Joiner>,
+}
+
+/// A coalesced query waiting on another query's upstream flight.
+struct Joiner {
+    node: NodeId,
+    /// Effective client address (for per-joiner ECS scope matching).
+    addr: IpAddr,
+    query: Message,
 }
 
 impl EgressActor {
@@ -110,7 +125,13 @@ impl EgressActor {
             routes,
             book,
             pending: HashMap::new(),
+            flights: HashMap::new(),
         }
+    }
+
+    /// Upstream flights currently outstanding.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
     }
 
     /// The wrapped resolver (for stats and cache inspection).
@@ -129,6 +150,21 @@ impl EgressActor {
             .find(|(apex, _)| name.is_subdomain_of(apex))
             .map(|(_, a)| *a)
     }
+
+    /// The client-facing answer for a coalesced joiner, built from the
+    /// shared upstream response — the non-caching half of
+    /// [`Resolver::complete`] (the owner's completion does the caching).
+    fn joiner_response(&self, joined: &Message, upstream_resp: &Message) -> Message {
+        let mut resp = Message::response_to(joined);
+        resp.rcode = upstream_resp.rcode;
+        resp.answers = upstream_resp.answers.clone();
+        if self.resolver.config().echo_ecs_to_client {
+            if let (Some(client_opt), Some(up_ecs)) = (joined.ecs(), upstream_resp.ecs()) {
+                resp.set_ecs(client_opt.with_scope(up_ecs.scope_prefix_len()));
+            }
+        }
+        resp
+    }
 }
 
 impl Node for EgressActor {
@@ -145,9 +181,22 @@ impl Node for EgressActor {
             }
             // An authoritative answered one of our upstream queries.
             if let Some(p) = self.pending.remove(&msg.id) {
+                if let Some(key) = &p.flight {
+                    self.flights.remove(key);
+                }
+                let joiner_resps: Vec<(NodeId, Message)> = p
+                    .joiners
+                    .iter()
+                    .map(|j| (j.node, self.joiner_response(&j.query, &msg)))
+                    .collect();
                 let resp = self.resolver.complete(p.query, &msg, ctx.now());
                 if let Ok(bytes) = resp.to_bytes() {
                     ctx.send(p.client, bytes);
+                }
+                for (node, resp) in joiner_resps {
+                    if let Ok(bytes) = resp.to_bytes() {
+                        ctx.send(node, bytes);
+                    }
                 }
             }
             return;
@@ -165,6 +214,34 @@ impl Node for EgressActor {
                 }
             }
             Step::NeedUpstream(pending) => {
+                let coalesce = self.resolver.config().overload.coalesce;
+                let max_in_flight = self.resolver.config().overload.max_in_flight;
+                // Coalescing: identical (qname, qtype, effective-ECS-prefix)
+                // lookups ride an existing flight instead of going upstream.
+                if coalesce {
+                    let key = pending.flight_key();
+                    if let Some(&owner) = self.flights.get(&key) {
+                        if let Some(p) = self.pending.get_mut(&owner) {
+                            self.resolver.note_coalesced(&pending.upstream_query);
+                            p.joiners.push(Joiner {
+                                node: pkt.src,
+                                addr: pending.client_addr,
+                                query: pending.client_query,
+                            });
+                            return;
+                        }
+                        self.flights.remove(&key);
+                    }
+                }
+                // Admission control: a full in-flight table sheds the query
+                // with SERVFAIL instead of queueing unboundedly.
+                if max_in_flight.is_some_and(|cap| self.pending.len() >= cap) {
+                    let fail = self.resolver.shed(&pending);
+                    if let Ok(bytes) = fail.to_bytes() {
+                        ctx.send(pkt.src, bytes);
+                    }
+                    return;
+                }
                 let qname = &pending.question.name;
                 let Some(auth_addr) = self.route_for(qname) else {
                     return; // no route: drop (client would time out)
@@ -175,6 +252,10 @@ impl Node for EgressActor {
                 let id = pending.upstream_query.id;
                 if let Ok(bytes) = pending.upstream_query.to_bytes() {
                     let timeout = self.resolver.config().retry.timeout_for(0);
+                    let flight = coalesce.then(|| pending.flight_key());
+                    if let Some(key) = &flight {
+                        self.flights.insert(key.clone(), id);
+                    }
                     self.pending.insert(
                         id,
                         PendingUpstream {
@@ -182,6 +263,8 @@ impl Node for EgressActor {
                             query: pending,
                             auth_node,
                             attempt: 0,
+                            flight,
+                            joiners: Vec::new(),
                         },
                     );
                     ctx.send(auth_node, bytes);
@@ -220,9 +303,26 @@ impl Node for EgressActor {
         };
         if give_up {
             let p = self.pending.remove(&id).expect("checked above");
-            let fail = self.resolver.give_up(&p.query.client_query);
+            if let Some(key) = &p.flight {
+                self.flights.remove(key);
+            }
+            // RFC 8767: a stale answer beats SERVFAIL when one matches —
+            // per party, since joiners may sit in different scopes.
+            let fail = self.resolver.answer_failure(&p.query, ctx.now());
             if let Ok(bytes) = fail.to_bytes() {
                 ctx.send(p.client, bytes);
+            }
+            for j in p.joiners {
+                let resp = self.resolver.stale_or_servfail(
+                    &j.query,
+                    &p.query.question.name,
+                    p.query.question.qtype,
+                    j.addr,
+                    ctx.now(),
+                );
+                if let Ok(bytes) = resp.to_bytes() {
+                    ctx.send(j.node, bytes);
+                }
             }
         }
     }
@@ -794,6 +894,223 @@ mod retry_tests {
             .responses
             .iter()
             .all(|(_, m)| m.rcode == dns_wire::Rcode::ServFail));
+    }
+}
+
+#[cfg(test)]
+mod overload_tests {
+    use super::*;
+    use crate::config::ResolverConfig;
+    use authoritative::{EcsHandling, ScopePolicy, Zone};
+    use dns_wire::{Question, Rcode};
+    use netsim::geo::city;
+    use netsim::{AddressBook, SimDuration, SimTime, Simulation};
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        Name::from_ascii(s).unwrap()
+    }
+
+    /// One authoritative, one egress with the given config, and `n` clients
+    /// in one /24 all asking the same name at t=0 (concurrently: every
+    /// query arrives before the first upstream answer returns).
+    fn burst_world(config: ResolverConfig, n: usize) -> (Simulation, Vec<NodeId>, NodeId, NodeId) {
+        let book: SharedBook = Arc::new(RwLock::new(AddressBook::new()));
+        let mut sim = Simulation::new(3);
+        let auth_addr: IpAddr = "198.51.100.53".parse().unwrap();
+        let egress_addr: IpAddr = "9.9.9.9".parse().unwrap();
+
+        let mut zone = Zone::new(name("probe.example"));
+        zone.add_a(
+            name("www.probe.example"),
+            60,
+            Ipv4Addr::new(198, 51, 100, 1),
+        )
+        .unwrap();
+        let auth = AuthServer::new(zone, EcsHandling::open(ScopePolicy::MatchSource));
+        let auth_node = sim.add_node(
+            AuthActor::new(auth, book.clone()),
+            city("Chicago").unwrap().pos,
+        );
+        let egress_node = sim.add_node(
+            EgressActor::new(
+                Resolver::new(config),
+                vec![(name("probe.example"), auth_addr)],
+                book.clone(),
+            ),
+            city("Toronto").unwrap().pos,
+        );
+        let mut clients = Vec::new();
+        for i in 0..n {
+            let q = Message::query(i as u16 + 1, Question::a(name("www.probe.example")));
+            let node = sim.add_node(
+                ClientActor::new(egress_node, vec![(SimTime::ZERO, q)]),
+                city("Toronto").unwrap().pos,
+            );
+            book.write()
+                .bind(format!("100.70.1.{}", i + 1).parse().unwrap(), node);
+            clients.push(node);
+        }
+        {
+            let mut b = book.write();
+            b.bind(auth_addr, auth_node);
+            b.bind(egress_addr, egress_node);
+        }
+        for &c in &clients {
+            ClientActor::arm(&mut sim, c);
+        }
+        (sim, clients, auth_node, egress_node)
+    }
+
+    #[test]
+    fn duplicate_concurrent_queries_coalesce_into_one_flight() {
+        let mut config = ResolverConfig::rfc_compliant("9.9.9.9".parse().unwrap());
+        config.overload.coalesce = true;
+        let (mut sim, clients, auth_node, egress_node) = burst_world(config, 5);
+        sim.run();
+        // Exactly one upstream flight for five identical concurrent queries.
+        let a = sim.node_mut::<AuthActor>(auth_node).unwrap();
+        assert_eq!(a.server().log().len(), 1, "one upstream flight");
+        let e = sim.node_mut::<EgressActor>(egress_node).unwrap();
+        let s = e.resolver().stats();
+        assert_eq!(s.upstream_queries, 1);
+        assert_eq!(s.coalesced_queries, 4);
+        assert_eq!(s.client_queries, 5);
+        // Every client still got a real answer.
+        for c in clients {
+            let cl = sim.node_mut::<ClientActor>(c).unwrap();
+            assert_eq!(cl.responses.len(), 1);
+            assert_eq!(cl.responses[0].1.rcode, Rcode::NoError);
+            assert_eq!(cl.responses[0].1.answers.len(), 1);
+        }
+    }
+
+    #[test]
+    fn coalescing_off_sends_every_query_upstream() {
+        // Same burst without coalescing: the five same-/24 clients race —
+        // every one misses (the first answer has not returned yet) and goes
+        // upstream independently. This is the pre-change behaviour.
+        let config = ResolverConfig::rfc_compliant("9.9.9.9".parse().unwrap());
+        let (mut sim, _, auth_node, egress_node) = burst_world(config, 5);
+        sim.run();
+        let a = sim.node_mut::<AuthActor>(auth_node).unwrap();
+        assert_eq!(a.server().log().len(), 5, "no coalescing by default");
+        let e = sim.node_mut::<EgressActor>(egress_node).unwrap();
+        assert_eq!(e.resolver().stats().coalesced_queries, 0);
+    }
+
+    #[test]
+    fn in_flight_cap_sheds_excess_load_with_servfail() {
+        let mut config = ResolverConfig::rfc_compliant("9.9.9.9".parse().unwrap());
+        config.overload.max_in_flight = Some(2);
+        let (mut sim, clients, auth_node, egress_node) = burst_world(config, 6);
+        sim.run();
+        let e = sim.node_mut::<EgressActor>(egress_node).unwrap();
+        let s = e.resolver().stats();
+        // The first two queries entered the in-flight table; the other
+        // four of the burst were shed.
+        assert_eq!(s.shed_queries, 4);
+        assert_eq!(e.in_flight(), 0, "table drains after the burst");
+        let a = sim.node_mut::<AuthActor>(auth_node).unwrap();
+        assert_eq!(a.server().log().len(), 2);
+        // Shed clients got SERVFAIL promptly, not silence.
+        let mut servfails = 0;
+        for c in clients {
+            let cl = sim.node_mut::<ClientActor>(c).unwrap();
+            assert!(!cl.responses.is_empty());
+            if cl.responses[0].1.rcode == Rcode::ServFail {
+                servfails += 1;
+            }
+        }
+        assert_eq!(servfails, 4);
+    }
+
+    #[test]
+    fn egress_serves_stale_when_authoritative_goes_dark() {
+        let mut config = ResolverConfig::rfc_compliant("9.9.9.9".parse().unwrap());
+        config.overload.serve_stale_ttl = SimDuration::from_secs(3600);
+        // One short attempt: the resolver gives up (and answers stale) before
+        // the client's own 3 s retransmission timer spawns a second exchange.
+        config.retry.attempts = 1;
+        config.retry.initial_timeout = SimDuration::from_secs(1);
+        let (mut sim, clients, auth_node, egress_node) = build_stale_world(config);
+        // Let the t=0 warm-up complete, then blackhole the upstream leg
+        // before the t=120 re-ask (the 60 s TTL has expired by then).
+        sim.run_until(SimTime::from_secs(60));
+        let plan = {
+            let mut p = netsim::FaultPlan::none();
+            p.set_link(
+                egress_node,
+                auth_node,
+                netsim::LinkFaults {
+                    blackhole: true,
+                    ..netsim::LinkFaults::NONE
+                },
+            );
+            p
+        };
+        sim.set_fault_plan(plan);
+        sim.run();
+        let cl = sim.node_mut::<ClientActor>(clients[0]).unwrap();
+        assert_eq!(cl.responses.len(), 2);
+        // First answer fresh, second stale (the auth was dark) — a NoError
+        // answer with the RFC 8767 §5 stale TTL, not SERVFAIL.
+        assert_eq!(cl.responses[1].1.rcode, Rcode::NoError);
+        assert!(!cl.responses[1].1.answers.is_empty());
+        assert!(cl.responses[1].1.answers[0].ttl <= 30);
+        let e = sim.node_mut::<EgressActor>(egress_node).unwrap();
+        let s = e.resolver().stats();
+        assert_eq!(s.stale_answers, 1);
+        assert_eq!(s.servfail_responses, 0);
+        let a = sim.node_mut::<AuthActor>(auth_node).unwrap();
+        assert_eq!(a.server().log().len(), 1, "only the warm-up reached auth");
+    }
+
+    /// A world for the serve-stale test: one client scripted with a warm-up
+    /// query at t=0 and a re-ask at t=120 (past the 60 s record TTL).
+    fn build_stale_world(config: ResolverConfig) -> (Simulation, Vec<NodeId>, NodeId, NodeId) {
+        let book: SharedBook = Arc::new(RwLock::new(AddressBook::new()));
+        let mut sim = Simulation::new(3);
+        let auth_addr: IpAddr = "198.51.100.53".parse().unwrap();
+        let egress_addr: IpAddr = "9.9.9.9".parse().unwrap();
+
+        let mut zone = Zone::new(name("probe.example"));
+        zone.add_a(
+            name("www.probe.example"),
+            60,
+            Ipv4Addr::new(198, 51, 100, 1),
+        )
+        .unwrap();
+        let auth = AuthServer::new(zone, EcsHandling::open(ScopePolicy::MatchSource));
+        let auth_node = sim.add_node(
+            AuthActor::new(auth, book.clone()),
+            city("Chicago").unwrap().pos,
+        );
+        let egress_node = sim.add_node(
+            EgressActor::new(
+                Resolver::new(config),
+                vec![(name("probe.example"), auth_addr)],
+                book.clone(),
+            ),
+            city("Toronto").unwrap().pos,
+        );
+        let q1 = Message::query(1, Question::a(name("www.probe.example")));
+        let q2 = Message::query(2, Question::a(name("www.probe.example")));
+        let client = sim.add_node(
+            ClientActor::new(
+                egress_node,
+                vec![(SimTime::ZERO, q1), (SimTime::from_secs(120), q2)],
+            ),
+            city("Toronto").unwrap().pos,
+        );
+        {
+            let mut b = book.write();
+            b.bind(auth_addr, auth_node);
+            b.bind(egress_addr, egress_node);
+            b.bind("100.70.1.1".parse().unwrap(), client);
+        }
+        ClientActor::arm(&mut sim, client);
+        (sim, vec![client], auth_node, egress_node)
     }
 }
 

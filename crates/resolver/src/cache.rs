@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::net::IpAddr;
 
 use dns_wire::{EcsOption, IpPrefix, Name, Rcode, Record, RecordType};
-use netsim::SimTime;
+use netsim::{SimDuration, SimTime};
 
 /// How the resolver obeys (or disobeys) scope restrictions — the §6.3
 /// classification, as implementable behaviour.
@@ -29,8 +29,10 @@ pub enum CacheCompliance {
     CapPrefix(u8),
 }
 
-/// Statistics the §7 analyses read.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Statistics the §7 analyses read. All counters update with saturating
+/// arithmetic, so pathological workloads degrade to pinned counters rather
+/// than panicking in debug builds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct CacheStats {
     /// Lookup hits.
     pub hits: u64,
@@ -39,19 +41,64 @@ pub struct CacheStats {
     /// Inserts performed.
     pub inserts: u64,
     /// High-water mark of live entries (checked on each insert after
-    /// purging expired entries).
+    /// purging expired entries and enforcing the capacity bound).
     pub max_size: usize,
+    /// Entries evicted by the global max-entries / max-bytes bound.
+    pub evictions: u64,
+    /// Entries evicted by the per-name ECS-entry cap.
+    pub per_name_evictions: u64,
+    /// Expired entries served under the RFC 8767 stale budget.
+    pub stale_hits: u64,
 }
 
 impl CacheStats {
     /// Hit rate in [0, 1]; 0 when no lookups happened.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits.saturating_add(self.misses);
         if total == 0 {
             0.0
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// JSON object literal. The vendored `serde` derive is annotation-only
+    /// (no code generation offline), so emission is hand-rolled here, in the
+    /// same style the bench binaries use.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"inserts\":{},\"max_size\":{},\"evictions\":{},\"per_name_evictions\":{},\"stale_hits\":{}}}",
+            self.hits,
+            self.misses,
+            self.inserts,
+            self.max_size,
+            self.evictions,
+            self.per_name_evictions,
+            self.stale_hits
+        )
+    }
+}
+
+/// Resource limits for [`EcsCache`]. The default is fully unbounded with
+/// stale retention off — the exact behaviour of the unbounded cache.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CacheLimits {
+    /// Maximum live entries; `None` = unbounded.
+    pub max_entries: Option<usize>,
+    /// Approximate maximum resident bytes; `None` = unbounded.
+    pub max_bytes: Option<usize>,
+    /// Maximum entries per (qname, qtype) list; `None` = unbounded.
+    pub per_name_cap: Option<usize>,
+    /// RFC 8767 retention: expired entries stay resident this long past
+    /// expiry, visible only to [`EcsCache::lookup_stale`]. Zero disables
+    /// retention (expired entries purge immediately, as before).
+    pub stale_ttl: SimDuration,
+}
+
+impl CacheLimits {
+    /// True when stale retention is on.
+    pub fn serve_stale(&self) -> bool {
+        self.stale_ttl > SimDuration::ZERO
     }
 }
 
@@ -67,6 +114,11 @@ struct Entry {
     /// negative entries).
     rcode: Rcode,
     expires: SimTime,
+    /// Monotonic recency tick, unique per touch — LRU eviction picks the
+    /// minimum, which is therefore deterministic regardless of map order.
+    last_used: u64,
+    /// Approximate resident footprint, fixed at insert.
+    bytes: usize,
 }
 
 /// What a cache lookup returns on a hit.
@@ -91,6 +143,11 @@ pub struct EcsCache {
     pub cache_zero_scope: bool,
     stats: CacheStats,
     live: usize,
+    /// Approximate resident bytes across all retained entries.
+    bytes: usize,
+    limits: CacheLimits,
+    /// Monotonic touch counter feeding `Entry::last_used`.
+    tick: u64,
 }
 
 impl EcsCache {
@@ -102,7 +159,17 @@ impl EcsCache {
             cache_zero_scope: true,
             stats: CacheStats::default(),
             live: 0,
+            bytes: 0,
+            limits: CacheLimits::default(),
+            tick: 0,
         }
+    }
+
+    /// Creates an empty cache with explicit resource limits.
+    pub fn with_limits(compliance: CacheCompliance, limits: CacheLimits) -> Self {
+        let mut c = Self::new(compliance);
+        c.limits = limits;
+        c
     }
 
     /// The compliance mode.
@@ -110,15 +177,33 @@ impl EcsCache {
         self.compliance
     }
 
+    /// The resource limits in force.
+    pub fn limits(&self) -> &CacheLimits {
+        &self.limits
+    }
+
+    /// Replaces the resource limits (takes effect on subsequent inserts).
+    pub fn set_limits(&mut self, limits: CacheLimits) {
+        self.limits = limits;
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
 
-    /// Number of live (unexpired) entries after purging.
+    /// Number of retained entries after purging: unexpired entries, plus —
+    /// when stale retention is on — expired entries still inside the stale
+    /// budget (they occupy memory and count against the capacity bound).
     pub fn len(&mut self, now: SimTime) -> usize {
         self.purge(now);
         self.live
+    }
+
+    /// Approximate resident bytes after purging.
+    pub fn approx_bytes(&mut self, now: SimTime) -> usize {
+        self.purge(now);
+        self.bytes
     }
 
     /// True when empty.
@@ -137,37 +222,88 @@ impl EcsCache {
         now: SimTime,
     ) -> Option<CachedAnswer> {
         let compliance = self.compliance;
-        let found = self.entries.get(&(qname.clone(), qtype)).and_then(|list| {
-            list.iter()
-                .filter(|e| e.expires > now)
-                .find(|e| match compliance {
-                    CacheCompliance::IgnoreScope => true,
-                    // A zero-length scope means "valid for every client",
-                    // across address families.
-                    CacheCompliance::Honor => {
-                        e.scope.is_default_route() || e.scope.contains(client)
-                    }
-                    CacheCompliance::CapPrefix(cap) => {
-                        let widened = e.scope.truncate(cap);
-                        widened.is_default_route() || widened.contains(client)
-                    }
-                })
-                .map(|e| CachedAnswer {
-                    records: adjust_ttls(&e.records, e.expires, now),
-                    ecs: e.ecs,
-                    rcode: e.rcode,
-                })
-        });
+        self.tick += 1;
+        let tick = self.tick;
+        let found = self
+            .entries
+            .get_mut(&(qname.clone(), qtype))
+            .and_then(|list| {
+                list.iter_mut()
+                    .filter(|e| e.expires > now)
+                    .find(|e| scope_matches(compliance, e.scope, client))
+                    .map(|e| {
+                        e.last_used = tick;
+                        CachedAnswer {
+                            records: adjust_ttls(&e.records, e.expires, now),
+                            ecs: e.ecs,
+                            rcode: e.rcode,
+                        }
+                    })
+            });
         match found {
             Some(hit) => {
-                self.stats.hits += 1;
+                self.stats.hits = self.stats.hits.saturating_add(1);
                 Some(hit)
             }
             None => {
-                self.stats.misses += 1;
+                self.stats.misses = self.stats.misses.saturating_add(1);
                 None
             }
         }
+    }
+
+    /// RFC 8767 last-resort lookup: an expired-but-retained entry whose
+    /// scope matches `client` (under the same compliance rules as `lookup`)
+    /// and whose expiry is within the stale budget, record TTLs stamped to
+    /// at most `serve_ttl`. Returns `None` when stale retention is off.
+    /// Counts a stale hit but never a miss — the caller already took the
+    /// miss in `lookup`.
+    pub fn lookup_stale(
+        &mut self,
+        qname: &Name,
+        qtype: RecordType,
+        client: IpAddr,
+        now: SimTime,
+        serve_ttl: u32,
+    ) -> Option<CachedAnswer> {
+        if !self.limits.serve_stale() {
+            return None;
+        }
+        let compliance = self.compliance;
+        let budget = self.limits.stale_ttl;
+        self.tick += 1;
+        let tick = self.tick;
+        let found = self
+            .entries
+            .get_mut(&(qname.clone(), qtype))
+            .and_then(|list| {
+                list.iter_mut()
+                    .filter(|e| e.expires <= now && e.expires + budget > now)
+                    .filter(|e| scope_matches(compliance, e.scope, client))
+                    // The least-stale matching entry (ties broken by list
+                    // position, which is insertion order — deterministic).
+                    .max_by_key(|e| e.expires)
+                    .map(|e| {
+                        e.last_used = tick;
+                        CachedAnswer {
+                            records: e
+                                .records
+                                .iter()
+                                .map(|r| {
+                                    let mut r = r.clone();
+                                    r.ttl = r.ttl.min(serve_ttl);
+                                    r
+                                })
+                                .collect(),
+                            ecs: e.ecs,
+                            rcode: e.rcode,
+                        }
+                    })
+            });
+        if found.is_some() {
+            self.stats.stale_hits = self.stats.stale_hits.saturating_add(1);
+        }
+        found
     }
 
     /// Inserts a positive response.
@@ -224,26 +360,49 @@ impl EcsCache {
             }
         };
         self.purge(now);
+        self.tick += 1;
+        let tick = self.tick;
+        let entry_bytes = approx_entry_bytes(&qname, &records);
         let list = self.entries.entry((qname, qtype)).or_default();
-        // Replace an existing entry with the identical scope prefix.
-        list.retain(|e| e.scope != scope_prefix || e.expires <= now);
+        // A fresh answer supersedes any entry with the identical scope
+        // prefix, stale-retained ones included.
+        list.retain(|e| e.scope != scope_prefix);
         list.push(Entry {
             scope: scope_prefix,
             records,
             ecs,
             rcode,
-            expires: now + netsim::SimDuration::from_secs(ttl as u64),
+            expires: now + SimDuration::from_secs(ttl as u64),
+            last_used: tick,
+            bytes: entry_bytes,
         });
-        self.stats.inserts += 1;
+        // Per-name cap: the name sheds its own least-recently-used entries,
+        // so one name's scope explosion cannot evict the long tail.
+        if let Some(cap) = self.limits.per_name_cap {
+            while list.len() > cap.max(1) {
+                let idx = list
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(i, _)| i)
+                    .expect("list is non-empty");
+                list.remove(idx);
+                self.stats.per_name_evictions = self.stats.per_name_evictions.saturating_add(1);
+            }
+        }
+        self.stats.inserts = self.stats.inserts.saturating_add(1);
         self.recount();
+        self.enforce_bound();
         self.stats.max_size = self.stats.max_size.max(self.live);
         true
     }
 
-    /// Removes expired entries.
+    /// Removes entries past their retention horizon: expiry, plus the stale
+    /// budget when RFC 8767 retention is on.
     pub fn purge(&mut self, now: SimTime) {
+        let keep_until = self.limits.stale_ttl;
         self.entries.retain(|_, list| {
-            list.retain(|e| e.expires > now);
+            list.retain(|e| e.expires + keep_until > now);
             !list.is_empty()
         });
         self.recount();
@@ -253,11 +412,72 @@ impl EcsCache {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.live = 0;
+        self.bytes = 0;
     }
 
     fn recount(&mut self) {
         self.live = self.entries.values().map(|l| l.len()).sum();
+        self.bytes = self.entries.values().flatten().map(|e| e.bytes).sum();
     }
+
+    /// Evicts least-recently-used entries until the global bounds hold.
+    fn enforce_bound(&mut self) {
+        loop {
+            let over_entries = self.limits.max_entries.is_some_and(|m| self.live > m);
+            let over_bytes = self.limits.max_bytes.is_some_and(|m| self.bytes > m);
+            if !(over_entries || over_bytes) || !self.evict_lru() {
+                return;
+            }
+        }
+    }
+
+    /// Removes the globally least-recently-used entry. Deterministic: every
+    /// touch takes a unique monotonic tick, so the minimum is unique and
+    /// independent of `HashMap` iteration order.
+    fn evict_lru(&mut self) -> bool {
+        let Some(min_tick) = self.entries.values().flatten().map(|e| e.last_used).min() else {
+            return false;
+        };
+        let key = self
+            .entries
+            .iter()
+            .find(|(_, list)| list.iter().any(|e| e.last_used == min_tick))
+            .map(|(k, _)| k.clone())
+            .expect("min tick came from an existing entry");
+        let list = self.entries.get_mut(&key).expect("key just found");
+        if let Some(idx) = list.iter().position(|e| e.last_used == min_tick) {
+            self.bytes = self.bytes.saturating_sub(list[idx].bytes);
+            list.remove(idx);
+            self.live = self.live.saturating_sub(1);
+            self.stats.evictions = self.stats.evictions.saturating_add(1);
+        }
+        if list.is_empty() {
+            self.entries.remove(&key);
+        }
+        true
+    }
+}
+
+/// Scope admission shared by fresh and stale lookups.
+fn scope_matches(compliance: CacheCompliance, scope: IpPrefix, client: IpAddr) -> bool {
+    match compliance {
+        CacheCompliance::IgnoreScope => true,
+        // A zero-length scope means "valid for every client", across
+        // address families.
+        CacheCompliance::Honor => scope.is_default_route() || scope.contains(client),
+        CacheCompliance::CapPrefix(cap) => {
+            let widened = scope.truncate(cap);
+            widened.is_default_route() || widened.contains(client)
+        }
+    }
+}
+
+/// Rough resident footprint of one entry — fixed bookkeeping plus owned
+/// record data. Only feeds the *approximate* byte bound.
+fn approx_entry_bytes(qname: &Name, records: &[Record]) -> usize {
+    const ENTRY_OVERHEAD: usize = 96;
+    const RECORD_OVERHEAD: usize = 64;
+    ENTRY_OVERHEAD + qname.wire_len() + records.len() * RECORD_OVERHEAD
 }
 
 /// Remaining-TTL adjustment for served answers.
@@ -707,6 +927,34 @@ mod negative_cache_tests {
     }
 
     #[test]
+    fn stale_negative_entries_serve_after_expiry() {
+        let mut c = EcsCache::with_limits(
+            CacheCompliance::Honor,
+            CacheLimits {
+                stale_ttl: netsim::SimDuration::from_secs(600),
+                ..CacheLimits::default()
+            },
+        );
+        c.insert_with_rcode(
+            name("gone.example"),
+            RecordType::A,
+            Vec::new(),
+            None,
+            Rcode::NxDomain,
+            60,
+            t(0),
+        );
+        let client: IpAddr = "1.2.3.4".parse().unwrap();
+        assert!(c
+            .lookup(&name("gone.example"), RecordType::A, client, t(120))
+            .is_none());
+        let stale = c
+            .lookup_stale(&name("gone.example"), RecordType::A, client, t(120), 30)
+            .unwrap();
+        assert_eq!(stale.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
     fn scoped_negative_entries_respect_scope() {
         let mut c = EcsCache::new(CacheCompliance::Honor);
         let ecs = EcsOption::from_v4(Ipv4Addr::new(192, 0, 2, 0), 24).with_scope(24);
@@ -735,5 +983,317 @@ mod negative_cache_tests {
                 t(1)
             )
             .is_none());
+    }
+}
+
+#[cfg(test)]
+mod overload_tests {
+    use super::*;
+    use dns_wire::Rdata;
+    use netsim::SimDuration;
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        Name::from_ascii(s).unwrap()
+    }
+
+    fn rec(s: &str, ttl: u32) -> Vec<Record> {
+        vec![Record::new(
+            name(s),
+            ttl,
+            Rdata::A(Ipv4Addr::new(203, 0, 113, 1)),
+        )]
+    }
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn scoped(third: u8) -> EcsOption {
+        EcsOption::from_v4(Ipv4Addr::new(192, 0, third, 0), 24).with_scope(24)
+    }
+
+    fn bounded(max_entries: usize) -> EcsCache {
+        EcsCache::with_limits(
+            CacheCompliance::Honor,
+            CacheLimits {
+                max_entries: Some(max_entries),
+                ..CacheLimits::default()
+            },
+        )
+    }
+
+    #[test]
+    fn entry_bound_is_never_exceeded() {
+        let mut c = bounded(3);
+        for third in 0..20u8 {
+            c.insert(
+                name("a.example"),
+                RecordType::A,
+                rec("a.example", 600),
+                Some(scoped(third)),
+                600,
+                t(third as u64),
+            );
+            assert!(c.len(t(third as u64)) <= 3);
+        }
+        assert_eq!(c.stats().max_size, 3);
+        assert_eq!(c.stats().evictions, 17);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_touch_refreshes() {
+        let mut c = bounded(2);
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 600),
+            Some(scoped(1)),
+            600,
+            t(0),
+        );
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 600),
+            Some(scoped(2)),
+            600,
+            t(1),
+        );
+        // Touch the /24 for .1 so .2 becomes the LRU victim.
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("192.0.1.9"), t(2))
+            .is_some());
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 600),
+            Some(scoped(3)),
+            600,
+            t(3),
+        );
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("192.0.1.9"), t(4))
+            .is_some());
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("192.0.2.9"), t(4))
+            .is_none());
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("192.0.3.9"), t(4))
+            .is_some());
+    }
+
+    #[test]
+    fn per_name_cap_protects_the_long_tail() {
+        let mut c = EcsCache::with_limits(
+            CacheCompliance::Honor,
+            CacheLimits {
+                max_entries: Some(10),
+                per_name_cap: Some(2),
+                ..CacheLimits::default()
+            },
+        );
+        // An unrelated tail name cached first (and least recently used).
+        c.insert(
+            name("tail.example"),
+            RecordType::A,
+            rec("tail.example", 600),
+            None,
+            600,
+            t(0),
+        );
+        // A popular name explodes across scopes.
+        for third in 0..8u8 {
+            c.insert(
+                name("hot.example"),
+                RecordType::A,
+                rec("hot.example", 600),
+                Some(scoped(third)),
+                600,
+                t(1 + third as u64),
+            );
+        }
+        // The hot name holds at most 2 entries; the tail entry survived
+        // even though it is globally the LRU.
+        assert_eq!(c.len(t(9)), 3);
+        assert_eq!(c.stats().per_name_evictions, 6);
+        assert_eq!(c.stats().evictions, 0);
+        assert!(c
+            .lookup(&name("tail.example"), RecordType::A, ip("8.8.8.8"), t(9))
+            .is_some());
+    }
+
+    #[test]
+    fn byte_bound_evicts() {
+        let mut c = EcsCache::with_limits(
+            CacheCompliance::Honor,
+            CacheLimits {
+                max_bytes: Some(400),
+                ..CacheLimits::default()
+            },
+        );
+        for third in 0..6u8 {
+            c.insert(
+                name("a.example"),
+                RecordType::A,
+                rec("a.example", 600),
+                Some(scoped(third)),
+                600,
+                t(third as u64),
+            );
+        }
+        assert!(c.approx_bytes(t(6)) <= 400);
+        assert!(c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn stale_lookup_respects_budget_and_scope() {
+        let mut c = EcsCache::with_limits(
+            CacheCompliance::Honor,
+            CacheLimits {
+                stale_ttl: SimDuration::from_secs(100),
+                ..CacheLimits::default()
+            },
+        );
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            Some(scoped(2)),
+            60,
+            t(0),
+        );
+        // Fresh lookups stop at expiry.
+        assert!(c
+            .lookup(&name("a.example"), RecordType::A, ip("192.0.2.9"), t(61))
+            .is_none());
+        // A stale /24 entry serves only matching clients...
+        let stale = c
+            .lookup_stale(
+                &name("a.example"),
+                RecordType::A,
+                ip("192.0.2.9"),
+                t(61),
+                30,
+            )
+            .unwrap();
+        assert_eq!(stale.records[0].ttl, 30);
+        assert!(c
+            .lookup_stale(
+                &name("a.example"),
+                RecordType::A,
+                ip("192.0.3.9"),
+                t(61),
+                30
+            )
+            .is_none());
+        // ...and only inside the budget (expiry 60 + budget 100 = 160).
+        assert!(c
+            .lookup_stale(
+                &name("a.example"),
+                RecordType::A,
+                ip("192.0.2.9"),
+                t(160),
+                30
+            )
+            .is_none());
+        assert_eq!(c.stats().stale_hits, 1);
+    }
+
+    #[test]
+    fn stale_retention_off_purges_immediately() {
+        let mut c = EcsCache::new(CacheCompliance::Honor);
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            None,
+            60,
+            t(0),
+        );
+        assert!(c
+            .lookup_stale(&name("a.example"), RecordType::A, ip("1.1.1.1"), t(61), 30)
+            .is_none());
+        assert_eq!(c.len(t(61)), 0);
+    }
+
+    #[test]
+    fn fresh_insert_supersedes_stale_twin() {
+        let mut c = EcsCache::with_limits(
+            CacheCompliance::Honor,
+            CacheLimits {
+                stale_ttl: SimDuration::from_secs(600),
+                ..CacheLimits::default()
+            },
+        );
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            Some(scoped(2)),
+            60,
+            t(0),
+        );
+        // Re-resolved after expiry: the stale twin is replaced, not kept.
+        c.insert(
+            name("a.example"),
+            RecordType::A,
+            rec("a.example", 60),
+            Some(scoped(2)),
+            60,
+            t(120),
+        );
+        assert_eq!(c.len(t(120)), 1);
+    }
+
+    #[test]
+    fn unbounded_default_matches_plain_cache() {
+        // Pinned regression: with default limits the bounded code path must
+        // reproduce the unbounded cache's observable behaviour exactly.
+        let mut plain = EcsCache::new(CacheCompliance::Honor);
+        let mut limited = EcsCache::with_limits(CacheCompliance::Honor, CacheLimits::default());
+        for c in [&mut plain, &mut limited] {
+            for third in 0..10u8 {
+                c.insert(
+                    name("a.example"),
+                    RecordType::A,
+                    rec("a.example", 20),
+                    Some(scoped(third)),
+                    20,
+                    t(third as u64 * 10),
+                );
+                c.lookup(
+                    &name("a.example"),
+                    RecordType::A,
+                    ip("192.0.1.77"),
+                    t(third as u64 * 10),
+                );
+            }
+        }
+        assert_eq!(plain.stats(), limited.stats());
+        assert_eq!(plain.len(t(95)), limited.len(t(95)));
+    }
+
+    #[test]
+    fn stats_json_is_well_formed() {
+        let mut c = bounded(1);
+        for third in 0..3u8 {
+            c.insert(
+                name("a.example"),
+                RecordType::A,
+                rec("a.example", 600),
+                Some(scoped(third)),
+                600,
+                t(third as u64),
+            );
+        }
+        let json = c.stats().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"evictions\":2"));
+        assert!(json.contains("\"inserts\":3"));
     }
 }

@@ -56,6 +56,54 @@ impl RetryPolicy {
     }
 }
 
+/// Graceful-degradation knobs: cache bounds, admission control, query
+/// coalescing, and RFC 8767 serve-stale. Every limit defaults to
+/// unlimited/off, so a default-configured resolver behaves bit-identically
+/// to one predating these knobs.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct OverloadConfig {
+    /// Maximum live cache entries; LRU eviction beyond it. `None` = unbounded.
+    pub max_cache_entries: Option<usize>,
+    /// Approximate maximum resident cache bytes; LRU eviction beyond it.
+    pub max_cache_bytes: Option<usize>,
+    /// Maximum ECS entries per (qname, qtype) — a popular name's scope
+    /// explosion evicts its own LRU entries instead of the long tail.
+    pub per_name_cap: Option<usize>,
+    /// Maximum concurrent upstream flights in the egress actor; excess
+    /// queries are shed with SERVFAIL instead of queueing unboundedly.
+    pub max_in_flight: Option<usize>,
+    /// Join identical (qname, qtype, effective-ECS-prefix) lookups into one
+    /// upstream flight.
+    pub coalesce: bool,
+    /// RFC 8767 stale budget: how long past expiry an entry may still be
+    /// served when the upstream times out or SERVFAILs. Zero disables
+    /// serve-stale (and stale retention) entirely.
+    pub serve_stale_ttl: SimDuration,
+    /// TTL stamped on records served stale (RFC 8767 §5 recommends 30s).
+    pub stale_answer_ttl: u32,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            max_cache_entries: None,
+            max_cache_bytes: None,
+            per_name_cap: None,
+            max_in_flight: None,
+            coalesce: false,
+            serve_stale_ttl: SimDuration::ZERO,
+            stale_answer_ttl: 30,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// True when a non-zero stale budget enables RFC 8767 behaviour.
+    pub fn serve_stale_enabled(&self) -> bool {
+        self.serve_stale_ttl > SimDuration::ZERO
+    }
+}
+
 /// Full behavioural configuration of a recursive resolver.
 #[derive(Debug, Clone)]
 pub struct ResolverConfig {
@@ -92,6 +140,9 @@ pub struct ResolverConfig {
     pub adaptive_prefix: bool,
     /// How upstream exchanges are retried when the transport fails.
     pub retry: RetryPolicy,
+    /// Graceful-degradation limits (cache bounds, coalescing, admission
+    /// control, serve-stale). All off/unlimited by default.
+    pub overload: OverloadConfig,
 }
 
 impl ResolverConfig {
@@ -109,6 +160,7 @@ impl ResolverConfig {
             negative_ttl: 60,
             adaptive_prefix: false,
             retry: RetryPolicy::default(),
+            overload: OverloadConfig::default(),
         }
     }
 
@@ -209,6 +261,20 @@ mod tests {
 
         let c = ResolverConfig::anycast_service_egress(A);
         assert!(c.accept_client_ecs);
+    }
+
+    #[test]
+    fn overload_defaults_are_all_off() {
+        let o = OverloadConfig::default();
+        assert_eq!(o.max_cache_entries, None);
+        assert_eq!(o.max_cache_bytes, None);
+        assert_eq!(o.per_name_cap, None);
+        assert_eq!(o.max_in_flight, None);
+        assert!(!o.coalesce);
+        assert!(!o.serve_stale_enabled());
+        // Every preset inherits the off-by-default knobs.
+        assert_eq!(ResolverConfig::cap22(A).overload, o);
+        assert_eq!(ResolverConfig::private_leaker(A).overload, o);
     }
 
     #[test]

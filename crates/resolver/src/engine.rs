@@ -138,8 +138,9 @@ impl Upstream for ZoneRouter {
     }
 }
 
-/// Counters for one resolver's upstream traffic.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Counters for one resolver's upstream traffic. All counters update with
+/// saturating arithmetic — overload is exactly when they get hammered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct ResolverStats {
     /// Client queries handled.
     pub client_queries: u64,
@@ -158,6 +159,33 @@ pub struct ResolverStats {
     pub tcp_fallbacks: u64,
     /// Client queries answered SERVFAIL after the attempt budget ran out.
     pub servfail_responses: u64,
+    /// Client queries shed by admission control (in-flight cap).
+    pub shed_queries: u64,
+    /// Client queries that joined an existing upstream flight.
+    pub coalesced_queries: u64,
+    /// Client queries answered from expired cache entries (RFC 8767).
+    pub stale_answers: u64,
+}
+
+impl ResolverStats {
+    /// JSON object literal. The vendored `serde` derive is annotation-only
+    /// (no code generation offline), so emission is hand-rolled here.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"client_queries\":{},\"upstream_queries\":{},\"upstream_ecs_queries\":{},\"retries\":{},\"upstream_timeouts\":{},\"ecs_withdrawals\":{},\"tcp_fallbacks\":{},\"servfail_responses\":{},\"shed_queries\":{},\"coalesced_queries\":{},\"stale_answers\":{}}}",
+            self.client_queries,
+            self.upstream_queries,
+            self.upstream_ecs_queries,
+            self.retries,
+            self.upstream_timeouts,
+            self.ecs_withdrawals,
+            self.tcp_fallbacks,
+            self.servfail_responses,
+            self.shed_queries,
+            self.coalesced_queries,
+            self.stale_answers
+        )
+    }
 }
 
 /// A recursive resolver instance.
@@ -175,7 +203,15 @@ pub struct Resolver {
 impl Resolver {
     /// Creates a resolver from a configuration.
     pub fn new(config: ResolverConfig) -> Self {
-        let mut cache = EcsCache::new(config.compliance);
+        let mut cache = EcsCache::with_limits(
+            config.compliance,
+            crate::cache::CacheLimits {
+                max_entries: config.overload.max_cache_entries,
+                max_bytes: config.overload.max_cache_bytes,
+                per_name_cap: config.overload.per_name_cap,
+                stale_ttl: config.overload.serve_stale_ttl,
+            },
+        );
         cache.cache_zero_scope = config.cache_zero_scope;
         Resolver {
             config,
@@ -270,7 +306,7 @@ impl Resolver {
             match upstream.query(&pending.upstream_query, self.config.addr, at) {
                 Ok(resp) if resp.flags.tc => {
                     // RFC 7766: a truncated UDP reply is re-asked over TCP.
-                    self.stats.tcp_fallbacks += 1;
+                    self.stats.tcp_fallbacks = self.stats.tcp_fallbacks.saturating_add(1);
                     if let Ok(full) =
                         upstream.query_tcp(&pending.upstream_query, self.config.addr, at)
                     {
@@ -287,13 +323,21 @@ impl Resolver {
                     // this fires at most once since the option is now gone).
                     pending.upstream_query.clear_ecs();
                     self.probing_state.mark_non_ecs();
-                    self.stats.ecs_withdrawals += 1;
+                    self.stats.ecs_withdrawals = self.stats.ecs_withdrawals.saturating_add(1);
                     self.note_retry_sent(&pending.upstream_query);
                     continue;
                 }
+                Ok(resp)
+                    if resp.rcode == Rcode::ServFail
+                        && self.config.overload.serve_stale_enabled() =>
+                {
+                    // RFC 8767: an upstream SERVFAIL is a failure we may
+                    // paper over with a stale answer.
+                    return self.answer_failure(&pending, at);
+                }
                 Ok(resp) => return self.complete(pending, &resp, at),
                 Err(UpstreamError::Truncated(_)) => {
-                    self.stats.tcp_fallbacks += 1;
+                    self.stats.tcp_fallbacks = self.stats.tcp_fallbacks.saturating_add(1);
                     if let Ok(full) =
                         upstream.query_tcp(&pending.upstream_query, self.config.addr, at)
                     {
@@ -307,7 +351,7 @@ impl Resolver {
             }
             attempt += 1;
             if attempt >= attempts {
-                return self.give_up(&pending.client_query);
+                return self.answer_failure(&pending, at);
             }
             self.note_retry_sent(&pending.upstream_query);
         }
@@ -323,11 +367,11 @@ impl Resolver {
         upstream_query: &mut Message,
         attempt: u8,
     ) -> netsim::SimDuration {
-        self.stats.upstream_timeouts += 1;
+        self.stats.upstream_timeouts = self.stats.upstream_timeouts.saturating_add(1);
         if self.config.retry.withdraw_ecs_on_timeout && upstream_query.ecs().is_some() {
             upstream_query.clear_ecs();
             self.probing_state.mark_non_ecs();
-            self.stats.ecs_withdrawals += 1;
+            self.stats.ecs_withdrawals = self.stats.ecs_withdrawals.saturating_add(1);
         }
         self.config.retry.timeout_for(attempt)
     }
@@ -335,10 +379,10 @@ impl Resolver {
     /// Records one retransmission of `upstream_query`. Exposed for
     /// asynchronous drivers.
     pub fn note_retry_sent(&mut self, upstream_query: &Message) {
-        self.stats.retries += 1;
-        self.stats.upstream_queries += 1;
+        self.stats.retries = self.stats.retries.saturating_add(1);
+        self.stats.upstream_queries = self.stats.upstream_queries.saturating_add(1);
         if upstream_query.ecs().is_some() {
-            self.stats.upstream_ecs_queries += 1;
+            self.stats.upstream_ecs_queries = self.stats.upstream_ecs_queries.saturating_add(1);
         }
     }
 
@@ -346,8 +390,79 @@ impl Resolver {
     /// exhausted its attempt budget, and counts it. Nothing is cached: the
     /// failure is transient, not a property of the name.
     pub fn give_up(&mut self, client_query: &Message) -> Message {
-        self.stats.servfail_responses += 1;
+        self.stats.servfail_responses = self.stats.servfail_responses.saturating_add(1);
         let mut resp = Message::response_to(client_query);
+        resp.rcode = Rcode::ServFail;
+        resp
+    }
+
+    /// Answers a failed upstream exchange: a stale answer per RFC 8767 when
+    /// serve-stale is enabled and a matching expired entry is still inside
+    /// the stale budget, SERVFAIL otherwise. With serve-stale off this is
+    /// exactly [`Resolver::give_up`].
+    pub fn answer_failure(&mut self, pending: &PendingQuery, now: SimTime) -> Message {
+        self.stale_or_servfail(
+            &pending.client_query,
+            &pending.question.name,
+            pending.question.qtype,
+            pending.client_addr,
+            now,
+        )
+    }
+
+    /// The serve-stale decision for an arbitrary failed client, used by
+    /// asynchronous drivers for coalesced joiners whose effective client
+    /// address differs from the flight owner's.
+    pub fn stale_or_servfail(
+        &mut self,
+        client_query: &Message,
+        qname: &Name,
+        qtype: dns_wire::RecordType,
+        client_addr: IpAddr,
+        now: SimTime,
+    ) -> Message {
+        if self.config.overload.serve_stale_enabled() {
+            let serve_ttl = self.config.overload.stale_answer_ttl;
+            if let Some(stale) = self
+                .cache
+                .lookup_stale(qname, qtype, client_addr, now, serve_ttl)
+            {
+                self.stats.stale_answers = self.stats.stale_answers.saturating_add(1);
+                let mut resp = Message::response_to(client_query);
+                resp.rcode = stale.rcode;
+                resp.answers = stale.records;
+                if self.config.echo_ecs_to_client {
+                    if let (Some(client_opt), Some(stored)) = (client_query.ecs(), stale.ecs) {
+                        resp.set_ecs(client_opt.with_scope(stored.scope_prefix_len()));
+                    }
+                }
+                return resp;
+            }
+        }
+        self.give_up(client_query)
+    }
+
+    /// Records that a query joined an existing upstream flight instead of
+    /// launching its own: retracts the upstream send that
+    /// [`Resolver::begin`] already counted, and counts the coalesce.
+    pub fn note_coalesced(&mut self, upstream_query: &Message) {
+        self.stats.upstream_queries = self.stats.upstream_queries.saturating_sub(1);
+        if upstream_query.ecs().is_some() {
+            self.stats.upstream_ecs_queries = self.stats.upstream_ecs_queries.saturating_sub(1);
+        }
+        self.stats.coalesced_queries = self.stats.coalesced_queries.saturating_add(1);
+    }
+
+    /// Sheds a query under admission control: retracts the upstream send
+    /// that [`Resolver::begin`] already counted, counts the shed, and
+    /// builds the SERVFAIL refusal.
+    pub fn shed(&mut self, pending: &PendingQuery) -> Message {
+        self.stats.upstream_queries = self.stats.upstream_queries.saturating_sub(1);
+        if pending.upstream_query.ecs().is_some() {
+            self.stats.upstream_ecs_queries = self.stats.upstream_ecs_queries.saturating_sub(1);
+        }
+        self.stats.shed_queries = self.stats.shed_queries.saturating_add(1);
+        let mut resp = Message::response_to(&pending.client_query);
         resp.rcode = Rcode::ServFail;
         resp
     }
@@ -355,7 +470,7 @@ impl Resolver {
     /// Phase one: cache lookup and ECS decision. Returns either an
     /// immediate answer or the upstream query to send.
     pub fn begin(&mut self, query: &Message, client_src: IpAddr, now: SimTime) -> Step {
-        self.stats.client_queries += 1;
+        self.stats.client_queries = self.stats.client_queries.saturating_add(1);
         let question = match query.question() {
             Some(q) => q.clone(),
             None => {
@@ -438,14 +553,15 @@ impl Resolver {
             }
             EcsDecision::Omit => {}
         }
-        self.stats.upstream_queries += 1;
+        self.stats.upstream_queries = self.stats.upstream_queries.saturating_add(1);
         if upstream_q.ecs().is_some() {
-            self.stats.upstream_ecs_queries += 1;
+            self.stats.upstream_ecs_queries = self.stats.upstream_ecs_queries.saturating_add(1);
         }
         Step::NeedUpstream(PendingQuery {
             client_query: query.clone(),
             question,
             upstream_query: upstream_q,
+            client_addr: effective_client,
         })
     }
 
@@ -594,6 +710,24 @@ pub struct PendingQuery {
     pub question: dns_wire::Question,
     /// The query to send upstream.
     pub upstream_query: Message,
+    /// The effective client address (trusted incoming ECS, else the
+    /// immediate sender) — what scope matching is about.
+    pub client_addr: IpAddr,
+}
+
+/// The coalescing identity of an upstream flight: lookups with identical
+/// (qname, qtype, effective-ECS-prefix) may share one upstream exchange.
+pub type FlightKey = (Name, dns_wire::RecordType, Option<dns_wire::IpPrefix>);
+
+impl PendingQuery {
+    /// This flight's coalescing key.
+    pub fn flight_key(&self) -> FlightKey {
+        (
+            self.question.name.clone(),
+            self.question.qtype,
+            self.upstream_query.ecs().map(|e| e.source_prefix()),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -952,7 +1086,103 @@ mod retry_tests {
             ),
             (0, 0, 0, 0, 0)
         );
+        assert_eq!(
+            (s.shed_queries, s.coalesced_queries, s.stale_answers),
+            (0, 0, 0)
+        );
         assert!(!r.probing_state().marked_non_ecs);
+    }
+
+    fn stale_config() -> ResolverConfig {
+        let mut config = ResolverConfig::rfc_compliant(RES);
+        config.overload.serve_stale_ttl = netsim::SimDuration::from_secs(3600);
+        config
+    }
+
+    #[test]
+    fn timed_out_upstream_serves_stale_instead_of_servfail() {
+        let mut r = Resolver::new(stale_config());
+        // Warm the cache, then let the entry expire (TTL 60).
+        let mut up = Scripted::new(vec![]);
+        r.resolve_msg(&q(), CLIENT, SimTime::ZERO, &mut up);
+        // At t=120 the entry is stale; the upstream times out every attempt.
+        let mut dead = Scripted::new(vec![
+            Act::Fail(UpstreamError::Timeout),
+            Act::Fail(UpstreamError::Timeout),
+            Act::Fail(UpstreamError::Timeout),
+            Act::Fail(UpstreamError::Timeout),
+        ]);
+        let resp = r.resolve_msg(&q(), CLIENT, SimTime::from_secs(120), &mut dead);
+        assert_eq!(resp.rcode, Rcode::NoError, "stale answer beats SERVFAIL");
+        assert_eq!(resp.answers.len(), 1);
+        assert!(resp.answers[0].ttl <= 30, "stale TTL stamped down");
+        let s = r.stats();
+        assert_eq!(s.stale_answers, 1);
+        assert_eq!(s.servfail_responses, 0);
+    }
+
+    #[test]
+    fn stale_answer_respects_ecs_scope() {
+        let mut r = Resolver::new(stale_config());
+        let mut up = Scripted::new(vec![]);
+        // Warmed by a /24 client → entry scoped to 192.0.2.0/24.
+        r.resolve_msg(&q(), CLIENT, SimTime::ZERO, &mut up);
+        let mut dead = Scripted::new(vec![
+            Act::Fail(UpstreamError::Timeout),
+            Act::Fail(UpstreamError::Timeout),
+            Act::Fail(UpstreamError::Timeout),
+            Act::Fail(UpstreamError::Timeout),
+        ]);
+        // A client outside the stale entry's /24 must NOT get the stale
+        // answer — SERVFAIL is the honest response.
+        let other: IpAddr = "198.18.5.5".parse().unwrap();
+        let resp = r.resolve_msg(&q(), other, SimTime::from_secs(120), &mut dead);
+        assert_eq!(resp.rcode, Rcode::ServFail);
+        assert_eq!(r.stats().stale_answers, 0);
+        assert_eq!(r.stats().servfail_responses, 1);
+    }
+
+    #[test]
+    fn stale_budget_expiry_falls_back_to_servfail() {
+        let mut r = Resolver::new(stale_config());
+        let mut up = Scripted::new(vec![]);
+        r.resolve_msg(&q(), CLIENT, SimTime::ZERO, &mut up);
+        let mut dead = Scripted::new(vec![
+            Act::Fail(UpstreamError::Timeout),
+            Act::Fail(UpstreamError::Timeout),
+            Act::Fail(UpstreamError::Timeout),
+            Act::Fail(UpstreamError::Timeout),
+        ]);
+        // Far past expiry + stale budget (60 + 3600): no stale answer.
+        let resp = r.resolve_msg(&q(), CLIENT, SimTime::from_secs(10_000), &mut dead);
+        assert_eq!(resp.rcode, Rcode::ServFail);
+        assert_eq!(r.stats().stale_answers, 0);
+    }
+
+    #[test]
+    fn upstream_servfail_serves_stale_when_enabled() {
+        let mut r = Resolver::new(stale_config());
+        let mut up = Scripted::new(vec![]);
+        r.resolve_msg(&q(), CLIENT, SimTime::ZERO, &mut up);
+        // The upstream answers — with an in-band SERVFAIL (a parseable
+        // message, not a transport error). RFC 8767 treats that as a
+        // failure to paper over too.
+        struct ServFailer;
+        impl Upstream for ServFailer {
+            fn query(
+                &mut self,
+                q: &Message,
+                _from: IpAddr,
+                _now: SimTime,
+            ) -> Result<Message, UpstreamError> {
+                let mut resp = Message::response_to(q);
+                resp.rcode = Rcode::ServFail;
+                Ok(resp)
+            }
+        }
+        let resp = r.resolve_msg(&q(), CLIENT, SimTime::from_secs(120), &mut ServFailer);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert_eq!(r.stats().stale_answers, 1);
     }
 }
 

@@ -63,10 +63,10 @@ pub mod faulty;
 pub mod prefix_policy;
 pub mod probing;
 
-pub use cache::{CacheCompliance, CacheStats, EcsCache};
-pub use config::{ResolverConfig, RetryPolicy};
+pub use cache::{CacheCompliance, CacheLimits, CacheStats, EcsCache};
+pub use config::{OverloadConfig, ResolverConfig, RetryPolicy};
 pub use engine::{
-    PendingQuery, Resolver, ResolverStats, Step, Upstream, UpstreamError, ZoneRouter,
+    FlightKey, PendingQuery, Resolver, ResolverStats, Step, Upstream, UpstreamError, ZoneRouter,
 };
 pub use faulty::{FaultyUpstream, InjectedFault, InjectionStats};
 pub use prefix_policy::PrefixPolicy;

@@ -40,6 +40,18 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count actually run: the `PROPTEST_CASES` environment
+    /// variable, when set to a positive integer, overrides the configured
+    /// count (matching upstream proptest, and letting CI raise coverage
+    /// without touching the tests).
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(self.cases)
+    }
 }
 
 impl Default for ProptestConfig {
@@ -81,8 +93,9 @@ macro_rules! __proptest_items {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
+                let cases = config.effective_cases();
                 let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
-                for case in 0..config.cases {
+                for case in 0..cases {
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
                     let inputs = {
                         let mut d = String::new();
@@ -102,7 +115,7 @@ macro_rules! __proptest_items {
                             "proptest '{}': failing case #{} of {}; inputs:\n{}",
                             stringify!($name),
                             case + 1,
-                            config.cases,
+                            cases,
                             inputs,
                         );
                         ::std::panic::resume_unwind(payload);
@@ -142,6 +155,15 @@ macro_rules! prop_assert_ne {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn effective_cases_defaults_to_config() {
+        // CI sets PROPTEST_CASES to raise coverage; in a plain test run it
+        // is absent and the configured count applies unchanged.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(ProptestConfig::with_cases(7).effective_cases(), 7);
+        }
+    }
 
     #[test]
     fn strategies_compose() {
