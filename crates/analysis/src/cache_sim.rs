@@ -430,6 +430,36 @@ fn simulate_shard(
     stats
 }
 
+/// Folds one shard's accumulators into a fresh registry. Counters are
+/// per-resolver sums and each replayed resolver contributes exactly one
+/// observation per peak histogram, so merging the per-shard snapshots
+/// yields the same series totals at every `parallelism` (each resolver
+/// lives in exactly one shard).
+fn fold_shard_metrics(reg: &obs::MetricsRegistry, stats: &ShardStats) {
+    let sum = |v: &[u64]| v.iter().sum::<u64>();
+    reg.counter("cache_sim_lookups_total")
+        .add(sum(&stats.lookups));
+    reg.counter("cache_sim_hits_ecs_total")
+        .add(sum(&stats.hits_ecs));
+    reg.counter("cache_sim_hits_plain_total")
+        .add(sum(&stats.hits_plain));
+    reg.counter("cache_sim_evictions_ecs_total")
+        .add(sum(&stats.evictions_ecs));
+    reg.counter("cache_sim_evictions_plain_total")
+        .add(sum(&stats.evictions_plain));
+    let peaks_ecs = reg.histogram("cache_sim_peak_ecs_entries");
+    let peaks_plain = reg.histogram("cache_sim_peak_plain_entries");
+    let high_water = reg.gauge("cache_sim_peak_live_ecs");
+    for local in 0..stats.lookups.len() {
+        if stats.lookups[local] == 0 {
+            continue; // sampled out: not part of the public result either
+        }
+        peaks_ecs.record(stats.max_ecs[local] as u64);
+        peaks_plain.record(stats.max_plain[local] as u64);
+        high_water.set_max(stats.max_ecs[local] as u64);
+    }
+}
+
 fn keep(config: &CacheSimConfig, rec: &TraceRecord) -> bool {
     if config.sample_pct >= 100 {
         return true;
@@ -460,6 +490,23 @@ impl CacheSimulator {
     /// Runs both modes over the trace, sharded across
     /// `config.parallelism` workers.
     pub fn run(&self, trace: &TraceSet) -> CacheSimResult {
+        self.run_impl(trace, false).0
+    }
+
+    /// Like [`CacheSimulator::run`], additionally returning a telemetry
+    /// snapshot (lookup/hit/eviction counters and per-resolver peak-size
+    /// histograms) merged from per-shard registries. The snapshot is
+    /// identical at every `parallelism`, like the result itself.
+    pub fn run_instrumented(&self, trace: &TraceSet) -> (CacheSimResult, obs::MetricsSnapshot) {
+        let (result, snap) = self.run_impl(trace, true);
+        (result, snap.expect("instrumented run builds a snapshot"))
+    }
+
+    fn run_impl(
+        &self,
+        trace: &TraceSet,
+        instrument: bool,
+    ) -> (CacheSimResult, Option<obs::MetricsSnapshot>) {
         let built;
         let index = match trace.index() {
             Some(idx) => idx,
@@ -489,6 +536,16 @@ impl CacheSimulator {
             })
         };
 
+        let snapshot = instrument.then(|| {
+            let mut merged = obs::MetricsSnapshot::default();
+            for stats in &shards {
+                let reg = obs::MetricsRegistry::new();
+                fold_shard_metrics(&reg, stats);
+                merged.merge(&reg.snapshot());
+            }
+            merged
+        });
+
         // Deterministic merge: walk resolvers in id order, then sort by
         // address as the public contract requires.
         let mut per_resolver: Vec<ResolverCacheResult> = Vec::with_capacity(num_resolvers);
@@ -513,7 +570,7 @@ impl CacheSimulator {
             });
         }
         per_resolver.sort_by_key(|r| r.resolver);
-        CacheSimResult { per_resolver }
+        (CacheSimResult { per_resolver }, snapshot)
     }
 }
 
@@ -830,6 +887,56 @@ mod tests {
                 sequential.per_resolver, sharded.per_resolver,
                 "parallelism={parallelism}"
             );
+        }
+    }
+
+    #[test]
+    fn instrumented_snapshot_matches_results_at_any_parallelism() {
+        let records: Vec<TraceRecord> = (0..400)
+            .map(|i| {
+                let mut r = rec(
+                    i / 7,
+                    &format!("h{}.example.com", i % 13),
+                    &format!("10.2.{}.0", i % 31),
+                    if i % 3 == 0 { 16 } else { 24 },
+                    20 + (i as u32 % 4) * 20,
+                );
+                r.resolver = IpAddr::V4(Ipv4Addr::new(9, 9, 9, (i % 5) as u8 + 1));
+                r
+            })
+            .collect();
+        let mut t = TraceSet::new("t");
+        t.records = records;
+        t.sort_by_time();
+        let (result, sequential) =
+            CacheSimulator::new(CacheSimConfig::default()).run_instrumented(&t);
+        // The snapshot agrees with the public result.
+        let lookups: u64 = result.per_resolver.iter().map(|r| r.lookups).sum();
+        let hits_ecs: u64 = result.per_resolver.iter().map(|r| r.hits_ecs).sum();
+        assert_eq!(sequential.counter("cache_sim_lookups_total"), Some(lookups));
+        assert_eq!(
+            sequential.counter("cache_sim_hits_ecs_total"),
+            Some(hits_ecs)
+        );
+        let peaks = sequential.histogram("cache_sim_peak_ecs_entries").unwrap();
+        assert_eq!(peaks.count, result.per_resolver.len() as u64);
+        assert_eq!(
+            peaks.max,
+            result
+                .per_resolver
+                .iter()
+                .map(|r| r.max_size_ecs as u64)
+                .max()
+                .unwrap()
+        );
+        // Sharding never changes the merged snapshot.
+        for parallelism in [2, 3, 8, 64] {
+            let (_, sharded) = CacheSimulator::new(CacheSimConfig {
+                parallelism,
+                ..CacheSimConfig::default()
+            })
+            .run_instrumented(&t);
+            assert_eq!(sharded, sequential, "parallelism={parallelism}");
         }
     }
 

@@ -7,6 +7,11 @@
 //! that every configuration produces identical results, and writes
 //! `BENCH_cache_sim.json` to the current directory.
 //!
+//! Also measures the telemetry tax: `run_instrumented` (per-shard metric
+//! registries folded after the join) against the plain `run`, pinning the
+//! overhead below 5%. Harness stages are themselves timed with
+//! [`obs::timer!`] and reported as `stage_wall_us`.
+//!
 //! Run from the workspace root:
 //!
 //! ```text
@@ -213,15 +218,23 @@ fn main() {
         "generating trace: {} resolvers, {} queries ...",
         gen.resolvers, gen.queries
     );
-    let trace: TraceSet = gen.generate();
+    let stages = obs::MetricsRegistry::new();
+    let trace: TraceSet = {
+        let _t = obs::timer!(stages.histogram("stage_generate_us"));
+        gen.generate()
+    };
     let records = trace.len();
 
     let mut measurements: Vec<Measurement> = Vec::new();
 
     eprintln!("timing legacy (seed) engine ...");
-    let (legacy_result, m) = time_runs("legacy_seed", 1, records, || legacy::run(&trace));
+    let (legacy_result, m) = {
+        let _t = obs::timer!(stages.histogram("stage_legacy_us"));
+        time_runs("legacy_seed", 1, records, || legacy::run(&trace))
+    };
     measurements.push(m);
 
+    let stage_sharded = obs::timer!(stages.histogram("stage_sharded_us"));
     for parallelism in [1usize, 2, 8] {
         eprintln!("timing sharded engine at {parallelism} thread(s) ...");
         let sim = CacheSimulator::new(CacheSimConfig {
@@ -235,10 +248,12 @@ fn main() {
         );
         measurements.push(m);
     }
+    drop(stage_sharded);
 
     // Bounded-cache variants: capacity = ∞ must cost <10% over the
     // unbounded path (the ticks it carries are the only overhead); a tight
     // capacity additionally pays the LRU scans its evictions require.
+    let stage_bounded = obs::timer!(stages.histogram("stage_bounded_us"));
     eprintln!("timing bounded engine (capacity = usize::MAX) ...");
     let sim = CacheSimulator::new(CacheSimConfig {
         capacity: Some(usize::MAX),
@@ -249,6 +264,7 @@ fn main() {
         inf_result.per_resolver, legacy_result.per_resolver,
         "infinite capacity changed results"
     );
+    let bounded_inf_rps = inf_m.records_per_sec;
     measurements.push(inf_m);
 
     eprintln!("timing bounded engine (capacity = 64) ...");
@@ -270,10 +286,49 @@ fn main() {
         "capacity bound exceeded"
     );
     measurements.push(tight_m);
+    drop(stage_bounded);
+
+    // Telemetry on vs off at the widest configuration: the instrumented
+    // run folds per-shard registries only after the parallel join, so it
+    // must stay within noise of the plain run.
+    let stage_telemetry = obs::timer!(stages.histogram("stage_telemetry_us"));
+    eprintln!("timing sharded engine, telemetry off vs on (8 threads) ...");
+    let sim = CacheSimulator::new(CacheSimConfig {
+        parallelism: 8,
+        ..CacheSimConfig::default()
+    });
+    let (off_result, off_m) = time_runs("telemetry_off", 8, records, || sim.run(&trace));
+    assert_eq!(
+        off_result.per_resolver, legacy_result.per_resolver,
+        "telemetry-off run changed results"
+    );
+    let mut snapshot = obs::MetricsSnapshot::default();
+    let (on_result, on_m) = time_runs("telemetry_on", 8, records, || {
+        let (r, s) = sim.run_instrumented(&trace);
+        snapshot = s;
+        r
+    });
+    assert_eq!(
+        on_result.per_resolver, legacy_result.per_resolver,
+        "instrumented run changed results"
+    );
+    let lookups_recorded = snapshot.counter("cache_sim_lookups_total").unwrap_or(0);
+    assert_eq!(
+        lookups_recorded, records as u64,
+        "instrumented run lost lookups"
+    );
+    let telemetry_overhead = 1.0 - on_m.records_per_sec / off_m.records_per_sec;
+    assert!(
+        telemetry_overhead < 0.05,
+        "telemetry overhead {telemetry_overhead:.4} exceeds the 5% budget"
+    );
+    measurements.push(off_m);
+    measurements.push(on_m);
+    drop(stage_telemetry);
 
     let baseline = measurements[0].records_per_sec;
     let seq = measurements[1].records_per_sec;
-    let bounded_inf = measurements[measurements.len() - 2].records_per_sec;
+    let bounded_inf = bounded_inf_rps;
 
     let mut json = String::from("{\n");
     json.push_str("  \"benchmark\": \"cache_sim_replay\",\n");
@@ -301,6 +356,19 @@ fn main() {
     json.push_str(&format!(
         "  \"bounded_cache\": {{\"overhead_at_infinite_capacity\": {:.4}, \"evictions_at_capacity_64\": {tight_evictions}}},\n",
         1.0 - bounded_inf / seq
+    ));
+    json.push_str(&format!(
+        "  \"telemetry\": {{\"overhead_at_parallelism_8\": {telemetry_overhead:.4}, \"lookups_recorded\": {lookups_recorded}}},\n",
+    ));
+    let stage_snap = stages.snapshot();
+    let stage_us = |name: &str| stage_snap.histogram(name).map(|h| h.max).unwrap_or(0);
+    json.push_str(&format!(
+        "  \"stage_wall_us\": {{\"generate\": {}, \"legacy\": {}, \"sharded\": {}, \"bounded\": {}, \"telemetry\": {}}},\n",
+        stage_us("stage_generate_us"),
+        stage_us("stage_legacy_us"),
+        stage_us("stage_sharded_us"),
+        stage_us("stage_bounded_us"),
+        stage_us("stage_telemetry_us"),
     ));
     json.push_str("  \"results_identical_across_engines_and_threads\": true\n");
     json.push_str("}\n");

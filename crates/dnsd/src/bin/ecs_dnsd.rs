@@ -1,7 +1,10 @@
 //! `ecs-dnsd` — serve a demo ECS-aware CDN zone over UDP.
 //!
 //! ```text
-//! ecs-dnsd [bind-addr]        # default 127.0.0.1:5353
+//! ecs-dnsd [bind-addr] [--metrics [http-addr]]
+//! # bind-addr defaults to 127.0.0.1:5353; --metrics serves Prometheus
+//! # text on GET /metrics and JSON on GET /metrics.json (default
+//! # http-addr 127.0.0.1:9153)
 //! ```
 //!
 //! The demo zone is `cdn.example` with `www.cdn.example` accelerated by a
@@ -20,9 +23,22 @@ use std::net::{IpAddr, Ipv4Addr};
 use topology::{CdnFootprint, EdgeServerSpec};
 
 fn main() {
-    let bind = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "127.0.0.1:5353".to_string());
+    let mut bind = "127.0.0.1:5353".to_string();
+    let mut metrics_bind: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--metrics" {
+            // An optional address may follow; a flag or nothing means the
+            // default endpoint address.
+            let addr = match args.peek() {
+                Some(a) if !a.starts_with("--") => args.next().expect("peeked"),
+                _ => "127.0.0.1:9153".to_string(),
+            };
+            metrics_bind = Some(addr);
+        } else {
+            bind = arg;
+        }
+    }
 
     let footprint = CdnFootprint {
         edges: CITIES
@@ -62,6 +78,18 @@ fn main() {
     let addr = server.local_addr().expect("bound socket");
     println!("ecs-dnsd: serving cdn.example on {addr}");
     println!("try:  ecs-dig {addr} www.cdn.example --ecs 192.0.2.0/24");
+    let _metrics_handle = metrics_bind.map(|maddr| {
+        match dnsd::spawn_metrics_endpoint(&maddr, server.registry().clone()) {
+            Ok(h) => {
+                println!("ecs-dnsd: metrics on http://{}/metrics", h.local_addr());
+                h
+            }
+            Err(e) => {
+                eprintln!("ecs-dnsd: cannot bind metrics endpoint {maddr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
     // Serve forever on this thread.
     loop {
         if let Err(e) = server.serve_once() {

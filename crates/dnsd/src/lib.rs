@@ -30,11 +30,13 @@
 //! ```
 
 pub mod client;
+pub mod metrics_http;
 pub mod server;
 pub mod tcp;
 pub mod upstream;
 
 pub use client::{DigClient, DigError};
+pub use metrics_http::{spawn_metrics_endpoint, MetricsHandle};
 pub use server::{ServerFaults, ServerHandle, UdpAuthServer};
 pub use tcp::{tcp_exchange, TcpAuthServer, TcpServerHandle};
 pub use upstream::SocketUpstream;

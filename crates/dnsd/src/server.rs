@@ -2,7 +2,7 @@
 
 use std::io;
 use std::net::{ToSocketAddrs, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -13,6 +13,33 @@ use parking_lot::Mutex;
 
 /// Maximum UDP datagram we accept (RFC 6891 recommends supporting 4096).
 const MAX_DATAGRAM: usize = 4096;
+
+/// Registry-backed counters for a [`UdpAuthServer`]. Handles share the
+/// registry's series, so a clone given to the [`ServerHandle`] (or the
+/// metrics HTTP exporter) reads the live values the serve loop writes.
+#[derive(Clone, Debug)]
+struct ServerMetrics {
+    registry: obs::MetricsRegistry,
+    queries: obs::Counter,
+    responses: obs::Counter,
+    malformed_drops: obs::Counter,
+    fault_drops: obs::Counter,
+    handle_latency: obs::Histogram,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let registry = obs::MetricsRegistry::new();
+        ServerMetrics {
+            queries: registry.counter("dnsd_queries_total"),
+            responses: registry.counter("dnsd_responses_total"),
+            malformed_drops: registry.counter("dnsd_malformed_drops_total"),
+            fault_drops: registry.counter("dnsd_fault_drops_total"),
+            handle_latency: registry.histogram("dnsd_handle_latency_us"),
+            registry,
+        }
+    }
+}
 
 /// Deterministic fault knobs for a [`UdpAuthServer`], for exercising client
 /// and resolver failure paths against a real socket without any randomness:
@@ -41,11 +68,11 @@ pub struct UdpAuthServer {
     /// [`ServerFaults::drop_first`]).
     drop_remaining: AtomicU32,
     truncate_udp: bool,
-    /// Datagrams dropped because they did not decode as DNS — the hardened
-    /// decoder rejected them. Visible after shutdown via
-    /// [`ServerHandle::malformed_drops`], so hostile-input tests can assert
-    /// the drop actually happened rather than inferring it from silence.
-    malformed_drops: Arc<AtomicU64>,
+    /// Telemetry: query/response/malformed counters and a handling-latency
+    /// histogram, all registry-backed so the metrics exporter and the
+    /// legacy [`ServerHandle::malformed_drops`] accessor read one source
+    /// of truth.
+    metrics: ServerMetrics,
 }
 
 /// Handle to a spawned server thread.
@@ -61,7 +88,7 @@ pub struct ServerHandle {
     thread: Option<std::thread::JoinHandle<()>>,
     /// Shared access to the server state (query log inspection).
     pub auth: Arc<Mutex<AuthServer>>,
-    malformed_drops: Arc<AtomicU64>,
+    metrics: ServerMetrics,
 }
 
 impl ServerHandle {
@@ -81,9 +108,16 @@ impl ServerHandle {
         self.stop_and_join();
     }
 
-    /// Datagrams dropped so far because they failed to decode.
+    /// Datagrams dropped so far because they failed to decode. Reads the
+    /// registry-backed counter the serve loop increments.
     pub fn malformed_drops(&self) -> u64 {
-        self.malformed_drops.load(Ordering::SeqCst)
+        self.metrics.malformed_drops.get()
+    }
+
+    /// The server's metrics registry (shared with the serve loop), for
+    /// snapshotting or serving over the metrics HTTP endpoint.
+    pub fn registry(&self) -> &obs::MetricsRegistry {
+        &self.metrics.registry
     }
 }
 
@@ -107,7 +141,7 @@ impl UdpAuthServer {
             stop: Arc::new(AtomicBool::new(false)),
             drop_remaining: AtomicU32::new(0),
             truncate_udp: false,
-            malformed_drops: Arc::new(AtomicU64::new(0)),
+            metrics: ServerMetrics::new(),
         })
     }
 
@@ -133,7 +167,13 @@ impl UdpAuthServer {
 
     /// Datagrams dropped so far because they failed to decode.
     pub fn malformed_drops(&self) -> u64 {
-        self.malformed_drops.load(Ordering::SeqCst)
+        self.metrics.malformed_drops.get()
+    }
+
+    /// The server's metrics registry, for snapshotting or serving over the
+    /// metrics HTTP endpoint (clones share the live series).
+    pub fn registry(&self) -> &obs::MetricsRegistry {
+        &self.metrics.registry
     }
 
     /// Serves one datagram if one arrives before the read timeout.
@@ -149,14 +189,16 @@ impl UdpAuthServer {
             }
             Err(e) => return Err(e),
         };
+        let received = self.started.elapsed();
         // Malformed packets are dropped, as real servers drop them.
         let Ok(query) = Message::from_bytes(&buf[..n]) else {
-            self.malformed_drops.fetch_add(1, Ordering::SeqCst);
+            self.metrics.malformed_drops.inc();
             return Ok(false);
         };
         if query.is_response() {
             return Ok(false);
         }
+        self.metrics.queries.inc();
         // Fault injection: swallow the first N queries (the client times
         // out, exactly as if the reply was lost in the network).
         if self
@@ -164,9 +206,10 @@ impl UdpAuthServer {
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
             .is_ok()
         {
+            self.metrics.fault_drops.inc();
             return Ok(true);
         }
-        let now = SimTime::from_micros(self.started.elapsed().as_micros() as u64);
+        let now = SimTime::from_micros(received.as_micros() as u64);
         let mut resp = self.auth.lock().handle(&query, peer.ip(), now);
         if self.truncate_udp {
             resp.flags.tc = true;
@@ -174,6 +217,11 @@ impl UdpAuthServer {
         }
         if let Ok(bytes) = resp.to_bytes() {
             let _ = self.socket.send_to(&bytes, peer);
+            self.metrics.responses.inc();
+            let served = self.started.elapsed();
+            self.metrics
+                .handle_latency
+                .record((served - received).as_micros() as u64);
         }
         Ok(true)
     }
@@ -182,7 +230,7 @@ impl UdpAuthServer {
     pub fn spawn(self) -> ServerHandle {
         let stop = self.stop.clone();
         let auth = self.auth.clone();
-        let malformed_drops = self.malformed_drops.clone();
+        let metrics = self.metrics.clone();
         let thread = std::thread::spawn(move || {
             while !self.stop.load(Ordering::SeqCst) {
                 if let Err(e) = self.serve_once() {
@@ -195,7 +243,7 @@ impl UdpAuthServer {
             stop,
             thread: Some(thread),
             auth,
-            malformed_drops,
+            metrics,
         }
     }
 }

@@ -17,6 +17,7 @@ use netsim::{LinkFaults, SimTime};
 use resolver::{FaultyUpstream, Resolver, ResolverConfig, RetryPolicy};
 
 use crate::report::Report;
+use crate::telemetry::Telemetry;
 
 /// Parameters.
 #[derive(Debug, Clone)]
@@ -69,7 +70,11 @@ pub struct Outcome {
     pub truncated: Cell,
 }
 
-fn drive(faults: LinkFaults, config: &Config) -> Cell {
+fn drive(
+    faults: LinkFaults,
+    config: &Config,
+    tracer: &obs::Tracer,
+) -> (Cell, obs::MetricsSnapshot) {
     let apex = Name::from_ascii("fault.example").expect("valid");
     let mut zone = Zone::new(apex.clone());
     let qname = apex.child("www").expect("valid");
@@ -85,6 +90,7 @@ fn drive(faults: LinkFaults, config: &Config) -> Cell {
         ..RetryPolicy::default()
     };
     let mut r = Resolver::new(resolver_config);
+    r.set_tracer(tracer.clone());
 
     let mut answered = 0u64;
     for i in 0..config.queries {
@@ -98,40 +104,63 @@ fn drive(faults: LinkFaults, config: &Config) -> Cell {
         }
     }
     let s = r.stats();
-    Cell {
+    let cell = Cell {
         answered,
         servfailed: s.servfail_responses,
         retries: s.retries,
         ecs_withdrawals: s.ecs_withdrawals,
         tcp_fallbacks: s.tcp_fallbacks,
-    }
+    };
+    (cell, r.metrics_snapshot())
 }
 
 /// Runs the experiment.
 pub fn run(config: &Config) -> (Outcome, Report) {
+    let (outcome, report, _) = run_impl(config, false);
+    (outcome, report)
+}
+
+/// Runs the experiment with telemetry on: every cell's resolver traces
+/// into one shared sink and the per-cell metric registries merge into one
+/// snapshot, with p50/p99 latency rows added to the report.
+pub fn run_telemetry(config: &Config) -> (Outcome, Report, Telemetry) {
+    let (outcome, report, telemetry) = run_impl(config, true);
+    (outcome, report, telemetry.expect("telemetry on"))
+}
+
+fn run_impl(config: &Config, telemetry: bool) -> (Outcome, Report, Option<Telemetry>) {
+    let sink = telemetry.then(|| std::sync::Arc::new(obs::MemorySink::new()));
+    let tracer = sink
+        .as_ref()
+        .map(|s| obs::Tracer::new(s.clone() as std::sync::Arc<dyn obs::TraceSink>))
+        .unwrap_or_else(obs::Tracer::disabled);
+    let mut merged = obs::MetricsSnapshot::default();
+
     let by_loss: Vec<(f64, Cell)> = config
         .loss_rates
         .iter()
         .map(|&loss| {
-            (
-                loss,
-                drive(
-                    LinkFaults {
-                        loss,
-                        ..LinkFaults::NONE
-                    },
-                    config,
-                ),
-            )
+            let (cell, snap) = drive(
+                LinkFaults {
+                    loss,
+                    ..LinkFaults::NONE
+                },
+                config,
+                &tracer,
+            );
+            merged.merge(&snap);
+            (loss, cell)
         })
         .collect();
-    let truncated = drive(
+    let (truncated, snap) = drive(
         LinkFaults {
             truncate_replies: 1.0,
             ..LinkFaults::NONE
         },
         config,
+        &tracer,
     );
+    merged.merge(&snap);
     let outcome = Outcome { by_loss, truncated };
 
     let mut report = Report::new(
@@ -183,11 +212,37 @@ pub fn run(config: &Config) -> (Outcome, Report) {
         ),
         outcome.truncated.answered == config.queries && outcome.truncated.servfailed == 0,
     );
+    let telemetry_out = sink.map(|sink| {
+        let lat = merged
+            .histogram("resolver_query_latency_us")
+            .cloned()
+            .unwrap_or_default();
+        report.row(
+            "query latency p50/p99",
+            "p99 grows with loss (backoff runs), p50 stays near the RTT",
+            format!(
+                "p50 {} us, p99 {} us, max {} us over {} queries",
+                lat.quantile(0.5),
+                lat.quantile(0.99),
+                lat.max,
+                lat.count
+            ),
+            lat.count > 0 && lat.quantile(0.5) <= lat.quantile(0.99),
+        );
+        Telemetry {
+            snapshot: merged,
+            trace_jsonl: sink
+                .lines()
+                .into_iter()
+                .map(|l| l + "\n")
+                .collect::<String>(),
+        }
+    });
     report.detail = format!(
         "{} queries per cell, attempt budget {}, seed {}. Loss applies to the\nfull UDP exchange; truncation leaves TCP untouched, so the TC condition\nmeasures pure RFC 7766 fallback.\n",
         config.queries, config.attempts, config.seed
     );
-    (outcome, report)
+    (outcome, report, telemetry_out)
 }
 
 /// Default-parameter entry point.
@@ -226,5 +281,31 @@ mod tests {
         let (b, _) = run(&small());
         assert_eq!(a.by_loss, b.by_loss);
         assert_eq!(a.truncated, b.truncated);
+    }
+
+    #[test]
+    fn telemetry_run_matches_and_validates() {
+        let (plain, _) = run(&small());
+        let (traced, report, telem) = run_telemetry(&small());
+        // Telemetry is pure observation: identical outcome.
+        assert_eq!(plain.by_loss, traced.by_loss);
+        assert_eq!(plain.truncated, traced.truncated);
+        assert!(report.all_hold(), "{report}");
+        // The trace parses and is non-trivial; the snapshot carries the
+        // series the CI validation step requires.
+        assert!(obs::validate::validate_trace(&telem.trace_jsonl).unwrap() > 0);
+        assert!(obs::validate::validate_metrics_json(
+            &telem.snapshot.to_json(),
+            &[
+                "resolver_client_queries_total",
+                "resolver_retries_total",
+                "resolver_query_latency_us",
+            ],
+        )
+        .is_ok());
+        let (p50, p99, _) = telem
+            .latency_quantiles("resolver_query_latency_us")
+            .expect("latency recorded");
+        assert!(p50 <= p99);
     }
 }

@@ -27,6 +27,7 @@ use resolver::actors::{AuthActor, ClientActor, EgressActor, SharedBook};
 use resolver::{FaultyUpstream, Resolver, ResolverConfig};
 
 use crate::report::Report;
+use crate::telemetry::Telemetry;
 
 /// Parameters.
 #[derive(Debug, Clone)]
@@ -142,12 +143,18 @@ fn client_for(config: &Config, population: usize, i: u64) -> IpAddr {
     IpAddr::V4(Ipv4Addr::new(10, (subnet >> 8) as u8, subnet as u8, 9))
 }
 
-fn drive_cache(capacity: Option<usize>, population: usize, config: &Config) -> CacheCell {
+fn drive_cache(
+    capacity: Option<usize>,
+    population: usize,
+    config: &Config,
+    tracer: &obs::Tracer,
+) -> (CacheCell, obs::MetricsSnapshot) {
     let mut server = AuthServer::new(zone(config), EcsHandling::open(ScopePolicy::MatchSource));
     server.set_logging(false);
     let mut rc = ResolverConfig::rfc_compliant("9.9.9.9".parse().expect("valid"));
     rc.overload.max_cache_entries = capacity;
     let mut r = Resolver::new(rc);
+    r.set_tracer(tracer.clone());
     for i in 0..config.queries {
         let q = Message::query(i as u16, Question::a(qname(config, i)));
         // Two queries per second: the widest working set (8 hostnames ×
@@ -162,16 +169,22 @@ fn drive_cache(capacity: Option<usize>, population: usize, config: &Config) -> C
         );
     }
     let cs = r.cache_stats();
-    CacheCell {
+    let cell = CacheCell {
         capacity,
         population,
         hit_rate: cs.hit_rate(),
         evictions: cs.evictions,
         max_size: cs.max_size,
-    }
+    };
+    (cell, r.metrics_snapshot())
 }
 
-fn drive_stale(loss: f64, serve_stale: bool, config: &Config) -> StaleCell {
+fn drive_stale(
+    loss: f64,
+    serve_stale: bool,
+    config: &Config,
+    tracer: &obs::Tracer,
+) -> (StaleCell, obs::MetricsSnapshot) {
     let mut server = AuthServer::new(zone(config), EcsHandling::open(ScopePolicy::MatchSource));
     server.set_logging(false);
     let mut rc = ResolverConfig::rfc_compliant("9.9.9.9".parse().expect("valid"));
@@ -180,6 +193,7 @@ fn drive_stale(loss: f64, serve_stale: bool, config: &Config) -> StaleCell {
         rc.overload.serve_stale_ttl = SimDuration::from_secs(3600);
     }
     let mut r = Resolver::new(rc);
+    r.set_tracer(tracer.clone());
     let client: IpAddr = "10.0.0.9".parse().expect("valid");
 
     // Warm phase: fault-free, one query per hostname fills the cache.
@@ -210,20 +224,28 @@ fn drive_stale(loss: f64, serve_stale: bool, config: &Config) -> StaleCell {
         }
     }
     let s = r.stats();
-    StaleCell {
+    let cell = StaleCell {
         loss,
         serve_stale,
         answered,
         stale_answers: s.stale_answers,
         servfails: s.servfail_responses - warm_servfails,
-    }
+    };
+    (cell, r.metrics_snapshot())
 }
 
 /// A packet-level world: one authoritative, one egress running `rc`, and
 /// `clients` co-located nodes all asking the same name at t = 0.
-fn drive_burst(rc: ResolverConfig, clients: usize) -> BurstCell {
+fn drive_burst(
+    rc: ResolverConfig,
+    clients: usize,
+    tracer: &obs::Tracer,
+) -> (BurstCell, obs::MetricsSnapshot) {
     let book: SharedBook = Arc::new(RwLock::new(AddressBook::new()));
     let mut sim = Simulation::new(5);
+    if tracer.is_enabled() {
+        sim.enable_metrics();
+    }
     let auth_addr: IpAddr = "198.51.100.53".parse().expect("valid");
     let egress_addr: IpAddr = "9.9.9.9".parse().expect("valid");
 
@@ -244,7 +266,11 @@ fn drive_burst(rc: ResolverConfig, clients: usize) -> BurstCell {
     );
     let egress_node = sim.add_node(
         EgressActor::new(
-            Resolver::new(rc),
+            {
+                let mut r = Resolver::new(rc);
+                r.set_tracer(tracer.clone());
+                r
+            },
             vec![(apex.clone(), auth_addr)],
             book.clone(),
         ),
@@ -277,11 +303,12 @@ fn drive_burst(rc: ResolverConfig, clients: usize) -> BurstCell {
         .server()
         .log()
         .len();
-    let stats = sim
+    let mut snapshot = sim.metrics_snapshot().unwrap_or_default();
+    let egress = sim
         .node_mut::<EgressActor>(egress_node)
-        .expect("egress node")
-        .resolver()
-        .stats();
+        .expect("egress node");
+    snapshot.merge(&egress.resolver().metrics_snapshot());
+    let stats = egress.resolver().stats();
     let responded = client_nodes
         .iter()
         .filter(|&&c| {
@@ -291,37 +318,63 @@ fn drive_burst(rc: ResolverConfig, clients: usize) -> BurstCell {
                 .is_empty()
         })
         .count() as u64;
-    BurstCell {
+    let cell = BurstCell {
         upstream_flights,
         coalesced: stats.coalesced_queries,
         shed: stats.shed_queries,
         responded,
-    }
+    };
+    (cell, snapshot)
 }
 
 /// Runs the experiment.
 pub fn run(config: &Config) -> (Outcome, Report) {
+    let (outcome, report, _) = run_impl(config, false);
+    (outcome, report)
+}
+
+/// Runs the experiment with telemetry on: the engine-level cells and the
+/// packet-level bursts (resolver + netsim registries) merge into one
+/// snapshot, every resolution traces into one shared sink, and the report
+/// gains p50/p99 latency rows.
+pub fn run_telemetry(config: &Config) -> (Outcome, Report, Telemetry) {
+    let (outcome, report, telemetry) = run_impl(config, true);
+    (outcome, report, telemetry.expect("telemetry on"))
+}
+
+fn run_impl(config: &Config, telemetry: bool) -> (Outcome, Report, Option<Telemetry>) {
+    let sink = telemetry.then(|| std::sync::Arc::new(obs::MemorySink::new()));
+    let tracer = sink
+        .as_ref()
+        .map(|s| obs::Tracer::new(s.clone() as std::sync::Arc<dyn obs::TraceSink>))
+        .unwrap_or_else(obs::Tracer::disabled);
+    let mut merged = obs::MetricsSnapshot::default();
+    fn fold<C>(merged: &mut obs::MetricsSnapshot, (cell, snap): (C, obs::MetricsSnapshot)) -> C {
+        merged.merge(&snap);
+        cell
+    }
+
     let cache_cells: Vec<CacheCell> = config
         .capacities
         .iter()
         .flat_map(|&cap| config.populations.iter().map(move |&pop| (cap, pop)))
-        .map(|(cap, pop)| drive_cache(cap, pop, config))
+        .map(|(cap, pop)| fold(&mut merged, drive_cache(cap, pop, config, &tracer)))
         .collect();
 
     let mut stale_cells: Vec<StaleCell> = config
         .loss_rates
         .iter()
-        .map(|&loss| drive_stale(loss, true, config))
+        .map(|&loss| fold(&mut merged, drive_stale(loss, true, config, &tracer)))
         .collect();
-    stale_cells.push(drive_stale(1.0, false, config));
+    stale_cells.push(fold(&mut merged, drive_stale(1.0, false, config, &tracer)));
 
     let mut coalesce_cfg = ResolverConfig::rfc_compliant("9.9.9.9".parse().expect("valid"));
     coalesce_cfg.overload.coalesce = true;
-    let coalesced_burst = drive_burst(coalesce_cfg, 6);
+    let coalesced_burst = fold(&mut merged, drive_burst(coalesce_cfg, 6, &tracer));
 
     let mut shed_cfg = ResolverConfig::rfc_compliant("9.9.9.9".parse().expect("valid"));
     shed_cfg.overload.max_in_flight = Some(2);
-    let shed_burst = drive_burst(shed_cfg, 6);
+    let shed_burst = fold(&mut merged, drive_burst(shed_cfg, 6, &tracer));
 
     let outcome = Outcome {
         cache_cells,
@@ -430,6 +483,32 @@ pub fn run(config: &Config) -> (Outcome, Report) {
             && outcome.shed_burst.responded == 6,
     );
 
+    let telemetry_out = sink.map(|sink| {
+        let lat = merged
+            .histogram("resolver_query_latency_us")
+            .cloned()
+            .unwrap_or_default();
+        report.row(
+            "query latency p50/p99",
+            "cache hits keep p50 at zero sim-time; upstream trips set p99",
+            format!(
+                "p50 {} us, p99 {} us, max {} us over {} queries",
+                lat.quantile(0.5),
+                lat.quantile(0.99),
+                lat.max,
+                lat.count
+            ),
+            lat.count > 0 && lat.quantile(0.5) <= lat.quantile(0.99),
+        );
+        Telemetry {
+            snapshot: merged,
+            trace_jsonl: sink
+                .lines()
+                .into_iter()
+                .map(|l| l + "\n")
+                .collect::<String>(),
+        }
+    });
     report.detail = format!(
         "{} queries per cache cell over {} hostnames, TTL {} s; capacities\n{:?} x populations {:?}. Stale phase re-queries a warmed cache past\nexpiry against loss rates {:?} (seed {}). Burst cells run the packet-level\nactors: 6 co-located clients, one authoritative.\n",
         config.queries,
@@ -440,7 +519,7 @@ pub fn run(config: &Config) -> (Outcome, Report) {
         config.loss_rates,
         config.seed
     );
-    (outcome, report)
+    (outcome, report, telemetry_out)
 }
 
 /// Default-parameter entry point.
@@ -493,5 +572,32 @@ mod tests {
         assert_eq!(a.stale_cells, b.stale_cells);
         assert_eq!(a.coalesced_burst, b.coalesced_burst);
         assert_eq!(a.shed_burst, b.shed_burst);
+    }
+
+    #[test]
+    fn telemetry_run_matches_and_validates() {
+        let (plain, _) = run(&small());
+        let (traced, report, telem) = run_telemetry(&small());
+        assert_eq!(plain.cache_cells, traced.cache_cells);
+        assert_eq!(plain.coalesced_burst, traced.coalesced_burst);
+        assert!(report.all_hold(), "{report}");
+        assert!(obs::validate::validate_trace(&telem.trace_jsonl).unwrap() > 0);
+        // Engine cells contribute resolver/cache series; the burst cells
+        // run the packet simulator with its metrics on too.
+        assert!(obs::validate::validate_metrics_json(
+            &telem.snapshot.to_json(),
+            &[
+                "resolver_client_queries_total",
+                "resolver_coalesced_queries_total",
+                "resolver_shed_queries_total",
+                "cache_evictions_total",
+                "netsim_delivered_total",
+            ],
+        )
+        .is_ok());
+        // The coalesced burst traced its joiners.
+        assert!(telem.trace_jsonl.contains("\"event\":\"coalesced_join\""));
+        assert!(telem.trace_jsonl.contains("\"event\":\"shed\""));
+        assert!(telem.trace_jsonl.contains("\"event\":\"stale_serve\""));
     }
 }

@@ -18,5 +18,6 @@
 pub mod behavior;
 pub mod experiments;
 pub mod report;
+pub mod telemetry;
 
 pub use behavior::resolver_config_for;

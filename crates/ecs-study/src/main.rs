@@ -1,6 +1,15 @@
-//! Experiment runner: `ecs-study <experiment-id>|all|list|export-traces <dir>`.
+//! Experiment runner:
+//! `ecs-study [--telemetry [dir]] <experiment-id>|all|list|export-traces <dir>`.
+//!
+//! `--telemetry` turns on metrics + structured tracing for the experiments
+//! that support it (currently `faults` and `overload`): the run writes
+//! `<id>_metrics.prom`, `<id>_metrics.json`, and `<id>_trace.jsonl` under
+//! the given directory (default `telemetry/`) and the report gains
+//! p50/p99 latency rows. Other experiments run unchanged.
 
 use ecs_study::experiments::registry;
+use ecs_study::report::Report;
+use ecs_study::telemetry::Telemetry;
 
 fn export_traces(dir: &std::path::Path) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
@@ -34,20 +43,91 @@ fn export_traces(dir: &std::path::Path) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Telemetry-capable runners, by experiment id.
+fn telemetry_runner(id: &str) -> Option<fn() -> (Report, Telemetry)> {
+    match id {
+        "faults" => Some(|| {
+            let (_, report, telemetry) =
+                ecs_study::experiments::faults::run_telemetry(&Default::default());
+            (report, telemetry)
+        }),
+        "overload" => Some(|| {
+            let (_, report, telemetry) =
+                ecs_study::experiments::overload::run_telemetry(&Default::default());
+            (report, telemetry)
+        }),
+        _ => None,
+    }
+}
+
+/// Runs experiment `id`, capturing telemetry into `dir` when requested and
+/// supported. Returns the report to print.
+fn run_one(
+    id: &str,
+    runner: &dyn Fn() -> Report,
+    telemetry_dir: Option<&std::path::Path>,
+) -> Report {
+    if let (Some(dir), Some(instrumented)) = (telemetry_dir, telemetry_runner(id)) {
+        let (report, telemetry) = instrumented();
+        match telemetry.write(dir, id) {
+            Ok(paths) => {
+                for p in &paths {
+                    eprintln!("  telemetry: wrote {}", p.display());
+                }
+                if let Some((p50, p99, max)) =
+                    telemetry.latency_quantiles("resolver_query_latency_us")
+                {
+                    eprintln!(
+                        "  telemetry: query latency p50 {p50} us, p99 {p99} us, max {max} us"
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("  telemetry: write failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        report
+    } else {
+        runner()
+    }
+}
+
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let experiments = registry();
+    let mut telemetry_dir: Option<std::path::PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--telemetry") {
+        args.remove(pos);
+        // Optional directory operand (must not collide with a command or
+        // experiment id); defaults to ./telemetry.
+        let is_command = |a: &str| {
+            a == "all"
+                || a == "list"
+                || a == "export-traces"
+                || experiments.iter().any(|(id, _, _)| *id == a)
+        };
+        if pos < args.len() && !args[pos].starts_with("--") && !is_command(&args[pos]) {
+            telemetry_dir = Some(std::path::PathBuf::from(args.remove(pos)));
+        } else {
+            telemetry_dir = Some(std::path::PathBuf::from("telemetry"));
+        }
+    }
+    let arg = args.first().cloned().unwrap_or_else(|| "all".to_string());
     match arg.as_str() {
         "list" => {
             println!("available experiments:");
             for (id, title, _) in &experiments {
-                println!("  {id:<16} {title}");
+                let tag = if telemetry_runner(id).is_some() {
+                    "  [telemetry]"
+                } else {
+                    ""
+                };
+                println!("  {id:<16} {title}{tag}");
             }
         }
         "export-traces" => {
-            let dir = std::env::args()
-                .nth(2)
-                .unwrap_or_else(|| "traces".to_string());
+            let dir = args.get(1).cloned().unwrap_or_else(|| "traces".to_string());
             if let Err(e) = export_traces(std::path::Path::new(&dir)) {
                 eprintln!("export failed: {e}");
                 std::process::exit(1);
@@ -57,7 +137,7 @@ fn main() {
             let mut failed = 0;
             for (id, _, runner) in &experiments {
                 eprintln!("running {id} ...");
-                let report = runner();
+                let report = run_one(id, runner, telemetry_dir.as_deref());
                 println!("{report}");
                 if !report.all_hold() {
                     failed += 1;
@@ -70,7 +150,7 @@ fn main() {
         }
         id => match experiments.iter().find(|(eid, _, _)| *eid == id) {
             Some((_, _, runner)) => {
-                let report = runner();
+                let report = run_one(id, runner, telemetry_dir.as_deref());
                 println!("{report}");
                 if !report.all_hold() {
                     std::process::exit(1);

@@ -81,6 +81,51 @@ pub trait Node: std::any::Any {
     fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx) {}
 }
 
+/// Registry-backed counters for a simulation run, created on demand by
+/// [`Simulation::enable_metrics`]. Recording never touches the RNG or the
+/// event queue, so an instrumented run stays bit-identical to a bare one;
+/// keeping the struct optional makes the default path allocation-free too.
+struct SimMetrics {
+    registry: obs::MetricsRegistry,
+    delivered: obs::Counter,
+    dropped: obs::Counter,
+    fault_loss: obs::Counter,
+    fault_blackhole: obs::Counter,
+    fault_truncated: obs::Counter,
+    fault_rcode: obs::Counter,
+    fault_delayed: obs::Counter,
+    delivery_latency: obs::Histogram,
+}
+
+impl SimMetrics {
+    fn new() -> Self {
+        let registry = obs::MetricsRegistry::new();
+        SimMetrics {
+            delivered: registry.counter("netsim_delivered_total"),
+            dropped: registry.counter("netsim_dropped_total"),
+            fault_loss: registry.counter("netsim_fault_loss_total"),
+            fault_blackhole: registry.counter("netsim_fault_blackhole_total"),
+            fault_truncated: registry.counter("netsim_fault_truncated_total"),
+            fault_rcode: registry.counter("netsim_fault_rcode_total"),
+            fault_delayed: registry.counter("netsim_fault_delayed_total"),
+            delivery_latency: registry.histogram("netsim_delivery_latency_us"),
+            registry,
+        }
+    }
+
+    /// Folds the delta between two fault-stat snapshots into the counters.
+    fn record_fault_delta(&self, before: &FaultStats, after: &FaultStats) {
+        self.fault_loss
+            .add(after.dropped_loss - before.dropped_loss);
+        self.fault_blackhole
+            .add(after.dropped_blackhole - before.dropped_blackhole);
+        self.fault_truncated.add(after.truncated - before.truncated);
+        self.fault_rcode
+            .add(after.rcode_injected - before.rcode_injected);
+        self.fault_delayed.add(after.delayed - before.delayed);
+    }
+}
+
 /// The simulation world: node table, positions, clock, queue, RNG.
 pub struct Simulation {
     nodes: Vec<Option<Box<dyn Node>>>,
@@ -93,6 +138,7 @@ pub struct Simulation {
     fault_stats: FaultStats,
     delivered: u64,
     dropped: u64,
+    metrics: Option<SimMetrics>,
 }
 
 impl Simulation {
@@ -121,7 +167,22 @@ impl Simulation {
             fault_stats: FaultStats::default(),
             delivered: 0,
             dropped: 0,
+            metrics: None,
         }
+    }
+
+    /// Turns on registry-backed telemetry: packet/fault counters and a
+    /// delivery-latency histogram. Off by default; enabling it does not
+    /// perturb the event order or the RNG stream.
+    pub fn enable_metrics(&mut self) {
+        if self.metrics.is_none() {
+            self.metrics = Some(SimMetrics::new());
+        }
+    }
+
+    /// A snapshot of the telemetry registry, if metrics are enabled.
+    pub fn metrics_snapshot(&self) -> Option<obs::MetricsSnapshot> {
+        self.metrics.as_ref().map(|m| m.registry.snapshot())
     }
 
     /// Replaces the fault plan mid-run (e.g. to heal or degrade links).
@@ -178,11 +239,18 @@ impl Simulation {
     /// latency. This is how experiments bootstrap traffic. The fault plan
     /// is consulted first: it may drop, delay, or mangle the payload.
     pub fn inject(&mut self, src: NodeId, dst: NodeId, mut payload: Vec<u8>, after: SimDuration) {
-        let Some(extra) =
+        let faults_before = self.fault_stats;
+        let verdict =
             self.faults
-                .apply(src, dst, &mut payload, &mut self.rng, &mut self.fault_stats)
-        else {
+                .apply(src, dst, &mut payload, &mut self.rng, &mut self.fault_stats);
+        if let Some(m) = &self.metrics {
+            m.record_fault_delta(&faults_before, &self.fault_stats);
+        }
+        let Some(extra) = verdict else {
             self.dropped += 1;
+            if let Some(m) = &self.metrics {
+                m.dropped.inc();
+            }
             return;
         };
         let depart = self.clock + after;
@@ -191,11 +259,21 @@ impl Simulation {
             &self.positions[dst.0],
             &mut self.rng,
         ) {
-            Some(delay) => self.queue.push(
-                depart + delay + extra,
-                EventKind::Deliver { src, dst, payload },
-            ),
-            None => self.dropped += 1,
+            Some(delay) => {
+                if let Some(m) = &self.metrics {
+                    m.delivery_latency.record((delay + extra).as_micros());
+                }
+                self.queue.push(
+                    depart + delay + extra,
+                    EventKind::Deliver { src, dst, payload },
+                )
+            }
+            None => {
+                self.dropped += 1;
+                if let Some(m) = &self.metrics {
+                    m.dropped.inc();
+                }
+            }
         }
     }
 
@@ -224,6 +302,9 @@ impl Simulation {
             match ev.kind {
                 EventKind::Deliver { src, dst, payload } => {
                     self.delivered += 1;
+                    if let Some(m) = &self.metrics {
+                        m.delivered.inc();
+                    }
                     self.dispatch(dst, |node, ctx| {
                         node.on_packet(Packet { src, dst, payload }, ctx)
                     });
@@ -447,6 +528,61 @@ mod tests {
             (sim.now(), sim.delivered())
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn metrics_mirror_plain_counters_without_perturbing_the_run() {
+        let run = |instrument: bool| {
+            let mut sim = Simulation::new(5);
+            if instrument {
+                sim.enable_metrics();
+            }
+            let echo = sim.add_node(Echo { seen: 0 }, city("Tokyo").unwrap().pos);
+            let ping = sim.add_node(
+                Pinger {
+                    replies: 0,
+                    last_rtt_ms: 0.0,
+                    sent_at: SimTime::ZERO,
+                    peer: Some(echo),
+                },
+                city("Sydney").unwrap().pos,
+            );
+            sim.inject(ping, echo, vec![7], SimDuration::ZERO);
+            sim.run();
+            (sim.now(), sim.delivered(), sim.metrics_snapshot())
+        };
+        let (t_plain, d_plain, none) = run(false);
+        let (t_inst, d_inst, snap) = run(true);
+        assert!(none.is_none());
+        // Identical virtual timeline — telemetry is pure observation.
+        assert_eq!((t_plain, d_plain), (t_inst, d_inst));
+        let snap = snap.unwrap();
+        assert_eq!(snap.counter("netsim_delivered_total"), Some(d_inst));
+        let lat = snap.histogram("netsim_delivery_latency_us").unwrap();
+        assert_eq!(lat.count, d_inst);
+        assert!(lat.min > 0, "cross-Pacific hops take time");
+    }
+
+    #[test]
+    fn metrics_count_fault_injections() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        let mut sim = Simulation::with_faults(
+            4,
+            LatencyModel::default(),
+            FaultPlan::uniform(LinkFaults {
+                blackhole: true,
+                ..LinkFaults::NONE
+            }),
+        );
+        sim.enable_metrics();
+        let a = sim.add_node(Echo { seen: 0 }, city("Paris").unwrap().pos);
+        let b = sim.add_node(Echo { seen: 0 }, city("London").unwrap().pos);
+        sim.inject(a, b, vec![1], SimDuration::ZERO);
+        sim.run();
+        let snap = sim.metrics_snapshot().unwrap();
+        assert_eq!(snap.counter("netsim_fault_blackhole_total"), Some(1));
+        assert_eq!(snap.counter("netsim_dropped_total"), Some(1));
+        assert_eq!(snap.counter("netsim_delivered_total"), Some(0));
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! `obs-validate` — check exported telemetry artifacts in CI.
+//!
+//! ```text
+//! obs-validate metrics <snapshot.json> [--require name1,name2,...]
+//! obs-validate trace <trace.jsonl>
+//! ```
+//!
+//! Exits 0 when the artifact is well-formed (and, for metrics, carries
+//! every required series), 1 on validation failure, 2 on usage/IO errors.
+
+use obs::validate::{validate_metrics_json, validate_trace};
+
+fn usage() -> ! {
+    eprintln!("usage: obs-validate metrics <snapshot.json> [--require a,b,c]");
+    eprintln!("       obs-validate trace <trace.jsonl>");
+    std::process::exit(2);
+}
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("obs-validate: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("metrics") => {
+            let Some(path) = args.get(1) else { usage() };
+            let mut required: Vec<String> = Vec::new();
+            let mut rest = args[2..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--require" => match rest.next() {
+                        Some(list) => {
+                            required.extend(list.split(',').map(|s| s.trim().to_string()))
+                        }
+                        None => usage(),
+                    },
+                    _ => usage(),
+                }
+            }
+            let required_refs: Vec<&str> = required.iter().map(String::as_str).collect();
+            match validate_metrics_json(&read(path), &required_refs) {
+                Ok(()) => println!(
+                    "obs-validate: {path} OK ({} required series present)",
+                    required_refs.len()
+                ),
+                Err(e) => {
+                    eprintln!("obs-validate: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("trace") => {
+            let Some(path) = args.get(1) else { usage() };
+            if args.len() > 2 {
+                usage();
+            }
+            match validate_trace(&read(path)) {
+                Ok(n) => println!("obs-validate: {path} OK ({n} events)"),
+                Err(e) => {
+                    eprintln!("obs-validate: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,140 @@
+//! Schema validation for exported telemetry, used by the `obs-validate`
+//! binary in CI: a metrics JSON snapshot must carry its three sections and
+//! every required series; a JSON-lines trace must parse line-by-line with
+//! the span envelope intact and only known event names.
+
+use crate::json::{parse, Value};
+use crate::trace::EventKind;
+
+/// Checks a [`crate::MetricsSnapshot::to_json`] document: the three
+/// sections must be objects, and every name in `required` must appear in
+/// one of them.
+pub fn validate_metrics_json(text: &str, required: &[&str]) -> Result<(), String> {
+    let doc = parse(text).map_err(|e| format!("metrics snapshot is not valid JSON: {e}"))?;
+    let obj = doc
+        .as_object()
+        .ok_or_else(|| "metrics snapshot: top level must be an object".to_string())?;
+    let mut sections = Vec::new();
+    for key in ["counters", "gauges", "histograms"] {
+        match obj.get(key) {
+            Some(Value::Obj(map)) => sections.push(map),
+            Some(_) => return Err(format!("metrics snapshot: {key:?} must be an object")),
+            None => return Err(format!("metrics snapshot: missing section {key:?}")),
+        }
+    }
+    for name in required {
+        if !sections.iter().any(|map| map.contains_key(*name)) {
+            return Err(format!(
+                "metrics snapshot: missing required series {name:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks a JSON-lines trace: at least one line; every non-empty line is
+/// an object carrying numeric `trace >= 1`, `span >= 1`, `parent`,
+/// `at_us`, and an `event` string from the known taxonomy, with
+/// `parent != span`. Returns the number of events on success.
+pub fn validate_trace(text: &str) -> Result<usize, String> {
+    let mut events = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let doc = parse(line).map_err(|e| format!("trace line {n}: not valid JSON: {e}"))?;
+        let obj = doc
+            .as_object()
+            .ok_or_else(|| format!("trace line {n}: not an object"))?;
+        let num = |key: &str| -> Result<f64, String> {
+            obj.get(key)
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("trace line {n}: missing numeric {key:?}"))
+        };
+        let trace = num("trace")?;
+        let span = num("span")?;
+        let parent = num("parent")?;
+        num("at_us")?;
+        if trace < 1.0 {
+            return Err(format!("trace line {n}: trace id must be >= 1"));
+        }
+        if span < 1.0 {
+            return Err(format!("trace line {n}: span id must be >= 1"));
+        }
+        if parent == span {
+            return Err(format!("trace line {n}: span cannot parent itself"));
+        }
+        let event = obj
+            .get("event")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("trace line {n}: missing event name"))?;
+        if !EventKind::NAMES.contains(&event) {
+            return Err(format!("trace line {n}: unknown event {event:?}"));
+        }
+        events += 1;
+    }
+    if events == 0 {
+        return Err("trace: no events".to_string());
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::trace::{MemorySink, Tracer};
+    use std::sync::Arc;
+
+    #[test]
+    fn accepts_real_snapshot_and_flags_missing_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter("resolver_client_queries_total").add(3);
+        reg.histogram("resolver_query_latency_us").record(1500);
+        let json = reg.snapshot().to_json();
+        validate_metrics_json(
+            &json,
+            &["resolver_client_queries_total", "resolver_query_latency_us"],
+        )
+        .expect("valid snapshot");
+        let err = validate_metrics_json(&json, &["resolver_retries_total"]).unwrap_err();
+        assert!(err.contains("resolver_retries_total"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_snapshots() {
+        assert!(validate_metrics_json("[]", &[]).is_err());
+        assert!(validate_metrics_json("{\"counters\": {}}", &[]).is_err());
+        assert!(validate_metrics_json("{nope", &[]).is_err());
+    }
+
+    #[test]
+    fn accepts_real_trace_and_counts_events() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Tracer::new(sink.clone());
+        let root = t.start(0, &crate::EventKind::CacheProbe { outcome: "miss" });
+        t.event(
+            root,
+            7,
+            &crate::EventKind::Answered {
+                rcode: "NOERROR".to_string(),
+                latency_us: 7,
+            },
+        );
+        let text = sink.lines().join("\n");
+        assert_eq!(validate_trace(&text), Ok(2));
+    }
+
+    #[test]
+    fn rejects_broken_traces() {
+        assert!(validate_trace("").is_err(), "empty");
+        assert!(validate_trace("{\"trace\":1}").is_err(), "missing fields");
+        let bad_event = "{\"trace\":1,\"span\":1,\"parent\":0,\"at_us\":0,\"event\":\"nonsense\"}";
+        assert!(validate_trace(bad_event).is_err(), "unknown event");
+        let zero_trace = "{\"trace\":0,\"span\":1,\"parent\":0,\"at_us\":0,\"event\":\"shed\"}";
+        assert!(validate_trace(zero_trace).is_err(), "disabled trace id");
+        let self_parent = "{\"trace\":1,\"span\":2,\"parent\":2,\"at_us\":0,\"event\":\"shed\"}";
+        assert!(validate_trace(self_parent).is_err(), "self-parent");
+    }
+}

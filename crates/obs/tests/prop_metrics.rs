@@ -1,0 +1,145 @@
+//! Metrics-snapshot properties:
+//!
+//! * merging N per-shard snapshots of the same recordings is order- and
+//!   sharding-invariant (the guarantee the §7 cache simulator's
+//!   parallelism-invariant instrumentation rests on);
+//! * histogram quantiles are exact for synthetic distributions in the
+//!   linear bucket range, matching a sorted-vector oracle.
+
+use obs::{MetricsRegistry, MetricsSnapshot};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One recorded observation: which counter (0..3), which histogram value.
+type Op = (u8, u64, u64);
+
+/// Replays `ops` into `shards` registries, assigning op `i` to shard
+/// `i % shards`, and folds the snapshots in the given order.
+fn record_sharded(
+    ops: &[Op],
+    shards: usize,
+    fold_order: impl Iterator<Item = usize>,
+) -> MetricsSnapshot {
+    let regs: Vec<MetricsRegistry> = (0..shards).map(|_| MetricsRegistry::new()).collect();
+    for (i, &(counter, add, value)) in ops.iter().enumerate() {
+        let reg = &regs[i % shards];
+        reg.counter(&format!("c{}_total", counter % 4)).add(add);
+        reg.gauge("high_water").set_max(add);
+        reg.histogram("values").record(value);
+    }
+    let snaps: Vec<MetricsSnapshot> = regs.iter().map(MetricsRegistry::snapshot).collect();
+    let mut merged = MetricsSnapshot::default();
+    for idx in fold_order {
+        merged.merge(&snaps[idx]);
+    }
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The same recordings, split over 1/2/3/7 shards and folded forwards
+    /// or backwards, always merge to the same snapshot.
+    #[test]
+    fn merge_is_order_and_sharding_invariant(
+        ops in vec((any::<u8>(), 0u64..1000, 0u64..100_000), 1..80),
+    ) {
+        let sequential = record_sharded(&ops, 1, std::iter::once(0));
+        for shards in [2usize, 3, 7] {
+            let forward = record_sharded(&ops, shards, 0..shards);
+            let backward = record_sharded(&ops, shards, (0..shards).rev());
+            prop_assert_eq!(&forward, &sequential, "shards={} forward", shards);
+            prop_assert_eq!(&backward, &sequential, "shards={} backward", shards);
+        }
+    }
+
+    /// In the linear bucket range (values < 64) the histogram stores
+    /// observations exactly, so every quantile equals the sorted-vector
+    /// oracle at rank ceil(q * n) and min/max/sum are exact.
+    #[test]
+    fn linear_range_quantiles_are_exact(
+        values in vec(0u64..64, 1..200),
+        q_pcts in vec(0u32..=100, 1..8),
+    ) {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h");
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("h").unwrap();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(hs.count, values.len() as u64);
+        prop_assert_eq!(hs.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(hs.min, sorted[0]);
+        prop_assert_eq!(hs.max, *sorted.last().unwrap());
+        for &pct in &q_pcts {
+            let q = f64::from(pct) / 100.0;
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let oracle = sorted[rank - 1];
+            prop_assert_eq!(hs.quantile(q), oracle, "q={}", q);
+        }
+    }
+
+    /// Above the linear range quantiles are lower bounds within the
+    /// log-linear bucket's ~3% relative error.
+    #[test]
+    fn log_range_quantiles_bound_the_oracle(
+        values in vec(64u64..10_000_000, 1..200),
+    ) {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h");
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("h").unwrap();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5f64, 0.9, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let oracle = sorted[rank - 1];
+            let got = hs.quantile(q);
+            prop_assert!(got <= oracle, "quantile is a bucket lower bound");
+            let err = (oracle - got) as f64 / oracle as f64;
+            prop_assert!(err < 1.0 / 16.0, "q={} oracle={} got={} err={}", q, oracle, got, err);
+        }
+    }
+
+    /// Merging histogram snapshots pairwise in any grouping matches one
+    /// flat recording (associativity).
+    #[test]
+    fn histogram_merge_is_associative(
+        a in vec(0u64..100_000, 0..50),
+        b in vec(0u64..100_000, 0..50),
+        c in vec(0u64..100_000, 0..50),
+    ) {
+        let record = |vals: &[u64]| {
+            let reg = MetricsRegistry::new();
+            let h = reg.histogram("h");
+            for &v in vals {
+                h.record(v);
+            }
+            reg.snapshot()
+        };
+        let (sa, sb, sc) = (record(&a), record(&b), record(&c));
+        // (a + b) + c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a + (b + c)
+        let mut right_tail = sb.clone();
+        right_tail.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_tail);
+        // One flat pass.
+        let mut all = Vec::new();
+        all.extend_from_slice(&a);
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let flat = record(&all);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &flat);
+    }
+}

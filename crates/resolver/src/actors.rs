@@ -16,6 +16,7 @@ use std::sync::Arc;
 use authoritative::AuthServer;
 use dns_wire::{Message, Name};
 use netsim::{AddressBook, Ctx, Node, NodeId, Packet, SimTime};
+use obs::EventKind;
 use parking_lot::RwLock;
 
 use crate::engine::{FlightKey, PendingQuery, Resolver, Step};
@@ -223,6 +224,11 @@ impl Node for EgressActor {
                     if let Some(&owner) = self.flights.get(&key) {
                         if let Some(p) = self.pending.get_mut(&owner) {
                             self.resolver.note_coalesced(&pending.upstream_query);
+                            self.resolver.trace_event(
+                                pending.trace,
+                                ctx.now(),
+                                &EventKind::CoalescedJoin,
+                            );
                             p.joiners.push(Joiner {
                                 node: pkt.src,
                                 addr: pending.client_addr,
@@ -252,6 +258,14 @@ impl Node for EgressActor {
                 let id = pending.upstream_query.id;
                 if let Ok(bytes) = pending.upstream_query.to_bytes() {
                     let timeout = self.resolver.config().retry.timeout_for(0);
+                    self.resolver.trace_event(
+                        pending.trace,
+                        ctx.now(),
+                        &EventKind::UpstreamAttempt {
+                            attempt: 0,
+                            ecs: pending.upstream_query.ecs().is_some(),
+                        },
+                    );
                     let flight = coalesce.then(|| pending.flight_key());
                     if let Some(key) = &flight {
                         self.flights.insert(key.clone(), id);
@@ -284,10 +298,35 @@ impl Node for EgressActor {
                 // The in-flight attempt timed out: withdraw ECS if the
                 // policy says so (RFC 7871 §7.1.3), then retransmit with
                 // the next attempt's backed-off timeout.
+                let had_ecs = p.query.upstream_query.ecs().is_some();
                 self.resolver
                     .note_upstream_timeout(&mut p.query.upstream_query, p.attempt);
+                if p.query.trace.is_enabled() {
+                    self.resolver.trace_event(
+                        p.query.trace,
+                        ctx.now(),
+                        &EventKind::UpstreamFault {
+                            kind: "timeout".into(),
+                        },
+                    );
+                    if had_ecs && p.query.upstream_query.ecs().is_none() {
+                        self.resolver.trace_event(
+                            p.query.trace,
+                            ctx.now(),
+                            &EventKind::EcsWithdrawn { reason: "timeout" },
+                        );
+                    }
+                }
                 p.attempt += 1;
                 self.resolver.note_retry_sent(&p.query.upstream_query);
+                self.resolver.trace_event(
+                    p.query.trace,
+                    ctx.now(),
+                    &EventKind::UpstreamAttempt {
+                        attempt: u32::from(p.attempt),
+                        ecs: p.query.upstream_query.ecs().is_some(),
+                    },
+                );
                 if let Ok(bytes) = p.query.upstream_query.to_bytes() {
                     ctx.send(p.auth_node, bytes);
                 }
@@ -296,8 +335,25 @@ impl Node for EgressActor {
                 false
             }
             Some(p) => {
+                let had_ecs = p.query.upstream_query.ecs().is_some();
                 self.resolver
                     .note_upstream_timeout(&mut p.query.upstream_query, p.attempt);
+                if p.query.trace.is_enabled() {
+                    self.resolver.trace_event(
+                        p.query.trace,
+                        ctx.now(),
+                        &EventKind::UpstreamFault {
+                            kind: "timeout".into(),
+                        },
+                    );
+                    if had_ecs && p.query.upstream_query.ecs().is_none() {
+                        self.resolver.trace_event(
+                            p.query.trace,
+                            ctx.now(),
+                            &EventKind::EcsWithdrawn { reason: "timeout" },
+                        );
+                    }
+                }
                 true
             }
         };

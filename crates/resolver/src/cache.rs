@@ -133,6 +133,38 @@ pub struct CachedAnswer {
     pub rcode: Rcode,
 }
 
+/// Registry-backed handles behind [`CacheStats`]. The registry is the
+/// single source of truth; [`EcsCache::stats`] reconstructs the legacy
+/// struct from counter loads, so existing readers see identical values.
+#[derive(Debug)]
+struct CacheMetrics {
+    registry: obs::MetricsRegistry,
+    hits: obs::Counter,
+    misses: obs::Counter,
+    inserts: obs::Counter,
+    /// High-water mark of live entries.
+    max_size: obs::Gauge,
+    evictions: obs::Counter,
+    per_name_evictions: obs::Counter,
+    stale_hits: obs::Counter,
+}
+
+impl CacheMetrics {
+    fn new() -> Self {
+        let registry = obs::MetricsRegistry::new();
+        CacheMetrics {
+            hits: registry.counter("cache_hits_total"),
+            misses: registry.counter("cache_misses_total"),
+            inserts: registry.counter("cache_inserts_total"),
+            max_size: registry.gauge("cache_max_size"),
+            evictions: registry.counter("cache_evictions_total"),
+            per_name_evictions: registry.counter("cache_per_name_evictions_total"),
+            stale_hits: registry.counter("cache_stale_hits_total"),
+            registry,
+        }
+    }
+}
+
 /// The cache proper.
 #[derive(Debug)]
 pub struct EcsCache {
@@ -141,7 +173,7 @@ pub struct EcsCache {
     /// When false, responses with scope 0 are not cached at all — the
     /// misconfigured-resolver behaviour from §6.3's last bullet.
     pub cache_zero_scope: bool,
-    stats: CacheStats,
+    stats: CacheMetrics,
     live: usize,
     /// Approximate resident bytes across all retained entries.
     bytes: usize,
@@ -157,7 +189,7 @@ impl EcsCache {
             entries: HashMap::new(),
             compliance,
             cache_zero_scope: true,
-            stats: CacheStats::default(),
+            stats: CacheMetrics::new(),
             live: 0,
             bytes: 0,
             limits: CacheLimits::default(),
@@ -187,9 +219,24 @@ impl EcsCache {
         self.limits = limits;
     }
 
-    /// Current statistics.
+    /// Current statistics, reconstructed from the metrics registry (which
+    /// is the single source of truth behind the legacy struct API — both
+    /// read the same values).
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            hits: self.stats.hits.get(),
+            misses: self.stats.misses.get(),
+            inserts: self.stats.inserts.get(),
+            max_size: self.stats.max_size.get() as usize,
+            evictions: self.stats.evictions.get(),
+            per_name_evictions: self.stats.per_name_evictions.get(),
+            stale_hits: self.stats.stale_hits.get(),
+        }
+    }
+
+    /// The cache's private metrics registry (`cache_*` series).
+    pub fn registry(&self) -> &obs::MetricsRegistry {
+        &self.stats.registry
     }
 
     /// Number of retained entries after purging: unexpired entries, plus —
@@ -242,11 +289,11 @@ impl EcsCache {
             });
         match found {
             Some(hit) => {
-                self.stats.hits = self.stats.hits.saturating_add(1);
+                self.stats.hits.inc();
                 Some(hit)
             }
             None => {
-                self.stats.misses = self.stats.misses.saturating_add(1);
+                self.stats.misses.inc();
                 None
             }
         }
@@ -301,7 +348,7 @@ impl EcsCache {
                     })
             });
         if found.is_some() {
-            self.stats.stale_hits = self.stats.stale_hits.saturating_add(1);
+            self.stats.stale_hits.inc();
         }
         found
     }
@@ -387,13 +434,13 @@ impl EcsCache {
                     .map(|(i, _)| i)
                     .expect("list is non-empty");
                 list.remove(idx);
-                self.stats.per_name_evictions = self.stats.per_name_evictions.saturating_add(1);
+                self.stats.per_name_evictions.inc();
             }
         }
-        self.stats.inserts = self.stats.inserts.saturating_add(1);
+        self.stats.inserts.inc();
         self.recount();
         self.enforce_bound();
-        self.stats.max_size = self.stats.max_size.max(self.live);
+        self.stats.max_size.set_max(self.live as u64);
         true
     }
 
@@ -449,7 +496,7 @@ impl EcsCache {
             self.bytes = self.bytes.saturating_sub(list[idx].bytes);
             list.remove(idx);
             self.live = self.live.saturating_sub(1);
-            self.stats.evictions = self.stats.evictions.saturating_add(1);
+            self.stats.evictions.inc();
         }
         if list.is_empty() {
             self.entries.remove(&key);

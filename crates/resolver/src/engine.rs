@@ -11,6 +11,7 @@ use std::net::IpAddr;
 use authoritative::AuthServer;
 use dns_wire::{Message, Name, Rcode};
 use netsim::SimTime;
+use obs::{EventKind, TraceCtx, Tracer};
 
 use crate::cache::{CacheStats, EcsCache};
 use crate::config::ResolverConfig;
@@ -188,12 +189,55 @@ impl ResolverStats {
     }
 }
 
+/// Registry-backed handles behind [`ResolverStats`]. The registry is the
+/// single source of truth; [`Resolver::stats`] reconstructs the legacy
+/// struct from counter loads, so existing readers see identical values.
+#[derive(Debug)]
+struct ResolverMetrics {
+    registry: obs::MetricsRegistry,
+    client_queries: obs::Counter,
+    upstream_queries: obs::Counter,
+    upstream_ecs_queries: obs::Counter,
+    retries: obs::Counter,
+    upstream_timeouts: obs::Counter,
+    ecs_withdrawals: obs::Counter,
+    tcp_fallbacks: obs::Counter,
+    servfail_responses: obs::Counter,
+    shed_queries: obs::Counter,
+    coalesced_queries: obs::Counter,
+    stale_answers: obs::Counter,
+    /// Client-observed resolution latency on the SimTime axis.
+    query_latency: obs::Histogram,
+}
+
+impl ResolverMetrics {
+    fn new() -> Self {
+        let registry = obs::MetricsRegistry::new();
+        ResolverMetrics {
+            client_queries: registry.counter("resolver_client_queries_total"),
+            upstream_queries: registry.counter("resolver_upstream_queries_total"),
+            upstream_ecs_queries: registry.counter("resolver_upstream_ecs_queries_total"),
+            retries: registry.counter("resolver_retries_total"),
+            upstream_timeouts: registry.counter("resolver_upstream_timeouts_total"),
+            ecs_withdrawals: registry.counter("resolver_ecs_withdrawals_total"),
+            tcp_fallbacks: registry.counter("resolver_tcp_fallbacks_total"),
+            servfail_responses: registry.counter("resolver_servfail_responses_total"),
+            shed_queries: registry.counter("resolver_shed_queries_total"),
+            coalesced_queries: registry.counter("resolver_coalesced_queries_total"),
+            stale_answers: registry.counter("resolver_stale_answers_total"),
+            query_latency: registry.histogram("resolver_query_latency_us"),
+            registry,
+        }
+    }
+}
+
 /// A recursive resolver instance.
 pub struct Resolver {
     config: ResolverConfig,
     cache: EcsCache,
     probing_state: ProbingState,
-    stats: ResolverStats,
+    stats: ResolverMetrics,
+    tracer: Tracer,
     /// Per-SLD learned authoritative scope (see
     /// [`ResolverConfig::adaptive_prefix`]).
     scope_memory: std::collections::HashMap<Name, u8>,
@@ -217,7 +261,8 @@ impl Resolver {
             config,
             cache,
             probing_state: ProbingState::default(),
-            stats: ResolverStats::default(),
+            stats: ResolverMetrics::new(),
+            tracer: Tracer::disabled(),
             scope_memory: std::collections::HashMap::new(),
             next_id: 1,
         }
@@ -240,9 +285,58 @@ impl Resolver {
         self.cache.stats()
     }
 
-    /// Upstream-traffic statistics.
+    /// Upstream-traffic statistics, reconstructed from the metrics
+    /// registry (which is the single source of truth behind the legacy
+    /// struct API — both read the same values).
     pub fn stats(&self) -> ResolverStats {
-        self.stats
+        ResolverStats {
+            client_queries: self.stats.client_queries.get(),
+            upstream_queries: self.stats.upstream_queries.get(),
+            upstream_ecs_queries: self.stats.upstream_ecs_queries.get(),
+            retries: self.stats.retries.get(),
+            upstream_timeouts: self.stats.upstream_timeouts.get(),
+            ecs_withdrawals: self.stats.ecs_withdrawals.get(),
+            tcp_fallbacks: self.stats.tcp_fallbacks.get(),
+            servfail_responses: self.stats.servfail_responses.get(),
+            shed_queries: self.stats.shed_queries.get(),
+            coalesced_queries: self.stats.coalesced_queries.get(),
+            stale_answers: self.stats.stale_answers.get(),
+        }
+    }
+
+    /// The resolver's private metrics registry (counters plus the
+    /// `resolver_query_latency_us` histogram). Each resolver owns its own
+    /// registry; merge [`obs::MetricsSnapshot`]s externally to aggregate
+    /// across resolvers.
+    pub fn registry(&self) -> &obs::MetricsRegistry {
+        &self.stats.registry
+    }
+
+    /// One merged snapshot of the resolver's and its cache's registries.
+    pub fn metrics_snapshot(&self) -> obs::MetricsSnapshot {
+        let mut snap = self.stats.registry.snapshot();
+        snap.merge(&self.cache.registry().snapshot());
+        snap
+    }
+
+    /// Installs a tracer: every subsequent resolution emits structured
+    /// span events to its sink. The default tracer is disabled and costs
+    /// one branch per site.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Emits a trace event against `parent` at `at` — for asynchronous
+    /// drivers (the netsim actors) that manage their own span contexts.
+    pub fn trace_event(&self, parent: TraceCtx, at: SimTime, kind: &EventKind) {
+        if parent.is_enabled() {
+            self.tracer.event(parent, at.as_micros(), kind);
+        }
     }
 
     /// The probing state (per-server ECS-capability memory), for assertions
@@ -303,10 +397,24 @@ impl Resolver {
         let mut at = now;
         let mut attempt: u8 = 0;
         loop {
+            let attempt_span = if pending.trace.is_enabled() {
+                self.tracer.child(
+                    pending.trace,
+                    at.as_micros(),
+                    &EventKind::UpstreamAttempt {
+                        attempt: attempt as u32,
+                        ecs: pending.upstream_query.ecs().is_some(),
+                    },
+                )
+            } else {
+                TraceCtx::DISABLED
+            };
+            let mut backoff = netsim::SimDuration::ZERO;
             match upstream.query(&pending.upstream_query, self.config.addr, at) {
                 Ok(resp) if resp.flags.tc => {
                     // RFC 7766: a truncated UDP reply is re-asked over TCP.
-                    self.stats.tcp_fallbacks = self.stats.tcp_fallbacks.saturating_add(1);
+                    self.stats.tcp_fallbacks.inc();
+                    self.trace_event(attempt_span, at, &EventKind::TcpFallback);
                     if let Ok(full) =
                         upstream.query_tcp(&pending.upstream_query, self.config.addr, at)
                     {
@@ -323,7 +431,12 @@ impl Resolver {
                     // this fires at most once since the option is now gone).
                     pending.upstream_query.clear_ecs();
                     self.probing_state.mark_non_ecs();
-                    self.stats.ecs_withdrawals = self.stats.ecs_withdrawals.saturating_add(1);
+                    self.stats.ecs_withdrawals.inc();
+                    self.trace_event(
+                        attempt_span,
+                        at,
+                        &EventKind::EcsWithdrawn { reason: "formerr" },
+                    );
                     self.note_retry_sent(&pending.upstream_query);
                     continue;
                 }
@@ -333,11 +446,31 @@ impl Resolver {
                 {
                     // RFC 8767: an upstream SERVFAIL is a failure we may
                     // paper over with a stale answer.
+                    if attempt_span.is_enabled() {
+                        self.tracer.event(
+                            attempt_span,
+                            at.as_micros(),
+                            &EventKind::UpstreamFault {
+                                kind: "rcode:ServFail".to_string(),
+                            },
+                        );
+                    }
                     return self.answer_failure(&pending, at);
                 }
                 Ok(resp) => return self.complete(pending, &resp, at),
                 Err(UpstreamError::Truncated(_)) => {
-                    self.stats.tcp_fallbacks = self.stats.tcp_fallbacks.saturating_add(1);
+                    self.stats.tcp_fallbacks.inc();
+                    if attempt_span.is_enabled() {
+                        self.tracer.event(
+                            attempt_span,
+                            at.as_micros(),
+                            &EventKind::UpstreamFault {
+                                kind: "truncated".to_string(),
+                            },
+                        );
+                        self.tracer
+                            .event(attempt_span, at.as_micros(), &EventKind::TcpFallback);
+                    }
                     if let Ok(full) =
                         upstream.query_tcp(&pending.upstream_query, self.config.addr, at)
                     {
@@ -345,13 +478,51 @@ impl Resolver {
                     }
                 }
                 Err(UpstreamError::Timeout) => {
-                    at += self.note_upstream_timeout(&mut pending.upstream_query, attempt);
+                    if attempt_span.is_enabled() {
+                        self.tracer.event(
+                            attempt_span,
+                            at.as_micros(),
+                            &EventKind::UpstreamFault {
+                                kind: "timeout".to_string(),
+                            },
+                        );
+                    }
+                    let had_ecs = pending.upstream_query.ecs().is_some();
+                    backoff = self.note_upstream_timeout(&mut pending.upstream_query, attempt);
+                    if had_ecs && pending.upstream_query.ecs().is_none() {
+                        self.trace_event(
+                            attempt_span,
+                            at,
+                            &EventKind::EcsWithdrawn { reason: "timeout" },
+                        );
+                    }
+                    at += backoff;
                 }
-                Err(UpstreamError::Rcode(_)) => {}
+                Err(UpstreamError::Rcode(rc)) => {
+                    if attempt_span.is_enabled() {
+                        self.tracer.event(
+                            attempt_span,
+                            at.as_micros(),
+                            &EventKind::UpstreamFault {
+                                kind: format!("rcode:{rc:?}"),
+                            },
+                        );
+                    }
+                }
             }
             attempt += 1;
             if attempt >= attempts {
                 return self.answer_failure(&pending, at);
+            }
+            if pending.trace.is_enabled() {
+                self.tracer.event(
+                    pending.trace,
+                    at.as_micros(),
+                    &EventKind::RetryBackoff {
+                        attempt: attempt as u32,
+                        delay_us: backoff.as_micros(),
+                    },
+                );
             }
             self.note_retry_sent(&pending.upstream_query);
         }
@@ -367,11 +538,11 @@ impl Resolver {
         upstream_query: &mut Message,
         attempt: u8,
     ) -> netsim::SimDuration {
-        self.stats.upstream_timeouts = self.stats.upstream_timeouts.saturating_add(1);
+        self.stats.upstream_timeouts.inc();
         if self.config.retry.withdraw_ecs_on_timeout && upstream_query.ecs().is_some() {
             upstream_query.clear_ecs();
             self.probing_state.mark_non_ecs();
-            self.stats.ecs_withdrawals = self.stats.ecs_withdrawals.saturating_add(1);
+            self.stats.ecs_withdrawals.inc();
         }
         self.config.retry.timeout_for(attempt)
     }
@@ -379,10 +550,10 @@ impl Resolver {
     /// Records one retransmission of `upstream_query`. Exposed for
     /// asynchronous drivers.
     pub fn note_retry_sent(&mut self, upstream_query: &Message) {
-        self.stats.retries = self.stats.retries.saturating_add(1);
-        self.stats.upstream_queries = self.stats.upstream_queries.saturating_add(1);
+        self.stats.retries.inc();
+        self.stats.upstream_queries.inc();
         if upstream_query.ecs().is_some() {
-            self.stats.upstream_ecs_queries = self.stats.upstream_ecs_queries.saturating_add(1);
+            self.stats.upstream_ecs_queries.inc();
         }
     }
 
@@ -390,7 +561,7 @@ impl Resolver {
     /// exhausted its attempt budget, and counts it. Nothing is cached: the
     /// failure is transient, not a property of the name.
     pub fn give_up(&mut self, client_query: &Message) -> Message {
-        self.stats.servfail_responses = self.stats.servfail_responses.saturating_add(1);
+        self.stats.servfail_responses.inc();
         let mut resp = Message::response_to(client_query);
         resp.rcode = Rcode::ServFail;
         resp
@@ -401,13 +572,31 @@ impl Resolver {
     /// the stale budget, SERVFAIL otherwise. With serve-stale off this is
     /// exactly [`Resolver::give_up`].
     pub fn answer_failure(&mut self, pending: &PendingQuery, now: SimTime) -> Message {
-        self.stale_or_servfail(
+        let stale_before = self.stats.stale_answers.get();
+        let resp = self.stale_or_servfail(
             &pending.client_query,
             &pending.question.name,
             pending.question.qtype,
             pending.client_addr,
             now,
-        )
+        );
+        let latency_us = now.since(pending.started).as_micros();
+        self.stats.query_latency.record(latency_us);
+        if pending.trace.is_enabled() {
+            if self.stats.stale_answers.get() > stale_before {
+                self.tracer
+                    .event(pending.trace, now.as_micros(), &EventKind::StaleServe);
+            }
+            self.tracer.event(
+                pending.trace,
+                now.as_micros(),
+                &EventKind::Answered {
+                    rcode: format!("{:?}", resp.rcode),
+                    latency_us,
+                },
+            );
+        }
+        resp
     }
 
     /// The serve-stale decision for an arbitrary failed client, used by
@@ -427,7 +616,7 @@ impl Resolver {
                 .cache
                 .lookup_stale(qname, qtype, client_addr, now, serve_ttl)
             {
-                self.stats.stale_answers = self.stats.stale_answers.saturating_add(1);
+                self.stats.stale_answers.inc();
                 let mut resp = Message::response_to(client_query);
                 resp.rcode = stale.rcode;
                 resp.answers = stale.records;
@@ -446,22 +635,36 @@ impl Resolver {
     /// launching its own: retracts the upstream send that
     /// [`Resolver::begin`] already counted, and counts the coalesce.
     pub fn note_coalesced(&mut self, upstream_query: &Message) {
-        self.stats.upstream_queries = self.stats.upstream_queries.saturating_sub(1);
+        self.stats.upstream_queries.sub_saturating(1);
         if upstream_query.ecs().is_some() {
-            self.stats.upstream_ecs_queries = self.stats.upstream_ecs_queries.saturating_sub(1);
+            self.stats.upstream_ecs_queries.sub_saturating(1);
         }
-        self.stats.coalesced_queries = self.stats.coalesced_queries.saturating_add(1);
+        self.stats.coalesced_queries.inc();
     }
 
     /// Sheds a query under admission control: retracts the upstream send
     /// that [`Resolver::begin`] already counted, counts the shed, and
     /// builds the SERVFAIL refusal.
     pub fn shed(&mut self, pending: &PendingQuery) -> Message {
-        self.stats.upstream_queries = self.stats.upstream_queries.saturating_sub(1);
+        self.stats.upstream_queries.sub_saturating(1);
         if pending.upstream_query.ecs().is_some() {
-            self.stats.upstream_ecs_queries = self.stats.upstream_ecs_queries.saturating_sub(1);
+            self.stats.upstream_ecs_queries.sub_saturating(1);
         }
-        self.stats.shed_queries = self.stats.shed_queries.saturating_add(1);
+        self.stats.shed_queries.inc();
+        // Shed queries are refused on arrival: zero client-observed wait.
+        self.stats.query_latency.record(0);
+        if pending.trace.is_enabled() {
+            let at = pending.started.as_micros();
+            self.tracer.event(pending.trace, at, &EventKind::Shed);
+            self.tracer.event(
+                pending.trace,
+                at,
+                &EventKind::Answered {
+                    rcode: format!("{:?}", Rcode::ServFail),
+                    latency_us: 0,
+                },
+            );
+        }
         let mut resp = Message::response_to(&pending.client_query);
         resp.rcode = Rcode::ServFail;
         resp
@@ -470,7 +673,7 @@ impl Resolver {
     /// Phase one: cache lookup and ECS decision. Returns either an
     /// immediate answer or the upstream query to send.
     pub fn begin(&mut self, query: &Message, client_src: IpAddr, now: SimTime) -> Step {
-        self.stats.client_queries = self.stats.client_queries.saturating_add(1);
+        self.stats.client_queries.inc();
         let question = match query.question() {
             Some(q) => q.clone(),
             None => {
@@ -478,6 +681,18 @@ impl Resolver {
                 resp.rcode = Rcode::FormErr;
                 return Step::Answer(resp);
             }
+        };
+
+        let trace = if self.tracer.is_enabled() {
+            self.tracer.start(
+                now.as_micros(),
+                &EventKind::QueryReceived {
+                    qname: question.name.to_string(),
+                    qtype: format!("{:?}", question.qtype),
+                },
+            )
+        } else {
+            TraceCtx::DISABLED
         };
 
         // Whose location is this query about? Trusted incoming ECS wins,
@@ -498,6 +713,17 @@ impl Resolver {
             self.cache
                 .lookup(&question.name, question.qtype, effective_client, now)
         };
+        if trace.is_enabled() {
+            let outcome = if bypass {
+                "bypass"
+            } else if cached.is_some() {
+                "hit"
+            } else {
+                "miss"
+            };
+            self.tracer
+                .event(trace, now.as_micros(), &EventKind::CacheProbe { outcome });
+        }
 
         if let Some(answer) = cached {
             let mut resp = Message::response_to(query);
@@ -507,6 +733,17 @@ impl Resolver {
                 if let (Some(client_opt), Some(stored)) = (query.ecs(), answer.ecs) {
                     resp.set_ecs(client_opt.with_scope(stored.scope_prefix_len()));
                 }
+            }
+            self.stats.query_latency.record(0);
+            if trace.is_enabled() {
+                self.tracer.event(
+                    trace,
+                    now.as_micros(),
+                    &EventKind::Answered {
+                        rcode: format!("{:?}", resp.rcode),
+                        latency_us: 0,
+                    },
+                );
             }
             return Step::Answer(resp);
         }
@@ -553,15 +790,33 @@ impl Resolver {
             }
             EcsDecision::Omit => {}
         }
-        self.stats.upstream_queries = self.stats.upstream_queries.saturating_add(1);
+        if trace.is_enabled() {
+            let label = match decision {
+                EcsDecision::SendClientEcs => "client_ecs",
+                EcsDecision::SendLoopbackProbe => "loopback_probe",
+                EcsDecision::SendOwnAddress => "own_address",
+                EcsDecision::Omit => "omit",
+            };
+            self.tracer.event(
+                trace,
+                now.as_micros(),
+                &EventKind::EcsDecision {
+                    decision: label,
+                    prefix: upstream_q.ecs().map(|e| e.source_prefix().to_string()),
+                },
+            );
+        }
+        self.stats.upstream_queries.inc();
         if upstream_q.ecs().is_some() {
-            self.stats.upstream_ecs_queries = self.stats.upstream_ecs_queries.saturating_add(1);
+            self.stats.upstream_ecs_queries.inc();
         }
         Step::NeedUpstream(PendingQuery {
             client_query: query.clone(),
             question,
             upstream_query: upstream_q,
             client_addr: effective_client,
+            started: now,
+            trace,
         })
     }
 
@@ -593,6 +848,13 @@ impl Resolver {
                 }
             }
         }
+
+        let evictions_before = if pending.trace.is_enabled() {
+            let s = self.cache.stats();
+            s.evictions.saturating_add(s.per_name_evictions)
+        } else {
+            0
+        };
 
         // Cache the upstream answer (even probe-bypass responses are
         // cached; the bypass only skips the lookup).
@@ -633,6 +895,30 @@ impl Resolver {
             {
                 resp.set_ecs(client_opt.with_scope(up_ecs.scope_prefix_len()));
             }
+        }
+        let latency_us = now.since(pending.started).as_micros();
+        self.stats.query_latency.record(latency_us);
+        if pending.trace.is_enabled() {
+            let s = self.cache.stats();
+            let evicted = s
+                .evictions
+                .saturating_add(s.per_name_evictions)
+                .saturating_sub(evictions_before);
+            if evicted > 0 {
+                self.tracer.event(
+                    pending.trace,
+                    now.as_micros(),
+                    &EventKind::EvictionPressure { evicted },
+                );
+            }
+            self.tracer.event(
+                pending.trace,
+                now.as_micros(),
+                &EventKind::Answered {
+                    rcode: format!("{:?}", resp.rcode),
+                    latency_us,
+                },
+            );
         }
         resp
     }
@@ -695,6 +981,10 @@ impl Resolver {
 }
 
 /// Outcome of [`Resolver::begin`].
+// A `NeedUpstream` is destructured and moved into the caller's flight
+// table immediately, so the size skew between variants never costs a copy
+// on a hot path.
+#[allow(clippy::large_enum_variant)]
 pub enum Step {
     /// The query was answered immediately (cache hit or error).
     Answer(Message),
@@ -713,6 +1003,12 @@ pub struct PendingQuery {
     /// The effective client address (trusted incoming ECS, else the
     /// immediate sender) — what scope matching is about.
     pub client_addr: IpAddr,
+    /// When the client query entered [`Resolver::begin`] — the zero point
+    /// of the `resolver_query_latency_us` histogram.
+    pub started: SimTime,
+    /// Trace context of this resolution's root span
+    /// ([`TraceCtx::DISABLED`] when tracing is off).
+    pub trace: TraceCtx,
 }
 
 /// The coalescing identity of an upstream flight: lookups with identical
@@ -901,6 +1197,64 @@ mod tests {
         r.resolve_msg(&client_query("www.example.com"), CLIENT, t(0), &mut auth);
         assert_eq!(r.stats().upstream_ecs_queries, 1);
         assert_eq!(r.stats().client_queries, 1);
+    }
+
+    #[test]
+    fn legacy_stats_read_the_registry_values() {
+        // Back-compat: the struct accessor and the registry snapshot are
+        // two views of the same counters.
+        let mut auth = auth();
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        r.resolve_msg(&client_query("www.example.com"), CLIENT, t(0), &mut auth);
+        r.resolve_msg(&client_query("www.example.com"), CLIENT, t(1), &mut auth);
+        let s = r.stats();
+        let snap = r.registry().snapshot();
+        assert_eq!(
+            snap.counter("resolver_client_queries_total"),
+            Some(s.client_queries)
+        );
+        assert_eq!(
+            snap.counter("resolver_upstream_queries_total"),
+            Some(s.upstream_queries)
+        );
+        assert_eq!(
+            snap.counter("resolver_upstream_ecs_queries_total"),
+            Some(s.upstream_ecs_queries)
+        );
+        // Every resolution records one latency sample (the cache hit at 0).
+        let latency = snap.histogram("resolver_query_latency_us").unwrap();
+        assert_eq!(latency.count, 2);
+        // The merged snapshot also carries the cache's series.
+        let merged = r.metrics_snapshot();
+        assert_eq!(
+            merged.counter("cache_hits_total"),
+            Some(r.cache_stats().hits)
+        );
+        assert_eq!(
+            merged.counter("cache_misses_total"),
+            Some(r.cache_stats().misses)
+        );
+    }
+
+    #[test]
+    fn traced_resolution_emits_span_events() {
+        use std::sync::Arc;
+        let sink = Arc::new(obs::MemorySink::new());
+        let mut auth = auth();
+        let mut r = Resolver::new(ResolverConfig::rfc_compliant(RES));
+        r.set_tracer(obs::Tracer::new(sink.clone()));
+        r.resolve_msg(&client_query("www.example.com"), CLIENT, t(0), &mut auth);
+        r.resolve_msg(&client_query("www.example.com"), CLIENT, t(1), &mut auth);
+        let text = sink.lines().join("\n");
+        let events = obs::validate::validate_trace(&text).expect("valid trace");
+        // Miss: received, probe, decision, attempt, answered (5);
+        // hit: received, probe, answered (3).
+        assert_eq!(events, 8);
+        assert!(text.contains("\"event\":\"cache_probe\",\"outcome\":\"miss\""));
+        assert!(text.contains("\"event\":\"cache_probe\",\"outcome\":\"hit\""));
+        assert!(text.contains("\"event\":\"ecs_decision\""));
+        assert!(text.contains("\"event\":\"upstream_attempt\""));
+        assert!(text.contains("\"event\":\"answered\""));
     }
 }
 

@@ -1,0 +1,81 @@
+//! Golden-file test for the structured query trace.
+//!
+//! Drives one fully deterministic resolution — cache miss, ECS decision,
+//! upstream attempt lost to a scripted timeout, retry with backoff, answer
+//! — through an engine with tracing on, and pins the exact JSON-lines
+//! output against `tests/golden/trace_miss_retry_answer.jsonl`. Any change
+//! to the trace schema, event ordering, or span-causality wiring shows up
+//! here as a diff.
+//!
+//! To regenerate after an intentional schema change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p resolver --test golden_trace
+//! ```
+
+use std::net::{IpAddr, Ipv4Addr};
+use std::sync::Arc;
+
+use authoritative::{AuthServer, EcsHandling, ScopePolicy, Zone};
+use dns_wire::{Message, Name, Question, Rcode};
+use netsim::SimTime;
+use resolver::{FaultyUpstream, InjectedFault, Resolver, ResolverConfig};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/trace_miss_retry_answer.jsonl"
+);
+
+#[test]
+fn one_resolution_traces_exactly_as_pinned() {
+    let apex = Name::from_ascii("golden.example").expect("valid");
+    let qname = apex.child("www").expect("valid");
+    let mut zone = Zone::new(apex);
+    zone.add_a(qname.clone(), 60, Ipv4Addr::new(198, 51, 100, 1))
+        .expect("in zone");
+    let mut inner = AuthServer::new(zone, EcsHandling::open(ScopePolicy::MatchSource));
+    inner.set_logging(false);
+    // First UDP attempt vanishes; the retry is answered.
+    let mut up = FaultyUpstream::scripted(inner, vec![InjectedFault::Timeout]);
+
+    let config = ResolverConfig::rfc_compliant("9.9.9.9".parse().expect("valid"));
+    let mut r = Resolver::new(config);
+    let sink = Arc::new(obs::MemorySink::new());
+    r.set_tracer(obs::Tracer::new(sink.clone()));
+
+    let q = Message::query(7, Question::a(qname));
+    let client = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 9));
+    let resp = r.resolve_msg(&q, client, SimTime::from_secs(1), &mut up);
+    assert_eq!(resp.rcode, Rcode::NoError);
+    assert!(!resp.answers.is_empty(), "resolution must succeed");
+
+    let actual: String = sink
+        .lines()
+        .into_iter()
+        .map(|l| l + "\n")
+        .collect::<String>();
+
+    // Whatever else changes, the trace must stay parseable and the
+    // resolution's causal skeleton must be present.
+    let events = obs::validate::validate_trace(&actual).expect("trace validates");
+    assert!(events >= 5, "expected a non-trivial trace, got {events}");
+    for needle in [
+        "\"event\":\"query_received\"",
+        "\"event\":\"cache_probe\"",
+        "\"event\":\"ecs_decision\"",
+        "\"event\":\"retry_backoff\"",
+        "\"event\":\"answered\"",
+    ] {
+        assert!(actual.contains(needle), "trace missing {needle}:\n{actual}");
+    }
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &actual).expect("write golden");
+    }
+    let expected = std::fs::read_to_string(GOLDEN).expect("golden file present");
+    assert_eq!(
+        actual, expected,
+        "trace drifted from the pinned golden file; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
