@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regression gate on the number of passing tests.
+#
+# A refactor that drops a test file from the build graph (a removed
+# `mod tests`, a renamed integration target, a feature-gated module that
+# no longer compiles) usually still exits 0 — the tests that vanished
+# simply never ran. This script sums the passing-test counts from a
+# `cargo test` run and fails when the total falls below the pinned
+# floor in ci/test_count_pin. Raise the pin when you add tests.
+#
+# Usage: cargo test -q 2>&1 | tee /tmp/out && ci/check_test_count.sh /tmp/out
+set -euo pipefail
+
+log_file="${1:?usage: check_test_count.sh <cargo-test-output-file>}"
+pin_file="$(dirname "$0")/test_count_pin"
+pin="$(tr -d '[:space:]' < "$pin_file")"
+
+total="$(awk '/^test result: ok\./ {sum += $4} END {print sum+0}' "$log_file")"
+
+echo "passing tests: ${total} (pinned floor: ${pin})"
+if [ "${total}" -lt "${pin}" ]; then
+  echo "FAIL: passing-test count ${total} fell below the pin ${pin}." >&2
+  echo "If tests were intentionally removed, lower ci/test_count_pin in the same change." >&2
+  exit 1
+fi

@@ -47,6 +47,19 @@ pub fn classify_probing(entries: &[QueryLogEntry], short_window_secs: u64) -> Pr
     if ecs_queries.is_empty() {
         return ProbingVerdict::NoEcs;
     }
+
+    // All ECS prefixes non-routable → interval probing with loopback (the
+    // paper's third class; these resolvers probe a single query string).
+    // Checked before the 100%-ECS shortcut: a capture window so narrow it
+    // holds only the loopback probe itself would otherwise read as a
+    // resolver that sends (loopback!) ECS on every query.
+    let all_non_routable = ecs_queries
+        .iter()
+        .all(|e| e.ecs.as_ref().map(|o| o.is_non_routable()).unwrap_or(false));
+    if all_non_routable {
+        return ProbingVerdict::IntervalLoopback;
+    }
+
     if ecs_queries.len() == address_queries.len() {
         return ProbingVerdict::Always;
     }
@@ -59,15 +72,6 @@ pub fn classify_probing(entries: &[QueryLogEntry], short_window_secs: u64) -> Pr
         .map(|e| &e.qname)
         .collect();
     let consistent_per_name = ecs_names.is_disjoint(&plain_names);
-
-    // All ECS prefixes non-routable → interval probing with loopback (the
-    // paper's third class; these resolvers probe a single query string).
-    let all_non_routable = ecs_queries
-        .iter()
-        .all(|e| e.ecs.as_ref().map(|o| o.is_non_routable()).unwrap_or(false));
-    if all_non_routable {
-        return ProbingVerdict::IntervalLoopback;
-    }
 
     if consistent_per_name {
         // Gap analysis per probe name.
@@ -189,6 +193,21 @@ mod tests {
         for i in 0..20 {
             log.push(entry(i * 100 + 7, "site.example.com", None));
         }
+        assert_eq!(classify_probing(&log, 60), ProbingVerdict::IntervalLoopback);
+    }
+
+    #[test]
+    fn narrow_window_of_loopback_probes_is_not_always() {
+        // Regression: a capture window containing only loopback probes
+        // (e.g. one probe, or a window shorter than the probe period) used
+        // to satisfy the "ECS on 100% of address queries" shortcut and be
+        // misread as `Always`. Non-routable prefixes must win.
+        let log = vec![entry(0, "probe.example.com", loopback_ecs())];
+        assert_eq!(classify_probing(&log, 60), ProbingVerdict::IntervalLoopback);
+        let log = vec![
+            entry(0, "probe.example.com", loopback_ecs()),
+            entry(1800, "probe.example.com", loopback_ecs()),
+        ];
         assert_eq!(classify_probing(&log, 60), ProbingVerdict::IntervalLoopback);
     }
 

@@ -1,0 +1,34 @@
+//! Differential test: the in-process engine and the dnsd socket path must
+//! give byte-identical answers on an identical seeded workload, with any
+//! metric drift restricted to the whitelisted transport series.
+//!
+//! Needs loopback sockets; skips visibly (or fails under
+//! `ECS_REQUIRE_LOOPBACK`) when the environment has none.
+
+use conformance::differential::run_differential;
+
+#[test]
+fn engine_and_dnsd_agree_on_seeded_workload() {
+    if !dnsd::testutil::require_loopback("engine_and_dnsd_agree_on_seeded_workload") {
+        return;
+    }
+    let report = run_differential(10_000, 1).expect("socket side bound on loopback");
+    assert_eq!(report.queries, 10_000);
+    assert_eq!(
+        report.mismatched_answers, 0,
+        "answers must be byte-identical"
+    );
+    let off_whitelist: Vec<_> = report.unexpected_deltas().collect();
+    assert!(
+        off_whitelist.is_empty(),
+        "off-whitelist metric drift: {off_whitelist:?}"
+    );
+    assert!(report.pass());
+    if report.socket_timeouts == 0 {
+        // A loss-free loopback run must be *exactly* equal, not merely
+        // whitelist-equal: identical caches and identical stats.
+        assert!(report.deltas.is_empty(), "deltas: {:?}", report.deltas);
+        assert!(report.stats_equal);
+        assert!(report.cache_equal);
+    }
+}

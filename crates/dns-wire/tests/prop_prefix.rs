@@ -1,0 +1,182 @@
+//! Properties of the RFC 7871 scope/source prefix arithmetic: masking is
+//! idempotent and order-insensitive, `/0` and `/32`–`/128` behave at the
+//! extremes, truncation only shortens, containment agrees with covering,
+//! and the ECS option survives a wire round-trip at every legal length.
+//!
+//! CI runs this file with `PROPTEST_CASES=1024` for a deeper sweep; the
+//! in-tree default keeps `cargo test` fast.
+
+use dns_wire::prefix::mask_addr;
+use dns_wire::{AddressFamily, EcsOption, IpPrefix};
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+fn arb_v4() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_v6() -> impl Strategy<Value = Ipv6Addr> {
+    any::<u128>().prop_map(Ipv6Addr::from)
+}
+
+fn arb_addr() -> impl Strategy<Value = (IpAddr, u8)> {
+    prop_oneof![
+        (arb_v4(), 0u8..=32).prop_map(|(a, l)| (IpAddr::V4(a), l)),
+        (arb_v6(), 0u8..=128).prop_map(|(a, l)| (IpAddr::V6(a), l)),
+    ]
+}
+
+fn arb_ecs() -> impl Strategy<Value = EcsOption> {
+    (arb_addr(), any::<u8>()).prop_map(|((addr, len), scope)| {
+        // with_scope clamps to the family maximum itself.
+        EcsOption::new(addr, len).with_scope(scope)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn masking_is_idempotent(input in arb_addr()) {
+        let (addr, len) = input;
+        let once = mask_addr(addr, len);
+        prop_assert_eq!(mask_addr(once, len), once);
+        // The prefix constructor applies exactly this mask.
+        let p = IpPrefix::new(addr, len).unwrap();
+        prop_assert_eq!(p.addr(), once);
+        prop_assert_eq!(p.len(), len);
+        // A masked address is inside its own prefix.
+        prop_assert!(p.contains(addr));
+    }
+
+    #[test]
+    fn shorter_masks_absorb_longer_ones(input in arb_addr(), shorter in 0u8..=128) {
+        let (addr, len) = input;
+        let shorter = shorter.min(len);
+        // Masking to `len` first changes nothing about a subsequent
+        // shorter mask: mask_s ∘ mask_l = mask_s for s ≤ l.
+        prop_assert_eq!(
+            mask_addr(mask_addr(addr, len), shorter),
+            mask_addr(addr, shorter)
+        );
+    }
+
+    #[test]
+    fn zero_length_prefix_is_default_route(input in arb_addr(), input2 in arb_addr()) {
+        let ((addr, _), (other, _)) = (input, input2);
+        let p = IpPrefix::new(addr, 0).unwrap();
+        prop_assert!(p.is_default_route());
+        // /0 zeroes the whole address...
+        let expected = match addr {
+            IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::UNSPECIFIED),
+            IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::UNSPECIFIED),
+        };
+        prop_assert_eq!(p.addr(), expected);
+        prop_assert_eq!(p.wire_octets(), 0);
+        // ...and contains every address of its family, none of the other.
+        let same_family = matches!(
+            (addr, other),
+            (IpAddr::V4(_), IpAddr::V4(_)) | (IpAddr::V6(_), IpAddr::V6(_))
+        );
+        prop_assert_eq!(p.contains(other), same_family);
+    }
+
+    #[test]
+    fn host_prefix_contains_exactly_itself(a in arb_v4()) {
+        let p = IpPrefix::v4(a, 32).unwrap();
+        prop_assert_eq!(p.addr(), IpAddr::V4(a));
+        prop_assert!(p.contains(IpAddr::V4(a)));
+        // Flipping any single bit leaves the /32.
+        for bit in 0..32u32 {
+            let flipped = Ipv4Addr::from(u32::from(a) ^ (1 << bit));
+            prop_assert!(!p.contains(IpAddr::V4(flipped)));
+        }
+        prop_assert_eq!(p, IpPrefix::host(IpAddr::V4(a)));
+    }
+
+    #[test]
+    fn family_length_limits_enforced(a in arb_v4(), b in arb_v6(), over in 1u8..=100) {
+        prop_assert!(IpPrefix::v4(a, 32u8.saturating_add(over)).is_err());
+        prop_assert!(IpPrefix::v6(b, 128u8.saturating_add(over)).is_err());
+        prop_assert!(IpPrefix::v4(a, over.min(32)).is_ok());
+        prop_assert!(IpPrefix::v6(b, over.min(128)).is_ok());
+    }
+
+    #[test]
+    fn truncate_only_shortens(input in arb_addr(), to in 0u8..=128) {
+        let (addr, len) = input;
+        let p = IpPrefix::new(addr, len).unwrap();
+        let t = p.truncate(to);
+        prop_assert_eq!(t.len(), len.min(to));
+        // Truncation never lengthens and the result covers the original.
+        prop_assert!(t.len() <= p.len());
+        prop_assert!(t.covers(&p));
+        prop_assert!(t.contains(p.addr()));
+        // Truncating to the same or longer length is the identity.
+        prop_assert_eq!(p.truncate(p.len()), p);
+        prop_assert_eq!(p.truncate(p.family_bits()), p);
+    }
+
+    #[test]
+    fn covers_agrees_with_contains(input in arb_addr(), sub_extra in 0u8..=32) {
+        let (addr, len) = input;
+        let p = IpPrefix::new(addr, len).unwrap();
+        let sub_len = (len as u16 + sub_extra as u16).min(p.family_bits() as u16) as u8;
+        let sub = IpPrefix::new(addr, sub_len).unwrap();
+        // A prefix covers every extension of itself built on the same bits.
+        prop_assert!(p.covers(&sub));
+        prop_assert!(p.contains(sub.addr()));
+        // covers is reflexive and antisymmetric up to equality.
+        prop_assert!(p.covers(&p));
+        if sub.covers(&p) {
+            prop_assert_eq!(p, sub);
+        }
+    }
+
+    #[test]
+    fn wire_encoding_matches_length(input in arb_addr()) {
+        let (addr, len) = input;
+        let p = IpPrefix::new(addr, len).unwrap();
+        prop_assert_eq!(p.wire_octets(), (len as usize).div_ceil(8));
+        let bytes = p.wire_bytes();
+        prop_assert_eq!(bytes.len(), p.wire_octets());
+        // RFC 7871 §6: trailing bits beyond the prefix length are zero.
+        if len % 8 != 0 {
+            let last = *bytes.last().unwrap();
+            prop_assert_eq!(last & (0xFFu8 >> (len % 8)), 0);
+        }
+    }
+
+    #[test]
+    fn ecs_option_round_trips_on_the_wire(opt in arb_ecs()) {
+        let wire = opt.to_wire().unwrap();
+        let back = EcsOption::from_wire(&wire).unwrap();
+        prop_assert_eq!(back.family(), opt.family());
+        prop_assert_eq!(back.source_prefix_len(), opt.source_prefix_len());
+        prop_assert_eq!(back.scope_prefix_len(), opt.scope_prefix_len());
+        prop_assert_eq!(back.addr(), opt.addr());
+        prop_assert_eq!(back, opt);
+        // Round-tripping again is a fixpoint.
+        prop_assert_eq!(back.to_wire().unwrap(), wire);
+    }
+
+    #[test]
+    fn ecs_new_truncates_and_clamps(input in arb_addr(), scope in any::<u8>()) {
+        let (addr, len) = input;
+        let opt = EcsOption::new(addr, len);
+        // The stored address is the masked prefix, never the raw client.
+        prop_assert_eq!(opt.addr(), mask_addr(addr, len));
+        prop_assert_eq!(opt.source_prefix_len(), len);
+        prop_assert_eq!(opt.scope_prefix_len(), 0);
+        let max = opt.family().max_prefix_len();
+        let scoped = opt.with_scope(scope);
+        prop_assert_eq!(scoped.scope_prefix_len(), scope.min(max));
+        // scope_prefix never exceeds the source prefix's information.
+        prop_assert!(scoped.scope_prefix().len() <= scoped.source_prefix_len().max(scoped.scope_prefix_len()));
+        let family_ok = match opt.family() {
+            AddressFamily::V4 => opt.source_prefix().is_v4(),
+            AddressFamily::V6 => !opt.source_prefix().is_v4(),
+        };
+        prop_assert!(family_ok);
+    }
+}

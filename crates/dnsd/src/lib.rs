@@ -33,6 +33,7 @@ pub mod client;
 pub mod metrics_http;
 pub mod server;
 pub mod tcp;
+pub mod testutil;
 pub mod upstream;
 
 pub use client::{DigClient, DigError};

@@ -4,8 +4,9 @@
 //! The same `Resolver` that runs in the deterministic simulator is wired to
 //! a live `UdpAuthServer`/`TcpAuthServer` pair through `SocketUpstream`,
 //! with server-side fault injection (`ServerFaults`) standing in for a
-//! lossy network. Every test skips gracefully when the environment offers
-//! no loopback sockets.
+//! lossy network. When the environment offers no loopback sockets, each
+//! test prints a visible `SKIP` line via `dnsd::testutil` — and fails
+//! outright when `ECS_REQUIRE_LOOPBACK` is set (CI sets it).
 
 use std::net::IpAddr;
 use std::time::Duration;
@@ -40,19 +41,23 @@ fn client_query() -> Message {
 
 #[test]
 fn truncated_udp_falls_back_to_real_tcp() {
-    let Ok(udp) = UdpAuthServer::bind("127.0.0.1:0", demo_auth()) else {
-        eprintln!("skipping: no loopback UDP socket available");
+    if !dnsd::testutil::require_loopback("truncated_udp_falls_back_to_real_tcp") {
         return;
-    };
-    let udp = udp.with_faults(ServerFaults {
-        truncate_udp: true,
-        ..ServerFaults::default()
-    });
+    }
+    let udp = UdpAuthServer::bind("127.0.0.1:0", demo_auth())
+        .expect("loopback available")
+        .with_faults(ServerFaults {
+            truncate_udp: true,
+            ..ServerFaults::default()
+        });
     let addr = udp.local_addr().unwrap();
     // Same port, same zone state, TCP transport (the port spaces are
     // disjoint, so binding usually succeeds; skip if this host disagrees).
-    let Ok(tcp) = TcpAuthServer::bind(addr, udp.auth()) else {
-        eprintln!("skipping: cannot bind TCP on the UDP port");
+    let Some(tcp) = dnsd::testutil::require_socket(
+        "truncated_udp_falls_back_to_real_tcp",
+        "binding TCP on the UDP port",
+        TcpAuthServer::bind(addr, udp.auth()),
+    ) else {
         return;
     };
     let udp_handle = udp.spawn();
@@ -84,14 +89,15 @@ fn truncated_udp_falls_back_to_real_tcp() {
 
 #[test]
 fn dropped_queries_are_retried_with_ecs_withdrawn() {
-    let Ok(udp) = UdpAuthServer::bind("127.0.0.1:0", demo_auth()) else {
-        eprintln!("skipping: no loopback UDP socket available");
+    if !dnsd::testutil::require_loopback("dropped_queries_are_retried_with_ecs_withdrawn") {
         return;
-    };
-    let udp = udp.with_faults(ServerFaults {
-        drop_first: 2,
-        ..ServerFaults::default()
-    });
+    }
+    let udp = UdpAuthServer::bind("127.0.0.1:0", demo_auth())
+        .expect("loopback available")
+        .with_faults(ServerFaults {
+            drop_first: 2,
+            ..ServerFaults::default()
+        });
     let addr = udp.local_addr().unwrap();
     let handle = udp.spawn();
 
@@ -126,11 +132,11 @@ fn dropped_queries_are_retried_with_ecs_withdrawn() {
 
 #[test]
 fn unreachable_server_ends_in_servfail_not_hang() {
-    // Bind-then-drop for a (very likely) dead port.
-    let Ok(sock) = std::net::UdpSocket::bind("127.0.0.1:0") else {
-        eprintln!("skipping: no loopback UDP socket available");
+    if !dnsd::testutil::require_loopback("unreachable_server_ends_in_servfail_not_hang") {
         return;
-    };
+    }
+    // Bind-then-drop for a (very likely) dead port.
+    let sock = std::net::UdpSocket::bind("127.0.0.1:0").expect("loopback available");
     let dead = sock.local_addr().unwrap();
     drop(sock);
 
