@@ -12,8 +12,13 @@
 //! # Engine
 //!
 //! Replay is sharded by resolver: resolver `rid` belongs to worker
-//! `rid % parallelism`, and each worker replays its resolvers' records in
-//! trace order on a [`std::thread::scope`] pool. Resolver caches are
+//! `rid % parallelism`. A single partition pass walks the full trace once,
+//! resolving sampling, TTL overrides, and interned ids up front, and
+//! splits it into per-shard *packed* replay streams; each worker on the
+//! [`std::thread::scope`] pool then replays only its own stream in trace
+//! order. (An earlier engine had every worker rescan the whole trace with
+//! a `rid % shards` filter — memory traffic grew linearly with the worker
+//! count and throughput *fell* as threads were added.) Resolver caches are
 //! independent — no record touches another resolver's entries, and a
 //! resolver's peak is only sampled at its own insert times, after expiring
 //! everything dead at that instant — so the merged result is *bit-identical*
@@ -21,10 +26,10 @@
 //! `equivalence_cache_sim.rs` checks this).
 //!
 //! Within a shard, both modes share a single flat slot arena: one hash
-//! lookup of the interned `(resolver id, name id, qtype)` key (from the
-//! trace's [`workload::TraceIndex`]) finds the slot holding the plain-mode
-//! and ECS-mode entries for that cache line, and compact expiry heaps of
-//! `(expiry, slot)` pairs drive TTL eviction.
+//! lookup of the interned `(local resolver index, name id, qtype)` key
+//! (ids from the trace's [`workload::TraceIndex`]) finds the slot holding
+//! the plain-mode and ECS-mode entries for that cache line, and compact
+//! expiry heaps of `(expiry, slot)` pairs drive TTL eviction.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -174,8 +179,68 @@ impl CacheSimResult {
     }
 }
 
-/// Interned cache key: (resolver id, name id, qtype).
+/// Interned cache key: (shard-local resolver index, name id, qtype).
 type Key = (u32, u32, RecordType);
+
+/// One entry of a shard's packed replay stream.
+///
+/// Partitioning resolves everything that does not depend on cache state —
+/// client sampling, TTL override, timestamp→expiry arithmetic, interned
+/// name ids, the shard-local resolver index — so the replay loop streams
+/// a compact array containing only the bytes it will actually touch.
+struct PackedRecord {
+    /// Record timestamp on the SimTime axis.
+    now: SimTime,
+    /// `now + ttl`, with [`CacheSimConfig::ttl_override`] already applied.
+    expiry: SimTime,
+    /// Shard-local resolver index.
+    local: u32,
+    /// Interned qname id from the [`TraceIndex`].
+    name_id: u32,
+    /// Query type.
+    qtype: RecordType,
+    /// ECS source prefix sent upstream, if any.
+    ecs_source: Option<IpPrefix>,
+    /// Scope prefix length from the response, if any.
+    response_scope: Option<u8>,
+}
+
+/// Splits the trace into per-shard packed replay streams in one pass.
+///
+/// Records keep trace order within their shard, which is all bit-identical
+/// replay needs: resolver caches are independent and `rid % num_shards`
+/// pins every resolver to exactly one shard, so cross-shard interleaving
+/// can never be observed. This pass is the only place the full
+/// [`TraceRecord`] array is scanned — workers see just their own stream.
+fn partition_records(
+    records: &[TraceRecord],
+    index: &TraceIndex,
+    config: &CacheSimConfig,
+    num_shards: usize,
+) -> Vec<Vec<PackedRecord>> {
+    let mut shards: Vec<Vec<PackedRecord>> = (0..num_shards)
+        .map(|_| Vec::with_capacity(records.len() / num_shards + 1))
+        .collect();
+    let resolver_ids = index.resolver_ids();
+    for (i, rec) in records.iter().enumerate() {
+        if !keep(config, rec) {
+            continue;
+        }
+        let rid = resolver_ids[i];
+        let now = SimTime::from_micros(rec.at_micros);
+        let ttl = config.ttl_override.unwrap_or(rec.ttl);
+        shards[rid as usize % num_shards].push(PackedRecord {
+            now,
+            expiry: now + SimDuration::from_secs(ttl as u64),
+            local: (rid as usize / num_shards) as u32,
+            name_id: index.name_id(i),
+            qtype: rec.qtype,
+            ecs_source: rec.ecs_source,
+            response_scope: rec.response_scope,
+        });
+    }
+    shards
+}
 
 /// One cached line — both modes' live entries for a key, in one arena slot
 /// found by a single hash lookup per record.
@@ -286,16 +351,8 @@ fn evict_lru<E>(
     }
 }
 
-/// Replays the full record stream, simulating only resolvers assigned to
-/// `shard`, both modes in a single pass.
-fn simulate_shard(
-    records: &[TraceRecord],
-    index: &TraceIndex,
-    config: &CacheSimConfig,
-    shard: usize,
-    num_shards: usize,
-) -> ShardStats {
-    let locals = shard_width(index.num_resolvers(), shard, num_shards);
+/// Replays one shard's packed stream, both modes in a single pass.
+fn simulate_shard(packed: &[PackedRecord], locals: usize, config: &CacheSimConfig) -> ShardStats {
     let mut stats = ShardStats::new(locals);
     let mut slots: Vec<Slot> = Vec::new();
     let mut slot_ids: FxHashMap<Key, u32> = FxHashMap::default();
@@ -309,26 +366,17 @@ fn simulate_shard(
     // to one entry, the smallest cache that can function.
     let capacity = config.capacity.map(|c| c.max(1));
 
-    let resolver_ids = index.resolver_ids();
-    for (i, rec) in records.iter().enumerate() {
-        let rid = resolver_ids[i];
-        if rid as usize % num_shards != shard {
-            continue;
-        }
-        if !keep(config, rec) {
-            continue;
-        }
-        let local = (rid as usize / num_shards) as u32;
-        let now = SimTime::from_micros(rec.at_micros);
-        let ttl = config.ttl_override.unwrap_or(rec.ttl);
-        let expiry = now + SimDuration::from_secs(ttl as u64);
+    for rec in packed {
+        let local = rec.local;
+        let now = rec.now;
+        let expiry = rec.expiry;
 
         stats.lookups[local as usize] += 1;
         ticks[local as usize] += 1;
         let tick = ticks[local as usize];
 
         let slot_idx = *slot_ids
-            .entry((rid, index.name_id(i), rec.qtype))
+            .entry((local, rec.name_id, rec.qtype))
             .or_insert_with(|| {
                 slots.push(Slot {
                     resolver: local,
@@ -518,15 +566,18 @@ impl CacheSimulator {
         let num_resolvers = index.num_resolvers();
         let num_shards = self.config.parallelism.clamp(1, num_resolvers.max(1));
 
+        let packed = partition_records(&trace.records, index, &self.config, num_shards);
         let shards: Vec<ShardStats> = if num_shards == 1 {
-            vec![simulate_shard(&trace.records, index, &self.config, 0, 1)]
+            vec![simulate_shard(&packed[0], num_resolvers, &self.config)]
         } else {
-            let records = &trace.records;
             let config = &self.config;
             std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..num_shards)
-                    .map(|w| {
-                        scope.spawn(move || simulate_shard(records, index, config, w, num_shards))
+                let handles: Vec<_> = packed
+                    .iter()
+                    .enumerate()
+                    .map(|(w, stream)| {
+                        let locals = shard_width(num_resolvers, w, num_shards);
+                        scope.spawn(move || simulate_shard(stream, locals, config))
                     })
                     .collect();
                 handles

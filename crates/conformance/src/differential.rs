@@ -162,7 +162,19 @@ pub fn run_engine_side(workload: &[WorkloadQuery]) -> SideResult {
 /// [`UdpAuthServer`] serving the same zone, queried via
 /// [`SocketUpstream`].
 pub fn run_socket_side(workload: &[WorkloadQuery]) -> io::Result<SideResult> {
-    let server = UdpAuthServer::bind("127.0.0.1:0", diff_auth())?;
+    run_socket_side_with_workers(workload, 1)
+}
+
+/// [`run_socket_side`] with the authoritative served by a `workers`-wide
+/// thread pool over one shared socket. The worker count must be
+/// behaviour-invisible: the kernel hands each datagram to one worker, the
+/// zone is immutable, and the server's metrics registry is shared — so
+/// answers must stay byte-identical at any width.
+pub fn run_socket_side_with_workers(
+    workload: &[WorkloadQuery],
+    workers: usize,
+) -> io::Result<SideResult> {
+    let server = UdpAuthServer::bind("127.0.0.1:0", diff_auth())?.with_workers(workers);
     let addr = server.local_addr()?;
     let handle = server.spawn();
     let mut up = SocketUpstream::new(addr)?.with_timeout(Duration::from_secs(2));
@@ -223,9 +235,18 @@ pub fn compare_sides(engine: &SideResult, socket: &SideResult) -> DifferentialRe
 
 /// The full differential run: seeded workload through both sides.
 pub fn run_differential(queries: usize, seed: u64) -> io::Result<DifferentialReport> {
+    run_differential_with_workers(queries, seed, 1)
+}
+
+/// [`run_differential`] with a multi-worker dnsd on the socket side.
+pub fn run_differential_with_workers(
+    queries: usize,
+    seed: u64,
+    workers: usize,
+) -> io::Result<DifferentialReport> {
     let workload = seeded_workload(queries, seed);
     let engine = run_engine_side(&workload);
-    let socket = run_socket_side(&workload)?;
+    let socket = run_socket_side_with_workers(&workload, workers)?;
     Ok(compare_sides(&engine, &socket))
 }
 

@@ -5,7 +5,7 @@
 //! Needs loopback sockets; skips visibly (or fails under
 //! `ECS_REQUIRE_LOOPBACK`) when the environment has none.
 
-use conformance::differential::run_differential;
+use conformance::differential::{run_differential, run_differential_with_workers};
 
 #[test]
 fn engine_and_dnsd_agree_on_seeded_workload() {
@@ -30,5 +30,32 @@ fn engine_and_dnsd_agree_on_seeded_workload() {
         assert!(report.deltas.is_empty(), "deltas: {:?}", report.deltas);
         assert!(report.stats_equal);
         assert!(report.cache_equal);
+    }
+}
+
+#[test]
+fn engine_and_multiworker_dnsd_agree_at_one_and_four_workers() {
+    if !dnsd::testutil::require_loopback(
+        "engine_and_multiworker_dnsd_agree_at_one_and_four_workers",
+    ) {
+        return;
+    }
+    // The worker count of the dnsd pool must be invisible in the answers:
+    // the engine side is the oracle, and the socket side must match it
+    // byte-for-byte whether one thread or four serve the shared socket.
+    for workers in [1usize, 4] {
+        let report = run_differential_with_workers(4_000, 1, workers)
+            .expect("socket side bound on loopback");
+        assert_eq!(report.queries, 4_000);
+        assert_eq!(
+            report.mismatched_answers, 0,
+            "answers must be byte-identical at {workers} worker(s)"
+        );
+        let off_whitelist: Vec<_> = report.unexpected_deltas().collect();
+        assert!(
+            off_whitelist.is_empty(),
+            "off-whitelist metric drift at {workers} worker(s): {off_whitelist:?}"
+        );
+        assert!(report.pass(), "differential failed at {workers} worker(s)");
     }
 }

@@ -1,10 +1,11 @@
 //! `ecs-dnsd` — serve a demo ECS-aware CDN zone over UDP.
 //!
 //! ```text
-//! ecs-dnsd [bind-addr] [--metrics [http-addr]]
-//! # bind-addr defaults to 127.0.0.1:5353; --metrics serves Prometheus
-//! # text on GET /metrics and JSON on GET /metrics.json (default
-//! # http-addr 127.0.0.1:9153)
+//! ecs-dnsd [bind-addr] [--workers N] [--metrics [http-addr]]
+//! # bind-addr defaults to 127.0.0.1:5353; --workers N serves with N
+//! # threads over the shared socket (default 1); --metrics serves
+//! # Prometheus text on GET /metrics and JSON on GET /metrics.json
+//! # (default http-addr 127.0.0.1:9153)
 //! ```
 //!
 //! The demo zone is `cdn.example` with `www.cdn.example` accelerated by a
@@ -25,6 +26,7 @@ use topology::{CdnFootprint, EdgeServerSpec};
 fn main() {
     let mut bind = "127.0.0.1:5353".to_string();
     let mut metrics_bind: Option<String> = None;
+    let mut workers = 1usize;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         if arg == "--metrics" {
@@ -35,6 +37,15 @@ fn main() {
                 _ => "127.0.0.1:9153".to_string(),
             };
             metrics_bind = Some(addr);
+        } else if arg == "--workers" {
+            let n = args.next().unwrap_or_default();
+            workers = match n.parse() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("ecs-dnsd: --workers needs a positive integer, got {n:?}");
+                    std::process::exit(2);
+                }
+            };
         } else {
             bind = arg;
         }
@@ -69,14 +80,14 @@ fn main() {
     .with_cdn(CdnBehavior::cdn1(footprint), geodb);
 
     let server = match UdpAuthServer::bind(&bind, auth) {
-        Ok(s) => s,
+        Ok(s) => s.with_workers(workers),
         Err(e) => {
             eprintln!("ecs-dnsd: cannot bind {bind}: {e}");
             std::process::exit(1);
         }
     };
     let addr = server.local_addr().expect("bound socket");
-    println!("ecs-dnsd: serving cdn.example on {addr}");
+    println!("ecs-dnsd: serving cdn.example on {addr} ({workers} worker(s))");
     println!("try:  ecs-dig {addr} www.cdn.example --ecs 192.0.2.0/24");
     let _metrics_handle = metrics_bind.map(|maddr| {
         match dnsd::spawn_metrics_endpoint(&maddr, server.registry().clone()) {
@@ -90,11 +101,9 @@ fn main() {
             }
         }
     });
-    // Serve forever on this thread.
+    // The worker pool serves until the process is killed.
+    let _handle = server.spawn();
     loop {
-        if let Err(e) = server.serve_once() {
-            eprintln!("ecs-dnsd: {e}");
-            std::process::exit(1);
-        }
+        std::thread::park();
     }
 }

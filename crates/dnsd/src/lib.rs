@@ -29,15 +29,19 @@
 //! handle.shutdown();
 //! ```
 
+pub mod batch;
 pub mod client;
 pub mod metrics_http;
+pub mod resolver_server;
 pub mod server;
 pub mod tcp;
 pub mod testutil;
 pub mod upstream;
 
+pub use batch::{RecvBatch, SendBatch, DEFAULT_BATCH, MAX_DATAGRAM};
 pub use client::{DigClient, DigError};
 pub use metrics_http::{spawn_metrics_endpoint, MetricsHandle};
+pub use resolver_server::{ResolverServerHandle, UdpResolverServer};
 pub use server::{ServerFaults, ServerHandle, UdpAuthServer};
 pub use tcp::{tcp_exchange, TcpAuthServer, TcpServerHandle};
 pub use upstream::SocketUpstream;

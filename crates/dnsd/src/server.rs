@@ -59,11 +59,21 @@ pub struct ServerFaults {
 /// The server maps wall-clock time onto the [`SimTime`] axis the
 /// authoritative logic uses (microseconds since server start), so TTL
 /// bookkeeping and query logs behave identically to the simulator.
+///
+/// [`UdpAuthServer::spawn`] runs [`UdpAuthServer::with_workers`] serve
+/// threads over *one shared socket*: every worker blocks in `recv_from` on
+/// the same descriptor and the kernel hands each datagram to exactly one
+/// of them — the shared-socket sibling of an `SO_REUSEPORT` group, with no
+/// userspace dispatch queue to balance. All workers write the same
+/// registry-backed metrics (clones share series), so telemetry is
+/// parallelism-invariant by construction.
 pub struct UdpAuthServer {
     socket: UdpSocket,
     auth: Arc<Mutex<AuthServer>>,
     started: Instant,
     stop: Arc<AtomicBool>,
+    /// Serve threads to spawn (≥ 1).
+    workers: usize,
     /// Remaining queries to drop (counts down from
     /// [`ServerFaults::drop_first`]).
     drop_remaining: AtomicU32,
@@ -75,37 +85,44 @@ pub struct UdpAuthServer {
     metrics: ServerMetrics,
 }
 
-/// Handle to a spawned server thread.
+/// Handle to a spawned server's worker threads.
 ///
 /// Both [`ServerHandle::shutdown`] and dropping the handle stop the serve
-/// loop and join its thread exactly once; `shutdown` is just the explicit
-/// spelling. Stopping is not instantaneous: the loop notices the stop flag
-/// only when its blocking `recv_from` returns, so shutdown can lag by up to
-/// the socket's 50 ms read timeout (the price of running without a
-/// self-pipe or non-blocking poll loop).
+/// loops and join **every** worker exactly once; `shutdown` is just the
+/// explicit spelling, and running both (shutdown then drop, or a panic
+/// unwinding past an already-stopped handle) is safe — the second call
+/// finds the thread list already drained. Stopping is not instantaneous:
+/// each loop notices the stop flag only when its blocking `recv_from`
+/// returns, so shutdown can lag by up to the socket's 50 ms read timeout
+/// (the price of running without a self-pipe or non-blocking poll loop).
 pub struct ServerHandle {
     stop: Arc<AtomicBool>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
     /// Shared access to the server state (query log inspection).
     pub auth: Arc<Mutex<AuthServer>>,
     metrics: ServerMetrics,
 }
 
 impl ServerHandle {
-    /// Signals the serve loop to stop and joins the thread. Idempotent with
-    /// [`Drop`]: whichever runs first does the work, the other finds the
-    /// thread already taken.
+    /// Signals the serve loops to stop and joins every worker. Idempotent
+    /// with [`Drop`]: whichever runs first drains the thread list, the
+    /// other finds it empty.
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.thread.take() {
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
 
-    /// Signals the serve loop to stop and joins the thread (see the type
+    /// Signals the serve loops to stop and joins all workers (see the type
     /// docs for the shutdown-latency bound).
     pub fn shutdown(mut self) {
         self.stop_and_join();
+    }
+
+    /// Worker threads still attached to this handle (0 after shutdown).
+    pub fn workers(&self) -> usize {
+        self.threads.len()
     }
 
     /// Datagrams dropped so far because they failed to decode. Reads the
@@ -139,6 +156,7 @@ impl UdpAuthServer {
             auth: Arc::new(Mutex::new(auth)),
             started: Instant::now(),
             stop: Arc::new(AtomicBool::new(false)),
+            workers: 1,
             drop_remaining: AtomicU32::new(0),
             truncate_udp: false,
             metrics: ServerMetrics::new(),
@@ -153,6 +171,14 @@ impl UdpAuthServer {
             truncate_udp: faults.truncate_udp,
             ..self
         }
+    }
+
+    /// Sets how many serve threads [`UdpAuthServer::spawn`] starts
+    /// (clamped to ≥ 1; the default is 1, the historical single-threaded
+    /// server).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 
     /// The bound address.
@@ -226,22 +252,36 @@ impl UdpAuthServer {
         Ok(true)
     }
 
-    /// Runs the serve loop until [`ServerHandle::shutdown`].
+    /// Runs [`UdpAuthServer::with_workers`] serve loops over the shared
+    /// socket until [`ServerHandle::shutdown`]. All server state a worker
+    /// touches is already thread-safe (`auth` behind its mutex, counters
+    /// atomic, fault budget an atomic countdown), so workers run
+    /// [`UdpAuthServer::serve_once`] unchanged.
     pub fn spawn(self) -> ServerHandle {
         let stop = self.stop.clone();
         let auth = self.auth.clone();
         let metrics = self.metrics.clone();
-        let thread = std::thread::spawn(move || {
-            while !self.stop.load(Ordering::SeqCst) {
-                if let Err(e) = self.serve_once() {
-                    eprintln!("ecs-dnsd: socket error: {e}");
-                    break;
-                }
-            }
-        });
+        let workers = self.workers;
+        let shared = Arc::new(self);
+        let threads = (0..workers)
+            .map(|w| {
+                let server = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dnsd-auth-{w}"))
+                    .spawn(move || {
+                        while !server.stop.load(Ordering::SeqCst) {
+                            if let Err(e) = server.serve_once() {
+                                eprintln!("ecs-dnsd: socket error: {e}");
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn dnsd worker thread")
+            })
+            .collect();
         ServerHandle {
             stop,
-            thread: Some(thread),
+            threads,
             auth,
             metrics,
         }
@@ -327,5 +367,63 @@ mod tests {
         // response was ignored silently, not counted as malformed.
         assert_eq!(handle.malformed_drops(), 2);
         handle.shutdown();
+    }
+
+    #[test]
+    fn multi_worker_pool_serves_and_counts_once() {
+        let server = UdpAuthServer::bind("127.0.0.1:0", demo_auth())
+            .unwrap()
+            .with_workers(4);
+        let addr = server.local_addr().unwrap();
+        let handle = server.spawn();
+        assert_eq!(handle.workers(), 4);
+
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut buf = [0u8; 4096];
+        for i in 0..32u16 {
+            let q = Message::query(
+                i,
+                Question::a(Name::from_ascii("www.demo.example").unwrap()),
+            );
+            client.send_to(&q.to_bytes().unwrap(), addr).unwrap();
+            let (n, _) = client.recv_from(&mut buf).unwrap();
+            let resp = Message::from_bytes(&buf[..n]).unwrap();
+            assert_eq!(resp.id, i);
+        }
+        // The shared registry saw each query exactly once regardless of
+        // which worker picked it up. Snapshot after the join: a worker
+        // increments the response counter *after* sending, so the client
+        // can hold reply #32 before the counter reads 32.
+        let registry = handle.registry().clone();
+        handle.shutdown();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("dnsd_queries_total"), Some(32));
+        assert_eq!(snap.counter("dnsd_responses_total"), Some(32));
+    }
+
+    #[test]
+    fn multi_worker_shutdown_joins_all_workers_idempotently() {
+        let server = UdpAuthServer::bind("127.0.0.1:0", demo_auth())
+            .unwrap()
+            .with_workers(3);
+        let addr = server.local_addr().unwrap();
+        let mut handle = server.spawn();
+        assert_eq!(handle.workers(), 3);
+
+        // First stop path: the internal stop-and-join drains all threads.
+        handle.stop_and_join();
+        assert_eq!(handle.workers(), 0, "every worker joined");
+        // Second stop path (what Drop will also run): finds nothing left
+        // to join and must not hang or panic.
+        handle.stop_and_join();
+        assert_eq!(handle.workers(), 0);
+        drop(handle);
+
+        // The socket is released: a fresh server can bind the same port.
+        let rebound = UdpAuthServer::bind(addr, demo_auth());
+        assert!(rebound.is_ok(), "port still held after shutdown");
     }
 }

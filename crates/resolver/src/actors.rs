@@ -152,19 +152,11 @@ impl EgressActor {
             .map(|(_, a)| *a)
     }
 
-    /// The client-facing answer for a coalesced joiner, built from the
-    /// shared upstream response — the non-caching half of
-    /// [`Resolver::complete`] (the owner's completion does the caching).
+    /// The client-facing answer for a coalesced joiner — delegates to
+    /// [`Resolver::joiner_response`] so every front end (this actor, the
+    /// socket serving path) shares one implementation.
     fn joiner_response(&self, joined: &Message, upstream_resp: &Message) -> Message {
-        let mut resp = Message::response_to(joined);
-        resp.rcode = upstream_resp.rcode;
-        resp.answers = upstream_resp.answers.clone();
-        if self.resolver.config().echo_ecs_to_client {
-            if let (Some(client_opt), Some(up_ecs)) = (joined.ecs(), upstream_resp.ecs()) {
-                resp.set_ecs(client_opt.with_scope(up_ecs.scope_prefix_len()));
-            }
-        }
-        resp
+        self.resolver.joiner_response(joined, upstream_resp)
     }
 }
 

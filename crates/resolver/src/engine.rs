@@ -231,10 +231,100 @@ impl ResolverMetrics {
     }
 }
 
+/// Where a resolver's cache state lives.
+///
+/// `Owned` is the historical single-threaded arrangement: the engine holds
+/// its [`EcsCache`] directly and every call compiles to the same code as
+/// before the multi-worker refactor. `Shared` points the engine at a
+/// [`SharedEcsCache`] owned jointly by a worker pool — lookups and inserts
+/// route through per-shard locks, and everything else about the engine
+/// (probing state, stats, retry policy) stays worker-private.
+enum CacheSlot {
+    Owned(EcsCache),
+    Shared(std::sync::Arc<crate::shared_cache::SharedEcsCache>),
+}
+
+impl CacheSlot {
+    fn lookup(
+        &mut self,
+        qname: &Name,
+        qtype: dns_wire::RecordType,
+        client: IpAddr,
+        now: SimTime,
+    ) -> Option<crate::cache::CachedAnswer> {
+        match self {
+            CacheSlot::Owned(c) => c.lookup(qname, qtype, client, now),
+            CacheSlot::Shared(c) => c.lookup(qname, qtype, client, now),
+        }
+    }
+
+    fn lookup_stale(
+        &mut self,
+        qname: &Name,
+        qtype: dns_wire::RecordType,
+        client: IpAddr,
+        now: SimTime,
+        serve_ttl: u32,
+    ) -> Option<crate::cache::CachedAnswer> {
+        match self {
+            CacheSlot::Owned(c) => c.lookup_stale(qname, qtype, client, now, serve_ttl),
+            CacheSlot::Shared(c) => c.lookup_stale(qname, qtype, client, now, serve_ttl),
+        }
+    }
+
+    fn insert(
+        &mut self,
+        qname: Name,
+        qtype: dns_wire::RecordType,
+        records: Vec<dns_wire::Record>,
+        ecs: Option<dns_wire::EcsOption>,
+        ttl: u32,
+        now: SimTime,
+    ) -> bool {
+        match self {
+            CacheSlot::Owned(c) => c.insert(qname, qtype, records, ecs, ttl, now),
+            CacheSlot::Shared(c) => c.insert(qname, qtype, records, ecs, ttl, now),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn insert_with_rcode(
+        &mut self,
+        qname: Name,
+        qtype: dns_wire::RecordType,
+        records: Vec<dns_wire::Record>,
+        ecs: Option<dns_wire::EcsOption>,
+        rcode: Rcode,
+        ttl: u32,
+        now: SimTime,
+    ) -> bool {
+        match self {
+            CacheSlot::Owned(c) => c.insert_with_rcode(qname, qtype, records, ecs, rcode, ttl, now),
+            CacheSlot::Shared(c) => {
+                c.insert_with_rcode(qname, qtype, records, ecs, rcode, ttl, now)
+            }
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        match self {
+            CacheSlot::Owned(c) => c.stats(),
+            CacheSlot::Shared(c) => c.stats(),
+        }
+    }
+
+    fn len(&mut self, now: SimTime) -> usize {
+        match self {
+            CacheSlot::Owned(c) => c.len(now),
+            CacheSlot::Shared(c) => c.len(now),
+        }
+    }
+}
+
 /// A recursive resolver instance.
 pub struct Resolver {
     config: ResolverConfig,
-    cache: EcsCache,
+    cache: CacheSlot,
     probing_state: ProbingState,
     stats: ResolverMetrics,
     tracer: Tracer,
@@ -259,7 +349,32 @@ impl Resolver {
         cache.cache_zero_scope = config.cache_zero_scope;
         Resolver {
             config,
-            cache,
+            cache: CacheSlot::Owned(cache),
+            probing_state: ProbingState::default(),
+            stats: ResolverMetrics::new(),
+            tracer: Tracer::disabled(),
+            scope_memory: std::collections::HashMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Creates a resolver whose cache state lives in `cache`, shared with
+    /// other engines in a worker pool. The overload cache-bound knobs in
+    /// `config` are ignored here — the shared cache carries its own limits
+    /// (see [`crate::shared_cache::SharedEcsCache::for_config`]); probing
+    /// state, stats, and retry behaviour remain engine-private.
+    ///
+    /// [`Resolver::metrics_snapshot`] on such an engine excludes the
+    /// cache's `cache_*` series: fold
+    /// [`crate::shared_cache::SharedEcsCache::snapshot`] exactly once per
+    /// pool instead, or the shared counters multiply by the worker count.
+    pub fn with_shared_cache(
+        config: ResolverConfig,
+        cache: std::sync::Arc<crate::shared_cache::SharedEcsCache>,
+    ) -> Self {
+        Resolver {
+            config,
+            cache: CacheSlot::Shared(cache),
             probing_state: ProbingState::default(),
             stats: ResolverMetrics::new(),
             tracer: Tracer::disabled(),
@@ -313,9 +428,16 @@ impl Resolver {
     }
 
     /// One merged snapshot of the resolver's and its cache's registries.
+    ///
+    /// With a shared cache ([`Resolver::with_shared_cache`]) only the
+    /// engine-private series are included — the pool folds the cache's
+    /// registries once via
+    /// [`crate::shared_cache::SharedEcsCache::snapshot`].
     pub fn metrics_snapshot(&self) -> obs::MetricsSnapshot {
         let mut snap = self.stats.registry.snapshot();
-        snap.merge(&self.cache.registry().snapshot());
+        if let CacheSlot::Owned(cache) = &self.cache {
+            snap.merge(&cache.registry().snapshot());
+        }
         snap
     }
 
@@ -351,8 +473,18 @@ impl Resolver {
     }
 
     /// Direct cache access for white-box tests.
+    ///
+    /// # Panics
+    ///
+    /// When the engine runs against a shared cache
+    /// ([`Resolver::with_shared_cache`]) there is no exclusively-owned
+    /// `EcsCache` to hand out; white-box tests should reach through the
+    /// [`crate::shared_cache::SharedEcsCache`] handle they supplied.
     pub fn cache_mut(&mut self) -> &mut EcsCache {
-        &mut self.cache
+        match &mut self.cache {
+            CacheSlot::Owned(c) => c,
+            CacheSlot::Shared(_) => panic!("cache_mut requires an engine-owned cache"),
+        }
     }
 
     /// Handles one client query synchronously.
@@ -388,10 +520,26 @@ impl Resolver {
     /// happen at the moment the answer would really have arrived.
     pub fn drive_upstream<U: Upstream>(
         &mut self,
-        mut pending: PendingQuery,
+        pending: PendingQuery,
         now: SimTime,
         upstream: &mut U,
     ) -> Message {
+        self.drive_upstream_capturing(pending, now, upstream).0
+    }
+
+    /// [`Resolver::drive_upstream`], additionally returning the raw
+    /// upstream response the exchange completed with (`None` when the
+    /// exchange failed and the client answer is stale/SERVFAIL).
+    ///
+    /// Multi-worker front ends need the raw response to satisfy coalesced
+    /// joiners: each joiner builds its own client answer from it via
+    /// [`Resolver::joiner_response`], while only the flight owner caches.
+    pub fn drive_upstream_capturing<U: Upstream>(
+        &mut self,
+        mut pending: PendingQuery,
+        now: SimTime,
+        upstream: &mut U,
+    ) -> (Message, Option<Message>) {
         let policy = self.config.retry.clone();
         let attempts = policy.attempts.max(1);
         let mut at = now;
@@ -418,7 +566,8 @@ impl Resolver {
                     if let Ok(full) =
                         upstream.query_tcp(&pending.upstream_query, self.config.addr, at)
                     {
-                        return self.complete(pending, &full, at);
+                        let answer = self.complete(pending, &full, at);
+                        return (answer, Some(full));
                     }
                 }
                 Ok(resp)
@@ -455,9 +604,12 @@ impl Resolver {
                             },
                         );
                     }
-                    return self.answer_failure(&pending, at);
+                    return (self.answer_failure(&pending, at), None);
                 }
-                Ok(resp) => return self.complete(pending, &resp, at),
+                Ok(resp) => {
+                    let answer = self.complete(pending, &resp, at);
+                    return (answer, Some(resp));
+                }
                 Err(UpstreamError::Truncated(_)) => {
                     self.stats.tcp_fallbacks.inc();
                     if attempt_span.is_enabled() {
@@ -474,7 +626,8 @@ impl Resolver {
                     if let Ok(full) =
                         upstream.query_tcp(&pending.upstream_query, self.config.addr, at)
                     {
-                        return self.complete(pending, &full, at);
+                        let answer = self.complete(pending, &full, at);
+                        return (answer, Some(full));
                     }
                 }
                 Err(UpstreamError::Timeout) => {
@@ -512,7 +665,7 @@ impl Resolver {
             }
             attempt += 1;
             if attempt >= attempts {
-                return self.answer_failure(&pending, at);
+                return (self.answer_failure(&pending, at), None);
             }
             if pending.trace.is_enabled() {
                 self.tracer.event(
@@ -629,6 +782,23 @@ impl Resolver {
             }
         }
         self.give_up(client_query)
+    }
+
+    /// The client-facing answer for a coalesced joiner, built from the
+    /// flight owner's raw upstream response — the non-caching half of
+    /// [`Resolver::complete`] (the owner's completion does the caching).
+    /// Each joiner echoes ECS against its *own* query, so joiners with
+    /// different client options still get correct echoes.
+    pub fn joiner_response(&self, joined: &Message, upstream_resp: &Message) -> Message {
+        let mut resp = Message::response_to(joined);
+        resp.rcode = upstream_resp.rcode;
+        resp.answers = upstream_resp.answers.clone();
+        if self.config.echo_ecs_to_client {
+            if let (Some(client_opt), Some(up_ecs)) = (joined.ecs(), upstream_resp.ecs()) {
+                resp.set_ecs(client_opt.with_scope(up_ecs.scope_prefix_len()));
+            }
+        }
+        resp
     }
 
     /// Records that a query joined an existing upstream flight instead of

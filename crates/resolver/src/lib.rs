@@ -60,8 +60,10 @@ pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod faulty;
+pub mod flight;
 pub mod prefix_policy;
 pub mod probing;
+pub mod shared_cache;
 
 pub use cache::{CacheCompliance, CacheLimits, CacheStats, EcsCache};
 pub use config::{OverloadConfig, ResolverConfig, RetryPolicy};
@@ -69,5 +71,7 @@ pub use engine::{
     FlightKey, PendingQuery, Resolver, ResolverStats, Step, Upstream, UpstreamError, ZoneRouter,
 };
 pub use faulty::{FaultyUpstream, InjectedFault, InjectionStats};
+pub use flight::{Admission, Flight, FlightTable, OwnerToken};
 pub use prefix_policy::PrefixPolicy;
 pub use probing::{ProbingState, ProbingStrategy};
+pub use shared_cache::SharedEcsCache;
