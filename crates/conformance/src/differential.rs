@@ -15,12 +15,14 @@ use std::time::Duration;
 
 use authoritative::{AuthServer, EcsHandling, ScopePolicy, Zone};
 use dns_wire::{Message, Name, Question};
-use dnsd::{SocketUpstream, UdpAuthServer};
+use dnsd::{SocketUpstream, TcpAuthServer, UdpAuthServer};
 use netsim::SimTime;
 use obs::MetricsSnapshot;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use resolver::{CacheStats, Resolver, ResolverConfig, ResolverStats, Upstream};
+use resolver::{
+    CacheStats, Resolver, ResolverConfig, ResolverStats, Transport, TransportPolicy, Upstream,
+};
 
 use crate::report::{DifferentialReport, MetricDelta};
 
@@ -50,6 +52,7 @@ pub const METRIC_WHITELIST: &[&str] = &[
     "resolver_upstream_queries_total",
     "resolver_upstream_ecs_queries_total",
     "resolver_tcp_fallbacks_total",
+    "resolver_transport_fallbacks_*",
     "resolver_query_latency_us",
     "cache_*",
 ];
@@ -133,7 +136,15 @@ pub struct SideResult {
 }
 
 fn run_side<U: Upstream>(workload: &[WorkloadQuery], upstream: &mut U) -> SideResult {
-    let mut r = Resolver::new(diff_config());
+    run_side_with(workload, diff_config(), upstream)
+}
+
+fn run_side_with<U: Upstream>(
+    workload: &[WorkloadQuery],
+    config: ResolverConfig,
+    upstream: &mut U,
+) -> SideResult {
+    let mut r = Resolver::new(config);
     let responses = workload
         .iter()
         .enumerate()
@@ -158,6 +169,23 @@ pub fn run_engine_side(workload: &[WorkloadQuery]) -> SideResult {
     run_side(workload, &mut auth)
 }
 
+/// The differential subject config pinned to one transport.
+fn matrix_config(transport: Transport) -> ResolverConfig {
+    ResolverConfig {
+        transport: TransportPolicy::prefer(transport),
+        ..diff_config()
+    }
+}
+
+/// [`run_engine_side`] with the subject pinned to `transport`. The
+/// in-process [`AuthServer`] answers stream transports through the default
+/// [`Upstream::query_tcp`] mapping — the same messages, undegraded — which
+/// is exactly the reference the socket side must match.
+pub fn run_engine_side_matrix(workload: &[WorkloadQuery], transport: Transport) -> SideResult {
+    let mut auth = diff_auth();
+    run_side_with(workload, matrix_config(transport), &mut auth)
+}
+
 /// Runs the workload through real loopback sockets: a spawned
 /// [`UdpAuthServer`] serving the same zone, queried via
 /// [`SocketUpstream`].
@@ -174,12 +202,33 @@ pub fn run_socket_side_with_workers(
     workload: &[WorkloadQuery],
     workers: usize,
 ) -> io::Result<SideResult> {
+    run_socket_side_matrix(workload, workers, Transport::Udp)
+}
+
+/// [`run_socket_side_with_workers`] with the subject pinned to
+/// `transport`. The zone is served on *both* transports from one shared
+/// [`authoritative::AuthServer`]: the UDP server owns it, and a
+/// [`TcpAuthServer`] bound on its own port serves the same
+/// `Arc`-shared state, with [`SocketUpstream::with_tcp_server`] routing
+/// stream exchanges there. Answers must stay byte-identical to the
+/// in-process engine side whichever transport carries them.
+pub fn run_socket_side_matrix(
+    workload: &[WorkloadQuery],
+    workers: usize,
+    transport: Transport,
+) -> io::Result<SideResult> {
     let server = UdpAuthServer::bind("127.0.0.1:0", diff_auth())?.with_workers(workers);
     let addr = server.local_addr()?;
+    let tcp = TcpAuthServer::bind("127.0.0.1:0", server.auth())?;
+    let tcp_addr = tcp.local_addr()?;
+    let tcp_handle = tcp.spawn();
     let handle = server.spawn();
-    let mut up = SocketUpstream::new(addr)?.with_timeout(Duration::from_secs(2));
-    let result = run_side(workload, &mut up);
+    let mut up = SocketUpstream::new(addr)?
+        .with_timeout(Duration::from_secs(2))
+        .with_tcp_server(tcp_addr);
+    let result = run_side_with(workload, matrix_config(transport), &mut up);
     handle.shutdown();
+    tcp_handle.shutdown();
     Ok(result)
 }
 
@@ -244,9 +293,21 @@ pub fn run_differential_with_workers(
     seed: u64,
     workers: usize,
 ) -> io::Result<DifferentialReport> {
+    run_differential_matrix(queries, seed, workers, Transport::Udp)
+}
+
+/// The full workers × transport differential cell: seeded workload played
+/// through the in-process engine and through real loopback sockets, both
+/// pinned to `transport`.
+pub fn run_differential_matrix(
+    queries: usize,
+    seed: u64,
+    workers: usize,
+    transport: Transport,
+) -> io::Result<DifferentialReport> {
     let workload = seeded_workload(queries, seed);
-    let engine = run_engine_side(&workload);
-    let socket = run_socket_side_with_workers(&workload, workers)?;
+    let engine = run_engine_side_matrix(&workload, transport);
+    let socket = run_socket_side_matrix(&workload, workers, transport)?;
     Ok(compare_sides(&engine, &socket))
 }
 
@@ -296,6 +357,8 @@ mod tests {
     fn whitelist_globs_match_cache_series() {
         assert!(is_whitelisted("cache_hits_total"));
         assert!(is_whitelisted("resolver_retries_total"));
+        assert!(is_whitelisted("resolver_transport_fallbacks_total"));
+        assert!(is_whitelisted("resolver_transport_fallbacks_to_tcp_total"));
         assert!(!is_whitelisted("resolver_client_queries_total"));
         assert!(!is_whitelisted("resolver_servfail_responses_total"));
     }

@@ -5,6 +5,15 @@
 //! query stream the scenario's authoritative saw, and feeds that stream to
 //! the corresponding `analysis` classifier. The classifier is the oracle:
 //! a cell passes when the measured class equals the configured one.
+//!
+//! Every driver has an `_over` variant taking a [`Transport`]: the subject
+//! is pinned to that transport ([`TransportPolicy::prefer`]) and the
+//! scripted authoritative is reached through an ideal
+//! [`TransportUpstream`]. ECS behaviour is a resolver *policy* decision,
+//! so the §6 verdict matrix must be byte-identical whichever transport
+//! carries the queries — the transport-invariance property
+//! `tests/transport_matrix.rs` pins. The legacy names delegate with
+//! [`Transport::Udp`].
 
 use std::collections::HashSet;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
@@ -16,7 +25,10 @@ use analysis::{
 use authoritative::QueryLogEntry;
 use dns_wire::{EcsOption, Message, Name, Question};
 use netsim::{SimDuration, SimTime};
-use resolver::{PrefixPolicy, ProbingStrategy, Resolver, ResolverConfig};
+use resolver::{
+    PrefixPolicy, ProbingStrategy, Resolver, ResolverConfig, Transport, TransportPolicy,
+    TransportUpstream,
+};
 
 use crate::report::CellResult;
 use crate::scenario::{host, Scenario};
@@ -30,9 +42,10 @@ pub fn subject_addr() -> IpAddr {
     IpAddr::V4(Ipv4Addr::new(9, 9, 9, 9))
 }
 
-fn base_config(probing: ProbingStrategy) -> ResolverConfig {
+fn base_config_over(probing: ProbingStrategy, transport: Transport) -> ResolverConfig {
     ResolverConfig {
         probing,
+        transport: TransportPolicy::prefer(transport),
         ..ResolverConfig::rfc_compliant(subject_addr())
     }
 }
@@ -62,14 +75,19 @@ fn probing_workload(scenario: &Scenario) -> Vec<(SimTime, Name, IpAddr)> {
 /// Runs one probing subject through the workload and returns the captured
 /// upstream stream.
 pub fn drive_probing(strategy: ProbingStrategy) -> Vec<QueryLogEntry> {
+    drive_probing_over(strategy, Transport::Udp)
+}
+
+/// [`drive_probing`] with the subject pinned to `transport`.
+pub fn drive_probing_over(strategy: ProbingStrategy, transport: Transport) -> Vec<QueryLogEntry> {
     let scenario = Scenario::non_whitelisted();
-    let mut up = scenario.build();
-    let mut r = Resolver::new(base_config(strategy));
+    let mut up = TransportUpstream::ideal(scenario.build());
+    let mut r = Resolver::new(base_config_over(strategy, transport));
     for (id, (at, name, client)) in probing_workload(&scenario).into_iter().enumerate() {
         let q = Message::query(id as u16, Question::a(name));
         r.resolve_msg(&q, client, at, &mut up);
     }
-    up.captured_log()
+    up.inner().captured_log()
 }
 
 /// The §6.1 cells: cell name, subject strategy, class it must land in.
@@ -116,10 +134,15 @@ pub fn probing_cells() -> Vec<(&'static str, ProbingStrategy, ProbingVerdict)> {
 /// window containing *only* a loopback interval probe must classify as
 /// `IntervalLoopback`, not `Always` (ECS on 100% of a one-query window).
 pub fn run_probing_matrix() -> Vec<CellResult> {
+    run_probing_matrix_over(Transport::Udp)
+}
+
+/// [`run_probing_matrix`] with the subject pinned to `transport`.
+pub fn run_probing_matrix_over(transport: Transport) -> Vec<CellResult> {
     let mut cells = Vec::new();
     for (cell, strategy, expected) in probing_cells() {
         let config = format!("{strategy:?}");
-        let log = drive_probing(strategy);
+        let log = drive_probing_over(strategy, transport);
         let observed = classify_probing(&log, SHORT_WINDOW_SECS);
         cells.push(CellResult {
             section: "6.1-probing",
@@ -132,11 +155,14 @@ pub fn run_probing_matrix() -> Vec<CellResult> {
     }
 
     let scenario = Scenario::non_whitelisted();
-    let mut up = scenario.build();
-    let mut r = Resolver::new(base_config(ProbingStrategy::IntervalProbe {
-        period: SimDuration::from_secs(1800),
-        use_own_address: false,
-    }));
+    let mut up = TransportUpstream::ideal(scenario.build());
+    let mut r = Resolver::new(base_config_over(
+        ProbingStrategy::IntervalProbe {
+            period: SimDuration::from_secs(1800),
+            use_own_address: false,
+        },
+        transport,
+    ));
     let q = Message::query(1, Question::a(host("probe", &scenario)));
     r.resolve_msg(
         &q,
@@ -144,7 +170,7 @@ pub fn run_probing_matrix() -> Vec<CellResult> {
         SimTime::ZERO,
         &mut up,
     );
-    let observed = classify_probing(&up.captured_log(), SHORT_WINDOW_SECS);
+    let observed = classify_probing(&up.inner().captured_log(), SHORT_WINDOW_SECS);
     cells.push(CellResult {
         section: "6.1-probing",
         cell: "interval-loopback-narrow-window".into(),
@@ -170,6 +196,11 @@ fn prefix_row(expected_row: &str, compliant: bool) -> String {
 /// Runs the §6.2 / Table-1 cells: six subjects, each probed by six clients
 /// asking fresh names, tabulated by [`PrefixLengthTable`].
 pub fn run_prefix_matrix() -> Vec<CellResult> {
+    run_prefix_matrix_over(Transport::Udp)
+}
+
+/// [`run_prefix_matrix`] with the subject pinned to `transport`.
+pub fn run_prefix_matrix_over(transport: Transport) -> Vec<CellResult> {
     let v4_clients: Vec<IpAddr> = (0..6u8)
         .map(|i| IpAddr::V4(Ipv4Addr::new(100, 70, 1 + i, 20 + i)))
         .collect();
@@ -218,16 +249,17 @@ pub fn run_prefix_matrix() -> Vec<CellResult> {
         .into_iter()
         .map(|(cell, policy, clients, row, compliant)| {
             let scenario = Scenario::honors_scope();
-            let mut up = scenario.build();
+            let mut up = TransportUpstream::ideal(scenario.build());
             let mut r = Resolver::new(ResolverConfig {
                 prefix_policy: policy,
+                transport: TransportPolicy::prefer(transport),
                 ..ResolverConfig::rfc_compliant(subject_addr())
             });
             for (i, client) in clients.iter().enumerate() {
                 let q = Message::query(i as u16, Question::a(host(&format!("pfx{i}"), &scenario)));
                 r.resolve_msg(&q, *client, SimTime::from_secs(i as u64), &mut up);
             }
-            let table = PrefixLengthTable::build(&up.captured_log());
+            let table = PrefixLengthTable::build(&up.inner().captured_log());
             let observed = match table.profiles.first() {
                 Some(p) => prefix_row(&p.row_label(), p.rfc_compliant()),
                 None => "no-ecs-observed".to_string(),
@@ -254,6 +286,21 @@ pub fn observe_compliance(
     answer_ttl: u32,
     flatten_cname: bool,
 ) -> ComplianceObservation {
+    observe_compliance_over(config, answer_ttl, flatten_cname, Transport::Udp)
+}
+
+/// [`observe_compliance`] with the subject pinned to `transport` (the
+/// config's own transport policy is overridden).
+pub fn observe_compliance_over(
+    config: &ResolverConfig,
+    answer_ttl: u32,
+    flatten_cname: bool,
+    transport: Transport,
+) -> ComplianceObservation {
+    let config = &ResolverConfig {
+        transport: TransportPolicy::prefer(transport),
+        ..config.clone()
+    };
     let client_a = IpAddr::V4(Ipv4Addr::new(100, 80, 4, 1));
     let client_b = IpAddr::V4(Ipv4Addr::new(100, 80, 5, 1));
     let forwarder = IpAddr::V4(Ipv4Addr::new(100, 90, 1, 1));
@@ -274,14 +321,14 @@ pub fn observe_compliance(
             cname: flatten_cname,
             ..base
         };
-        let mut up = scenario.build();
+        let mut up = TransportUpstream::ideal(scenario.build());
         let mut r = Resolver::new(config.clone());
         let n = host("pair", &scenario);
         let q1 = Message::query(1, Question::a(n.clone()));
         r.resolve_msg(&q1, client_a, SimTime::ZERO, &mut up);
         let q2 = Message::query(2, Question::a(n.clone()));
         r.resolve_msg(&q2, client_b, SimTime::from_secs(5), &mut up);
-        let log = up.captured_log();
+        let log = up.inner().captured_log();
         scope_results[slot] = log.iter().filter(|e| e.qname == n).count() >= 2;
         sent_private |= log
             .iter()
@@ -297,14 +344,14 @@ pub fn observe_compliance(
             cname: flatten_cname,
             ..Scenario::honors_scope()
         };
-        let mut up = scenario.build();
+        let mut up = TransportUpstream::ideal(scenario.build());
         let mut r = Resolver::new(config.clone());
         let n = host(label, &scenario);
         let mut q = Message::query(3, Question::a(n.clone()));
         q.set_edns(4096);
         q.set_ecs(EcsOption::from_v4(probe_c, len));
         r.resolve_msg(&q, forwarder, SimTime::ZERO, &mut up);
-        let log = up.captured_log();
+        let log = up.inner().captured_log();
         if let Some(opt) = log
             .iter()
             .find(|e| e.qname == n)
@@ -400,10 +447,15 @@ pub fn compliance_cells() -> Vec<(
 
 /// Runs every §6.3 cell through the paired-probe driver and classifier.
 pub fn run_compliance_matrix() -> Vec<CellResult> {
+    run_compliance_matrix_over(Transport::Udp)
+}
+
+/// [`run_compliance_matrix`] with the subject pinned to `transport`.
+pub fn run_compliance_matrix_over(transport: Transport) -> Vec<CellResult> {
     compliance_cells()
         .into_iter()
         .map(|(cell, preset, config, ttl, cname, expected)| {
-            let obs = observe_compliance(&config, ttl, cname);
+            let obs = observe_compliance_over(&config, ttl, cname, transport);
             let observed = classify_compliance(&obs);
             CellResult {
                 section: "6.3-compliance",

@@ -35,9 +35,16 @@ pub use scenario::{EcsStance, Scenario, ScenarioUpstream};
 
 /// Runs the full §6 oracle matrix (no sockets involved).
 pub fn run_matrix() -> ConformanceReport {
-    let mut cells = harness::run_probing_matrix();
-    cells.extend(harness::run_prefix_matrix());
-    cells.extend(harness::run_compliance_matrix());
+    run_matrix_over(resolver::Transport::Udp)
+}
+
+/// [`run_matrix`] with every subject pinned to `transport`: ECS policy is
+/// transport-independent, so the resulting verdict table must be
+/// byte-identical whichever transport carries the upstream queries.
+pub fn run_matrix_over(transport: resolver::Transport) -> ConformanceReport {
+    let mut cells = harness::run_probing_matrix_over(transport);
+    cells.extend(harness::run_prefix_matrix_over(transport));
+    cells.extend(harness::run_compliance_matrix_over(transport));
     ConformanceReport {
         cells,
         differential: None,

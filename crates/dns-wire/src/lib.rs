@@ -42,6 +42,7 @@
 pub mod ecs;
 pub mod edns;
 pub mod error;
+pub mod framing;
 pub mod header;
 pub mod message;
 pub mod name;

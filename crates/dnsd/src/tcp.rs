@@ -25,16 +25,13 @@ pub fn read_framed(stream: &mut impl Read) -> io::Result<Vec<u8>> {
     Ok(buf)
 }
 
-/// Writes one length-prefixed DNS message to a stream.
+/// Writes one length-prefixed DNS message to a stream. Framing comes from
+/// [`dns_wire::framing::frame_tcp`] — the same bytes the simulator's
+/// stream transports use.
 pub fn write_framed(stream: &mut impl Write, msg: &[u8]) -> io::Result<()> {
-    if msg.len() > u16::MAX as usize {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            "DNS message exceeds 65535 bytes",
-        ));
-    }
-    stream.write_all(&(msg.len() as u16).to_be_bytes())?;
-    stream.write_all(msg)?;
+    let framed = dns_wire::framing::frame_tcp(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    stream.write_all(&framed)?;
     stream.flush()
 }
 

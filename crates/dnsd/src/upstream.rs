@@ -24,6 +24,11 @@ use resolver::{Upstream, UpstreamError};
 /// A single-server upstream over real UDP/TCP sockets.
 pub struct SocketUpstream {
     server: SocketAddr,
+    /// Where stream exchanges go; defaults to `server` (the classic
+    /// same-port RFC 7766 arrangement). A separately-bound
+    /// [`crate::TcpAuthServer`] can be pointed at via
+    /// [`SocketUpstream::with_tcp_server`].
+    tcp_server: Option<SocketAddr>,
     socket: UdpSocket,
     /// Per-attempt socket timeout (also the TCP connect/read timeout).
     pub timeout: Duration,
@@ -36,6 +41,7 @@ impl SocketUpstream {
         let socket = UdpSocket::bind(("0.0.0.0", 0))?;
         Ok(SocketUpstream {
             server,
+            tcp_server: None,
             socket,
             timeout: Duration::from_millis(500),
         })
@@ -44,6 +50,14 @@ impl SocketUpstream {
     /// Sets the per-attempt timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Sends stream exchanges to `addr` instead of the UDP server's
+    /// address — for pairing a [`crate::UdpAuthServer`] with a
+    /// [`crate::TcpAuthServer`] bound on its own port.
+    pub fn with_tcp_server(mut self, addr: SocketAddr) -> Self {
+        self.tcp_server = Some(addr);
         self
     }
 
@@ -102,7 +116,8 @@ impl Upstream for SocketUpstream {
         _from: IpAddr,
         _now: SimTime,
     ) -> Result<Message, UpstreamError> {
-        match crate::tcp::tcp_exchange(self.server, q, self.timeout) {
+        let server = self.tcp_server.unwrap_or(self.server);
+        match crate::tcp::tcp_exchange(server, q, self.timeout) {
             Ok(resp) => Ok(resp),
             Err(crate::DigError::Timeout) => Err(UpstreamError::Timeout),
             Err(crate::DigError::Io(e))
@@ -111,6 +126,25 @@ impl Upstream for SocketUpstream {
                 Err(UpstreamError::Timeout)
             }
             Err(_) => Err(UpstreamError::Rcode(Rcode::ServFail)),
+        }
+    }
+
+    /// Over real sockets the simulated encrypted transports degenerate to
+    /// the framed TCP exchange: DoT is TCP framing inside TLS and DoH adds
+    /// an HTTP envelope, and with no real crypto in the study both carry
+    /// the same length-prefixed message stream. UDP stays the datagram
+    /// attempt.
+    fn query_via(
+        &mut self,
+        q: &Message,
+        from: IpAddr,
+        now: SimTime,
+        transport: netsim::Transport,
+    ) -> Result<Message, UpstreamError> {
+        if transport.is_stream() {
+            self.query_tcp(q, from, now)
+        } else {
+            self.query(q, from, now)
         }
     }
 }

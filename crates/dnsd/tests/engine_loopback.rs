@@ -15,7 +15,7 @@ use authoritative::{AuthServer, EcsHandling, ScopePolicy, Zone};
 use dns_wire::{Message, Name, Question};
 use dnsd::{ServerFaults, SocketUpstream, TcpAuthServer, UdpAuthServer};
 use netsim::SimTime;
-use resolver::{Resolver, ResolverConfig};
+use resolver::{Resolver, ResolverConfig, Transport, TransportPolicy};
 
 fn name(s: &str) -> Name {
     Name::from_ascii(s).unwrap()
@@ -128,6 +128,115 @@ fn dropped_queries_are_retried_with_ecs_withdrawn() {
     assert!(log[0].ecs.is_none());
 
     handle.shutdown();
+}
+
+#[test]
+fn tcp_primary_policy_never_touches_udp() {
+    if !dnsd::testutil::require_loopback("tcp_primary_policy_never_touches_udp") {
+        return;
+    }
+    // A UDP server that swallows *everything*: if the TCP-pinned policy
+    // ever sent a datagram, the test would time out into retries.
+    let udp = UdpAuthServer::bind("127.0.0.1:0", demo_auth())
+        .expect("loopback available")
+        .with_faults(ServerFaults {
+            drop_first: u32::MAX,
+            ..ServerFaults::default()
+        });
+    let udp_addr = udp.local_addr().unwrap();
+    // The TCP listener on its own port, serving the same shared zone.
+    let Some(tcp) = dnsd::testutil::require_socket(
+        "tcp_primary_policy_never_touches_udp",
+        "binding a separate TCP listener",
+        TcpAuthServer::bind("127.0.0.1:0", udp.auth()),
+    ) else {
+        return;
+    };
+    let tcp_addr = tcp.local_addr().unwrap();
+    let udp_handle = udp.spawn();
+    let tcp_handle = tcp.spawn();
+
+    let mut up = SocketUpstream::new(udp_addr)
+        .unwrap()
+        .with_timeout(Duration::from_secs(2))
+        .with_tcp_server(tcp_addr);
+    let res_addr: IpAddr = RES.parse().unwrap();
+    let mut r = Resolver::new(ResolverConfig {
+        transport: TransportPolicy::prefer(Transport::Tcp),
+        ..ResolverConfig::rfc_compliant(res_addr)
+    });
+    let resp = r.resolve_msg(
+        &client_query(),
+        CLIENT.parse().unwrap(),
+        SimTime::ZERO,
+        &mut up,
+    );
+
+    assert_eq!(resp.answer_addrs().len(), 1, "served entirely over TCP");
+    let s = r.stats();
+    assert_eq!(s.upstream_timeouts, 0, "the hostile UDP path was never used");
+    assert_eq!(s.retries, 0);
+    assert_eq!(s.transport_fallbacks, 0, "first rung worked; no edge taken");
+    // Exactly one exchange reached the shared authoritative — through the
+    // TCP listener.
+    assert_eq!(udp_handle.auth.lock().log().len(), 1);
+
+    udp_handle.shutdown();
+    tcp_handle.shutdown();
+}
+
+#[test]
+fn udp_truncation_climbs_the_ladder_to_the_tcp_listener() {
+    if !dnsd::testutil::require_loopback("udp_truncation_climbs_the_ladder_to_the_tcp_listener") {
+        return;
+    }
+    let udp = UdpAuthServer::bind("127.0.0.1:0", demo_auth())
+        .expect("loopback available")
+        .with_faults(ServerFaults {
+            truncate_udp: true,
+            ..ServerFaults::default()
+        });
+    let udp_addr = udp.local_addr().unwrap();
+    let Some(tcp) = dnsd::testutil::require_socket(
+        "udp_truncation_climbs_the_ladder_to_the_tcp_listener",
+        "binding a separate TCP listener",
+        TcpAuthServer::bind("127.0.0.1:0", udp.auth()),
+    ) else {
+        return;
+    };
+    let tcp_addr = tcp.local_addr().unwrap();
+    let udp_handle = udp.spawn();
+    let tcp_handle = tcp.spawn();
+
+    let mut up = SocketUpstream::new(udp_addr)
+        .unwrap()
+        .with_timeout(Duration::from_secs(2))
+        .with_tcp_server(tcp_addr);
+    let res_addr: IpAddr = RES.parse().unwrap();
+    // An explicit UDP → TCP ladder: the TC reply takes the counted ladder
+    // edge instead of the legacy inline re-query.
+    let mut r = Resolver::new(ResolverConfig {
+        transport: TransportPolicy::with_ladder([Transport::Udp, Transport::Tcp]),
+        ..ResolverConfig::rfc_compliant(res_addr)
+    });
+    let resp = r.resolve_msg(
+        &client_query(),
+        CLIENT.parse().unwrap(),
+        SimTime::ZERO,
+        &mut up,
+    );
+
+    assert_eq!(resp.answer_addrs().len(), 1, "TCP rung recovered the answer");
+    assert!(!resp.flags.tc);
+    let s = r.stats();
+    assert_eq!(s.tcp_fallbacks, 1, "the RFC 7766 trigger fired");
+    assert_eq!(s.transport_fallbacks, 1, "…and climbed the ladder");
+    assert_eq!(s.servfail_responses, 0);
+    // One truncated UDP exchange plus one full TCP exchange.
+    assert_eq!(udp_handle.auth.lock().log().len(), 2);
+
+    udp_handle.shutdown();
+    tcp_handle.shutdown();
 }
 
 #[test]

@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use dns_wire::{Message, Name, Question, Rcode, Rdata, Record};
 use dnsd::UdpResolverServer;
-use resolver::ResolverConfig;
+use resolver::{ResolverConfig, Transport, TransportPolicy};
 
 /// A scripted authoritative: answers every A query with a fixed address
 /// after `delay`, counting the queries it saw. Single-threaded on
@@ -169,6 +169,82 @@ fn identical_queries_across_workers_share_one_upstream_flight() {
         "at least one query joined the open flight cross-worker"
     );
     assert_eq!(snap.counter("resolver_shed_queries_total"), Some(0));
+}
+
+#[test]
+fn tcp_pinned_pool_resolves_through_a_tcp_only_upstream() {
+    if !dnsd::testutil::require_loopback("tcp_pinned_pool_resolves_through_a_tcp_only_upstream") {
+        return;
+    }
+    // A TCP-only authoritative: the pool's upstream address has a TCP
+    // listener and *no* UDP listener, so only a TCP-pinned transport
+    // policy can resolve through it. The `UdpAuthServer` below is never
+    // spawned — it exists to own the shared zone state the TCP listener
+    // serves (and to read the query log back at the end).
+    let mut zone = authoritative::Zone::new(Name::from_ascii("hot.test").unwrap());
+    zone.add_a(
+        Name::from_ascii("hot.test").unwrap(),
+        60,
+        Ipv4Addr::new(198, 51, 100, 7),
+    )
+    .expect("fresh zone");
+    let auth = authoritative::AuthServer::new(
+        zone,
+        authoritative::EcsHandling::open(authoritative::ScopePolicy::MatchSource),
+    );
+    let donor = dnsd::UdpAuthServer::bind("127.0.0.1:0", auth).expect("loopback available");
+    let shared = donor.auth();
+    let Some(tcp) = dnsd::testutil::require_socket(
+        "tcp_pinned_pool_resolves_through_a_tcp_only_upstream",
+        "binding the TCP listener",
+        dnsd::TcpAuthServer::bind("127.0.0.1:0", donor.auth()),
+    ) else {
+        return;
+    };
+    let tcp_addr = tcp.local_addr().expect("bound");
+    let tcp_handle = tcp.spawn();
+    drop(donor); // the UDP socket closes; the shared zone lives on
+
+    let mut config = base_config();
+    config.transport = TransportPolicy::prefer(Transport::Tcp);
+    let handle = UdpResolverServer::bind("127.0.0.1:0", tcp_addr, config)
+        .expect("bind resolver")
+        .with_workers(2)
+        .with_upstream_timeout(Duration::from_secs(2))
+        .spawn()
+        .expect("spawn pool");
+    let server = handle.local_addr();
+
+    let client = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+    client
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+
+    // Four identical questions: the first resolves over TCP, the rest ride
+    // the shared cache (or join the flight) — none may SERVFAIL, which is
+    // what would happen if any worker tried the dead UDP path.
+    let queries: Vec<Vec<u8>> = (0..4u16)
+        .map(|id| {
+            Message::query(id, Question::a(Name::from_ascii("hot.test").unwrap()))
+                .to_bytes()
+                .unwrap()
+        })
+        .collect();
+    let responses = send_spaced_collect(&client, server, &queries, Duration::from_millis(30));
+
+    for r in &responses {
+        assert_eq!(r.rcode, Rcode::NoError);
+        assert_eq!(r.answer_addrs(), vec![Ipv4Addr::new(198, 51, 100, 7)]);
+    }
+
+    let snap = handle.shutdown();
+    let upstream_queries = snap.counter("resolver_upstream_queries_total").unwrap_or(0);
+    assert!(upstream_queries >= 1, "at least one exchange went upstream");
+    assert_eq!(snap.counter("resolver_servfail_responses_total"), Some(0));
+    // Engine accounting matches what the TCP listener actually served.
+    assert_eq!(shared.lock().log().len() as u64, upstream_queries);
+
+    tcp_handle.shutdown();
 }
 
 #[test]

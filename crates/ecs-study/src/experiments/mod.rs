@@ -15,6 +15,7 @@ pub mod overload;
 pub mod probing;
 pub mod table1;
 pub mod table2;
+pub mod transports;
 pub mod whitelist;
 
 use crate::report::Report;
@@ -115,6 +116,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "overload",
             "extension: graceful degradation under overload",
             overload::run_default,
+        ),
+        (
+            "transports",
+            "extension: transport fallback ladders on fragmenting paths",
+            transports::run_default,
         ),
     ]
 }

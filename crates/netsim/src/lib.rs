@@ -13,6 +13,9 @@
 //! * [`LatencyModel`] — distance → one-way delay, with deterministic jitter;
 //! * [`FaultPlan`] — deterministic fault injection (loss, blackholes, extra
 //!   jitter, DNS reply truncation and RCODE rewriting) on the send path;
+//! * [`TransportModel`] / [`TransportPlan`] — per-link DNS transport models
+//!   (UDP/TCP/DoT/DoH): handshake RTT accounting with connection reuse and
+//!   TLS resumption, plus EDNS-buffer/path-MTU datagram fate;
 //! * [`Simulation`] — the event loop: nodes implement [`Node`], receive
 //!   packets and timers, and emit actions through a [`Ctx`].
 //!
@@ -51,6 +54,7 @@ pub mod geo;
 pub mod latency;
 pub mod sim;
 pub mod time;
+pub mod transport;
 
 pub use addrbook::AddressBook;
 pub use event::{EventQueue, ScheduledEvent};
@@ -59,3 +63,7 @@ pub use geo::{GeoPoint, EARTH_RADIUS_KM};
 pub use latency::LatencyModel;
 pub use sim::{Ctx, Node, NodeId, Packet, Simulation};
 pub use time::{SimDuration, SimTime};
+pub use transport::{
+    DatagramFate, HandshakeCosts, PathProfile, Transport, TransportModel, TransportPlan,
+    TransportStats,
+};

@@ -160,6 +160,16 @@ pub enum EventKind {
     },
     /// A truncated reply triggered the RFC 7766 TCP fallback.
     TcpFallback,
+    /// The transport ladder moved to its next rung (RFC 7766-style
+    /// fallback generalized to the DoT/DoH ladder).
+    TransportFallback {
+        /// Transport the resolver was using (`"udp"`, `"tcp"`, ...).
+        from: &'static str,
+        /// Transport the resolver fell to.
+        to: &'static str,
+        /// `"truncated"` (TC bit) or `"exhausted"` (retry budget spent).
+        reason: &'static str,
+    },
     /// An upstream attempt failed.
     UpstreamFault {
         /// `"timeout"`, `"truncated"`, or `"rcode:<name>"`.
@@ -196,6 +206,7 @@ impl EventKind {
             EventKind::RetryBackoff { .. } => "retry_backoff",
             EventKind::EcsWithdrawn { .. } => "ecs_withdrawn",
             EventKind::TcpFallback => "tcp_fallback",
+            EventKind::TransportFallback { .. } => "transport_fallback",
             EventKind::UpstreamFault { .. } => "upstream_fault",
             EventKind::CoalescedJoin => "coalesced_join",
             EventKind::Shed => "shed",
@@ -214,6 +225,7 @@ impl EventKind {
         "retry_backoff",
         "ecs_withdrawn",
         "tcp_fallback",
+        "transport_fallback",
         "upstream_fault",
         "coalesced_join",
         "shed",
@@ -245,6 +257,9 @@ impl EventKind {
             }
             EventKind::EcsWithdrawn { reason } => format!(",\"reason\":\"{reason}\""),
             EventKind::TcpFallback => String::new(),
+            EventKind::TransportFallback { from, to, reason } => {
+                format!(",\"from\":\"{from}\",\"to\":\"{to}\",\"reason\":\"{reason}\"")
+            }
             EventKind::UpstreamFault { kind } => format!(",\"kind\":\"{}\"", escape(kind)),
             EventKind::CoalescedJoin => String::new(),
             EventKind::Shed => String::new(),
@@ -443,6 +458,11 @@ mod tests {
             },
             EventKind::EcsWithdrawn { reason: "timeout" },
             EventKind::TcpFallback,
+            EventKind::TransportFallback {
+                from: "udp",
+                to: "tcp",
+                reason: "truncated",
+            },
             EventKind::UpstreamFault {
                 kind: String::new(),
             },

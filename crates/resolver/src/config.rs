@@ -9,6 +9,7 @@ use netsim::SimDuration;
 use crate::cache::CacheCompliance;
 use crate::prefix_policy::PrefixPolicy;
 use crate::probing::ProbingStrategy;
+use crate::transport::TransportPolicy;
 
 /// Retry/backoff policy for upstream exchanges.
 ///
@@ -140,6 +141,11 @@ pub struct ResolverConfig {
     pub adaptive_prefix: bool,
     /// How upstream exchanges are retried when the transport fails.
     pub retry: RetryPolicy,
+    /// Which transports upstream exchanges may use and in what fallback
+    /// order, plus the advertised EDNS buffer. The default (UDP only,
+    /// 4096-byte buffer) reproduces the pre-transport-ladder engine
+    /// bit-for-bit.
+    pub transport: TransportPolicy,
     /// Graceful-degradation limits (cache bounds, coalescing, admission
     /// control, serve-stale). All off/unlimited by default.
     pub overload: OverloadConfig,
@@ -160,6 +166,7 @@ impl ResolverConfig {
             negative_ttl: 60,
             adaptive_prefix: false,
             retry: RetryPolicy::default(),
+            transport: TransportPolicy::default(),
             overload: OverloadConfig::default(),
         }
     }

@@ -74,11 +74,49 @@ pub trait Upstream {
     ) -> Result<Message, UpstreamError> {
         self.query(q, from, now)
     }
+
+    /// Performs one exchange over an explicit transport (the ladder rungs
+    /// of [`crate::TransportPolicy`]). The default maps the datagram
+    /// transport to [`Upstream::query`] and every stream transport (TCP,
+    /// DoT, DoH) to [`Upstream::query_tcp`] — correct for upstreams that
+    /// don't model transports; transport-aware implementations
+    /// ([`crate::TransportUpstream`]) override this.
+    fn query_via(
+        &mut self,
+        q: &Message,
+        from: IpAddr,
+        now: SimTime,
+        transport: netsim::Transport,
+    ) -> Result<Message, UpstreamError> {
+        match transport {
+            netsim::Transport::Udp => self.query(q, from, now),
+            _ => self.query_tcp(q, from, now),
+        }
+    }
 }
 
 impl Upstream for AuthServer {
     fn query(&mut self, q: &Message, from: IpAddr, now: SimTime) -> Result<Message, UpstreamError> {
         Ok(self.handle(q, from, now))
+    }
+
+    /// Stream responses are never truncated (RFC 7766): when the handler
+    /// truncated against the advertised UDP buffer, re-handle with the
+    /// maximum advertisement — mirroring `dnsd`'s TCP listener, which does
+    /// exactly this, so the engine and socket sides stay byte-identical.
+    fn query_tcp(
+        &mut self,
+        q: &Message,
+        from: IpAddr,
+        now: SimTime,
+    ) -> Result<Message, UpstreamError> {
+        let resp = self.handle(q, from, now);
+        if resp.flags.tc {
+            let mut big = q.clone();
+            big.set_edns(u16::MAX);
+            return Ok(self.handle(&big, from, now));
+        }
+        Ok(resp)
     }
 }
 
@@ -139,6 +177,18 @@ impl Upstream for ZoneRouter {
     }
 }
 
+/// The first stream rung strictly after `rung`, if the ladder has one —
+/// where a TC-bit truncation sends the exchange (re-asking over another
+/// datagram transport could only truncate again).
+fn next_stream_rung(ladder: &[netsim::Transport], rung: usize) -> Option<usize> {
+    ladder
+        .iter()
+        .enumerate()
+        .skip(rung + 1)
+        .find(|(_, t)| t.is_stream())
+        .map(|(i, _)| i)
+}
+
 /// Counters for one resolver's upstream traffic. All counters update with
 /// saturating arithmetic — overload is exactly when they get hammered.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
@@ -158,6 +208,10 @@ pub struct ResolverStats {
     pub ecs_withdrawals: u64,
     /// TC-bit replies that triggered a TCP re-query (RFC 7766).
     pub tcp_fallbacks: u64,
+    /// Transport-ladder edges taken: exchanges that moved to the next
+    /// rung of the [`crate::TransportPolicy`] ladder (truncation jumps
+    /// and exhausted-budget falls).
+    pub transport_fallbacks: u64,
     /// Client queries answered SERVFAIL after the attempt budget ran out.
     pub servfail_responses: u64,
     /// Client queries shed by admission control (in-flight cap).
@@ -173,7 +227,7 @@ impl ResolverStats {
     /// (no code generation offline), so emission is hand-rolled here.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"client_queries\":{},\"upstream_queries\":{},\"upstream_ecs_queries\":{},\"retries\":{},\"upstream_timeouts\":{},\"ecs_withdrawals\":{},\"tcp_fallbacks\":{},\"servfail_responses\":{},\"shed_queries\":{},\"coalesced_queries\":{},\"stale_answers\":{}}}",
+            "{{\"client_queries\":{},\"upstream_queries\":{},\"upstream_ecs_queries\":{},\"retries\":{},\"upstream_timeouts\":{},\"ecs_withdrawals\":{},\"tcp_fallbacks\":{},\"transport_fallbacks\":{},\"servfail_responses\":{},\"shed_queries\":{},\"coalesced_queries\":{},\"stale_answers\":{}}}",
             self.client_queries,
             self.upstream_queries,
             self.upstream_ecs_queries,
@@ -181,6 +235,7 @@ impl ResolverStats {
             self.upstream_timeouts,
             self.ecs_withdrawals,
             self.tcp_fallbacks,
+            self.transport_fallbacks,
             self.servfail_responses,
             self.shed_queries,
             self.coalesced_queries,
@@ -202,6 +257,10 @@ struct ResolverMetrics {
     upstream_timeouts: obs::Counter,
     ecs_withdrawals: obs::Counter,
     tcp_fallbacks: obs::Counter,
+    transport_fallbacks: obs::Counter,
+    fallbacks_to_tcp: obs::Counter,
+    fallbacks_to_dot: obs::Counter,
+    fallbacks_to_doh: obs::Counter,
     servfail_responses: obs::Counter,
     shed_queries: obs::Counter,
     coalesced_queries: obs::Counter,
@@ -221,6 +280,13 @@ impl ResolverMetrics {
             upstream_timeouts: registry.counter("resolver_upstream_timeouts_total"),
             ecs_withdrawals: registry.counter("resolver_ecs_withdrawals_total"),
             tcp_fallbacks: registry.counter("resolver_tcp_fallbacks_total"),
+            // Ladder counters are registered eagerly (not on first edge) so
+            // differential snapshots of fallback-free runs stay exactly
+            // equal across subjects.
+            transport_fallbacks: registry.counter("resolver_transport_fallbacks_total"),
+            fallbacks_to_tcp: registry.counter("resolver_transport_fallbacks_to_tcp_total"),
+            fallbacks_to_dot: registry.counter("resolver_transport_fallbacks_to_dot_total"),
+            fallbacks_to_doh: registry.counter("resolver_transport_fallbacks_to_doh_total"),
             servfail_responses: registry.counter("resolver_servfail_responses_total"),
             shed_queries: registry.counter("resolver_shed_queries_total"),
             coalesced_queries: registry.counter("resolver_coalesced_queries_total"),
@@ -412,6 +478,7 @@ impl Resolver {
             upstream_timeouts: self.stats.upstream_timeouts.get(),
             ecs_withdrawals: self.stats.ecs_withdrawals.get(),
             tcp_fallbacks: self.stats.tcp_fallbacks.get(),
+            transport_fallbacks: self.stats.transport_fallbacks.get(),
             servfail_responses: self.stats.servfail_responses.get(),
             shed_queries: self.stats.shed_queries.get(),
             coalesced_queries: self.stats.coalesced_queries.get(),
@@ -541,10 +608,31 @@ impl Resolver {
         upstream: &mut U,
     ) -> (Message, Option<Message>) {
         let policy = self.config.retry.clone();
-        let attempts = policy.attempts.max(1);
+        // The transport ladder: with the default UDP-only policy this loop
+        // is line-for-line the legacy retry loop (one rung, whole budget,
+        // inline RFC 7766 TCP re-query on TC). With more rungs, truncation
+        // jumps to the next *stream* rung and an exhausted per-rung budget
+        // falls to the next rung, each edge counted and traced.
+        let ladder: Vec<netsim::Transport> = if self.config.transport.ladder.is_empty() {
+            vec![netsim::Transport::Udp]
+        } else {
+            self.config.transport.ladder.clone()
+        };
+        let per_rung = self
+            .config
+            .transport
+            .attempts_per_transport
+            .unwrap_or(policy.attempts)
+            .max(1);
+        let mut rung = 0usize;
         let mut at = now;
+        // `attempt` numbers the exchange globally (trace labels);
+        // `rung_attempt` is the budget spent on the current rung and the
+        // index into the backoff schedule, which restarts per rung.
         let mut attempt: u8 = 0;
+        let mut rung_attempt: u8 = 0;
         loop {
+            let transport = ladder[rung];
             let attempt_span = if pending.trace.is_enabled() {
                 self.tracer.child(
                     pending.trace,
@@ -558,11 +646,27 @@ impl Resolver {
                 TraceCtx::DISABLED
             };
             let mut backoff = netsim::SimDuration::ZERO;
-            match upstream.query(&pending.upstream_query, self.config.addr, at) {
-                Ok(resp) if resp.flags.tc => {
-                    // RFC 7766: a truncated UDP reply is re-asked over TCP.
+            match upstream.query_via(&pending.upstream_query, self.config.addr, at, transport) {
+                Ok(resp) if resp.flags.tc && !transport.is_stream() => {
+                    // RFC 7766: a truncated UDP reply is re-asked over a
+                    // stream — the ladder's next stream rung when one is
+                    // configured, the inline TCP re-query otherwise.
                     self.stats.tcp_fallbacks.inc();
                     self.trace_event(attempt_span, at, &EventKind::TcpFallback);
+                    if let Some(next) = next_stream_rung(&ladder, rung) {
+                        rung = self.note_transport_fallback(
+                            &ladder,
+                            rung,
+                            next,
+                            "truncated",
+                            pending.trace,
+                            at,
+                        );
+                        rung_attempt = 0;
+                        attempt = attempt.saturating_add(1);
+                        self.note_retry_sent(&pending.upstream_query);
+                        continue;
+                    }
                     if let Ok(full) =
                         upstream.query_tcp(&pending.upstream_query, self.config.addr, at)
                     {
@@ -623,6 +727,20 @@ impl Resolver {
                         self.tracer
                             .event(attempt_span, at.as_micros(), &EventKind::TcpFallback);
                     }
+                    if let Some(next) = next_stream_rung(&ladder, rung) {
+                        rung = self.note_transport_fallback(
+                            &ladder,
+                            rung,
+                            next,
+                            "truncated",
+                            pending.trace,
+                            at,
+                        );
+                        rung_attempt = 0;
+                        attempt = attempt.saturating_add(1);
+                        self.note_retry_sent(&pending.upstream_query);
+                        continue;
+                    }
                     if let Ok(full) =
                         upstream.query_tcp(&pending.upstream_query, self.config.addr, at)
                     {
@@ -641,7 +759,7 @@ impl Resolver {
                         );
                     }
                     let had_ecs = pending.upstream_query.ecs().is_some();
-                    backoff = self.note_upstream_timeout(&mut pending.upstream_query, attempt);
+                    backoff = self.note_upstream_timeout(&mut pending.upstream_query, rung_attempt);
                     if had_ecs && pending.upstream_query.ecs().is_none() {
                         self.trace_event(
                             attempt_span,
@@ -663,9 +781,22 @@ impl Resolver {
                     }
                 }
             }
-            attempt += 1;
-            if attempt >= attempts {
-                return (self.answer_failure(&pending, at), None);
+            attempt = attempt.saturating_add(1);
+            rung_attempt += 1;
+            if rung_attempt >= per_rung {
+                if rung + 1 < ladder.len() {
+                    rung = self.note_transport_fallback(
+                        &ladder,
+                        rung,
+                        rung + 1,
+                        "exhausted",
+                        pending.trace,
+                        at,
+                    );
+                    rung_attempt = 0;
+                } else {
+                    return (self.answer_failure(&pending, at), None);
+                }
             }
             if pending.trace.is_enabled() {
                 self.tracer.event(
@@ -679,6 +810,36 @@ impl Resolver {
             }
             self.note_retry_sent(&pending.upstream_query);
         }
+    }
+
+    /// Counts and traces one transport-ladder edge (`ladder[from]` →
+    /// `ladder[to]` for `reason`), returning the new rung index.
+    fn note_transport_fallback(
+        &mut self,
+        ladder: &[netsim::Transport],
+        from: usize,
+        to: usize,
+        reason: &'static str,
+        trace: TraceCtx,
+        at: SimTime,
+    ) -> usize {
+        self.stats.transport_fallbacks.inc();
+        match ladder[to] {
+            netsim::Transport::Tcp => self.stats.fallbacks_to_tcp.inc(),
+            netsim::Transport::Dot => self.stats.fallbacks_to_dot.inc(),
+            netsim::Transport::Doh => self.stats.fallbacks_to_doh.inc(),
+            netsim::Transport::Udp => {}
+        }
+        self.trace_event(
+            trace,
+            at,
+            &EventKind::TransportFallback {
+                from: ladder[from].label(),
+                to: ladder[to].label(),
+                reason,
+            },
+        );
+        to
     }
 
     /// Records a timed-out attempt (0-based `attempt`) for an exchange whose
@@ -927,7 +1088,7 @@ impl Resolver {
             &mut self.probing_state,
         );
         let mut upstream_q = Message::query(self.take_id(), question.clone());
-        upstream_q.set_edns(4096);
+        upstream_q.set_edns(self.config.transport.edns_buf);
         match decision {
             EcsDecision::SendClientEcs => {
                 let mut opt = self.config.prefix_policy.build(

@@ -64,6 +64,7 @@ pub mod flight;
 pub mod prefix_policy;
 pub mod probing;
 pub mod shared_cache;
+pub mod transport;
 
 pub use cache::{CacheCompliance, CacheLimits, CacheStats, EcsCache};
 pub use config::{OverloadConfig, ResolverConfig, RetryPolicy};
@@ -75,3 +76,6 @@ pub use flight::{Admission, Flight, FlightTable, OwnerToken};
 pub use prefix_policy::PrefixPolicy;
 pub use probing::{ProbingState, ProbingStrategy};
 pub use shared_cache::SharedEcsCache;
+pub use transport::{
+    Transport, TransportFault, TransportFaults, TransportPolicy, TransportStats, TransportUpstream,
+};

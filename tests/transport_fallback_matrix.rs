@@ -1,0 +1,203 @@
+//! The transport-fallback matrix: scripted per-transport faults pinning
+//! every edge of the engine's transport ladder.
+//!
+//! Each cell wires a [`TransportUpstream`] with a standing fault (lossy
+//! fragmentation on UDP, REFUSED on TCP, a black-holed DoT handshake) under
+//! an explicit [`TransportPolicy`] ladder and asserts three things:
+//!
+//! 1. the expected ladder edge is taken (legacy stats + the per-target
+//!    `resolver_transport_fallbacks_to_*_total` counters);
+//! 2. the client outcome is right (full answer after a successful fall,
+//!    SERVFAIL only when every rung is broken);
+//! 3. RFC 7871 §7.1.3 ECS withdrawal survives the ladder: a timeout-driven
+//!    withdrawal on one rung stays withdrawn on the rung that answers.
+
+use std::net::{IpAddr, Ipv4Addr};
+
+use authoritative::{AuthServer, EcsHandling, ScopePolicy, Zone};
+use dns_wire::{Message, Name, Question, Rcode};
+use netsim::{PathProfile, SimTime, Transport};
+use obs::MetricValue;
+use resolver::{
+    ProbingStrategy, Resolver, ResolverConfig, TransportFault, TransportFaults, TransportPolicy,
+    TransportUpstream,
+};
+
+const RES: IpAddr = IpAddr::V4(Ipv4Addr::new(9, 9, 9, 9));
+const CLIENT: IpAddr = IpAddr::V4(Ipv4Addr::new(100, 70, 1, 10));
+
+fn name(s: &str) -> Name {
+    Name::from_ascii(s).unwrap()
+}
+
+/// A zone whose answer (~1 kB) overflows both a 512-byte EDNS buffer and a
+/// 512-byte path MTU, but fits the engine's default 4096 advertisement.
+fn big_auth() -> AuthServer {
+    let mut zone = Zone::new(name("big.test"));
+    for i in 0..60u8 {
+        zone.add_a(name("www.big.test"), 60, Ipv4Addr::new(198, 51, 100, i))
+            .unwrap();
+    }
+    AuthServer::new(zone, EcsHandling::open(ScopePolicy::MatchSource))
+}
+
+fn config(transport: TransportPolicy) -> ResolverConfig {
+    ResolverConfig {
+        probing: ProbingStrategy::Always,
+        transport,
+        ..ResolverConfig::rfc_compliant(RES)
+    }
+}
+
+fn counter(r: &Resolver, series: &str) -> u64 {
+    match r.metrics_snapshot().series.get(series) {
+        Some(MetricValue::Counter(v)) => *v,
+        other => panic!("{series} is not a counter: {other:?}"),
+    }
+}
+
+fn ask(r: &mut Resolver, up: &mut TransportUpstream<AuthServer>) -> Message {
+    let q = Message::query(1, Question::a(name("www.big.test")));
+    r.resolve_msg(&q, CLIENT, SimTime::ZERO, up)
+}
+
+#[test]
+fn fragment_loss_exhausts_udp_and_falls_to_tcp() {
+    let mut policy = TransportPolicy::full_ladder();
+    policy.attempts_per_transport = Some(2);
+    let mut r = Resolver::new(config(policy));
+    let mut up = TransportUpstream::new(big_auth(), 7).with_profile(PathProfile {
+        mtu: 512,
+        frag_loss: 1.0,
+    });
+
+    let resp = ask(&mut r, &mut up);
+    assert_eq!(resp.rcode, Rcode::NoError);
+    assert_eq!(resp.answers.len(), 60, "TCP rung delivered the full answer");
+
+    let stats = r.stats();
+    assert_eq!(stats.upstream_timeouts, 2, "both UDP attempts fragmented away");
+    assert_eq!(stats.transport_fallbacks, 1);
+    assert_eq!(counter(&r, "resolver_transport_fallbacks_total"), 1);
+    assert_eq!(counter(&r, "resolver_transport_fallbacks_to_tcp_total"), 1);
+    assert_eq!(counter(&r, "resolver_transport_fallbacks_to_dot_total"), 0);
+    assert_eq!(up.stats().fragments_dropped, 2);
+    assert_eq!(up.stats().exchanges_over(Transport::Tcp), 1);
+}
+
+#[test]
+fn truncation_jumps_to_the_next_stream_rung() {
+    let policy = TransportPolicy {
+        edns_buf: 512,
+        ..TransportPolicy::with_ladder([Transport::Udp, Transport::Tcp])
+    };
+    let mut r = Resolver::new(config(policy));
+    let mut up = TransportUpstream::new(big_auth(), 7);
+
+    let resp = ask(&mut r, &mut up);
+    assert_eq!(resp.answers.len(), 60);
+
+    let stats = r.stats();
+    assert_eq!(stats.tcp_fallbacks, 1, "the RFC 7766 trigger fired");
+    assert_eq!(stats.transport_fallbacks, 1, "…and took the ladder edge");
+    assert_eq!(stats.upstream_timeouts, 0, "truncation is not a timeout");
+    assert_eq!(counter(&r, "resolver_transport_fallbacks_to_tcp_total"), 1);
+    assert_eq!(up.stats().exchanges_over(Transport::Udp), 1);
+    assert_eq!(up.stats().exchanges_over(Transport::Tcp), 1);
+}
+
+#[test]
+fn refused_tcp_falls_to_dot() {
+    let mut policy = TransportPolicy::with_ladder([Transport::Tcp, Transport::Dot]);
+    policy.attempts_per_transport = Some(1);
+    let mut r = Resolver::new(config(policy));
+    let mut up = TransportUpstream::new(big_auth(), 7).with_faults(TransportFaults {
+        tcp: Some(TransportFault::Refused),
+        ..TransportFaults::NONE
+    });
+
+    let resp = ask(&mut r, &mut up);
+    assert_eq!(resp.rcode, Rcode::NoError);
+    assert_eq!(resp.answers.len(), 60);
+
+    let stats = r.stats();
+    assert_eq!(stats.servfail_responses, 0);
+    assert_eq!(stats.transport_fallbacks, 1);
+    assert_eq!(counter(&r, "resolver_transport_fallbacks_to_dot_total"), 1);
+    assert_eq!(counter(&r, "resolver_transport_fallbacks_to_tcp_total"), 0);
+    assert_eq!(up.stats().exchanges_over(Transport::Dot), 1);
+}
+
+#[test]
+fn dot_timeout_withdraws_ecs_and_the_withdrawal_survives_the_fall() {
+    let mut policy = TransportPolicy::with_ladder([Transport::Dot, Transport::Doh]);
+    policy.attempts_per_transport = Some(2);
+    let mut r = Resolver::new(config(policy));
+    let mut up = TransportUpstream::new(big_auth(), 7).with_faults(TransportFaults {
+        dot: Some(TransportFault::Timeout),
+        ..TransportFaults::NONE
+    });
+
+    let resp = ask(&mut r, &mut up);
+    assert_eq!(resp.rcode, Rcode::NoError);
+    assert_eq!(resp.answers.len(), 60);
+
+    let stats = r.stats();
+    assert_eq!(stats.upstream_timeouts, 2);
+    assert_eq!(
+        stats.ecs_withdrawals, 1,
+        "the first DoT timeout withdrew ECS (RFC 7871 §7.1.3)"
+    );
+    assert_eq!(stats.transport_fallbacks, 1);
+    assert_eq!(counter(&r, "resolver_transport_fallbacks_to_doh_total"), 1);
+    // The faulted DoT rung never reached the authoritative; the one
+    // exchange that did — over DoH — must carry the withdrawn (absent)
+    // ECS option.
+    let log = up.inner().log();
+    assert_eq!(log.len(), 1, "only the DoH exchange reached the server");
+    assert!(
+        log[0].ecs.is_none(),
+        "the §7.1.3 withdrawal survived the transport fall"
+    );
+}
+
+#[test]
+fn all_rungs_faulted_ends_in_servfail() {
+    let mut policy = TransportPolicy::with_ladder([Transport::Udp, Transport::Tcp]);
+    policy.attempts_per_transport = Some(1);
+    let mut r = Resolver::new(config(policy));
+    let mut up = TransportUpstream::new(big_auth(), 7).with_faults(TransportFaults {
+        udp: Some(TransportFault::Timeout),
+        tcp: Some(TransportFault::Refused),
+        ..TransportFaults::NONE
+    });
+
+    let resp = ask(&mut r, &mut up);
+    assert_eq!(resp.rcode, Rcode::ServFail);
+
+    let stats = r.stats();
+    assert_eq!(stats.servfail_responses, 1);
+    assert_eq!(stats.upstream_timeouts, 1);
+    assert_eq!(stats.transport_fallbacks, 1, "the one available edge was tried");
+    assert_eq!(up.inner().log().len(), 0, "nothing ever reached the server");
+}
+
+#[test]
+fn fallback_cells_are_deterministic() {
+    let run = || {
+        let mut policy = TransportPolicy::full_ladder();
+        policy.attempts_per_transport = Some(2);
+        let mut r = Resolver::new(config(policy));
+        let mut up = TransportUpstream::new(big_auth(), 7).with_profile(PathProfile {
+            mtu: 512,
+            frag_loss: 1.0,
+        });
+        let resp = ask(&mut r, &mut up).to_bytes().unwrap();
+        (resp, r.stats(), up.stats())
+    };
+    let (resp_a, stats_a, tstats_a) = run();
+    let (resp_b, stats_b, tstats_b) = run();
+    assert_eq!(resp_a, resp_b);
+    assert_eq!(stats_a, stats_b);
+    assert_eq!(tstats_a, tstats_b);
+}
