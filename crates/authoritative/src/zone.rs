@@ -39,6 +39,7 @@ impl std::error::Error for ZoneError {}
 pub struct Zone {
     apex: Name,
     records: HashMap<(Name, RecordType), Vec<Record>>,
+    synth_a: Option<(u32, std::net::Ipv4Addr)>,
 }
 
 impl Zone {
@@ -47,7 +48,17 @@ impl Zone {
         Zone {
             apex,
             records: HashMap::new(),
+            synth_a: None,
         }
+    }
+
+    /// Synthesizes an A record (with this TTL and address) for any in-zone
+    /// name that has no static data — a wildcard-style catch-all, so a scan
+    /// authoritative can answer millions of unique probe names without
+    /// holding per-name state. Off by default.
+    pub fn set_synth_a(&mut self, ttl: u32, addr: std::net::Ipv4Addr) -> &mut Self {
+        self.synth_a = Some((ttl, addr));
+        self
     }
 
     /// Zone apex.
@@ -131,12 +142,21 @@ impl Zone {
             }
             break;
         }
+        if out.is_empty() && rtype == RecordType::A {
+            if let Some((ttl, addr)) = self.synth_a {
+                if name.is_subdomain_of(&self.apex) {
+                    out.push(Record::new(name.clone(), ttl, Rdata::A(addr)));
+                }
+            }
+        }
         out
     }
 
-    /// True when the name owns any record (of any type).
+    /// True when the name owns any record (of any type). With
+    /// [`Zone::set_synth_a`] enabled every in-zone name exists.
     pub fn name_exists(&self, name: &Name) -> bool {
-        self.records.keys().any(|(n, _)| n == name)
+        (self.synth_a.is_some() && name.is_subdomain_of(&self.apex))
+            || self.records.keys().any(|(n, _)| n == name)
     }
 
     /// Number of record sets.
@@ -232,6 +252,27 @@ mod tests {
         let rs = z.lookup(&name("a.example.com"), RecordType::A);
         assert_eq!(rs.len(), 1);
         assert_eq!(rs[0].rtype(), RecordType::Cname);
+    }
+
+    #[test]
+    fn synth_a_answers_any_in_zone_name() {
+        let mut z = zone();
+        z.set_synth_a(60, Ipv4Addr::new(203, 0, 113, 9));
+        // A previously-missing name now synthesizes one A record…
+        let rs = z.lookup(&name("p123.x1-2-3-4.example.com"), RecordType::A);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].ttl, 60);
+        assert!(z.name_exists(&name("p123.x1-2-3-4.example.com")));
+        // …static data still wins…
+        let rs = z.lookup(&name("www.example.com"), RecordType::A);
+        assert_eq!(rs.len(), 2);
+        // …and out-of-zone names stay absent.
+        assert!(z.lookup(&name("www.other.org"), RecordType::A).is_empty());
+        assert!(!z.name_exists(&name("www.other.org")));
+        // Non-A types are not synthesized.
+        assert!(z
+            .lookup(&name("p123.x1-2-3-4.example.com"), RecordType::Txt)
+            .is_empty());
     }
 
     #[test]

@@ -55,7 +55,7 @@ fn base_config_over(probing: ProbingStrategy, transport: Transport) -> ResolverC
 /// misses repeat at 300 s — beyond the short window), and four `siteN`
 /// names asked on a 97 s lattice by rotating routable clients (per-name
 /// spacing 388 s, so every site query is a cache miss).
-fn probing_workload(scenario: &Scenario) -> Vec<(SimTime, Name, IpAddr)> {
+pub fn probing_workload(scenario: &Scenario) -> Vec<(SimTime, Name, IpAddr)> {
     let probe = host("probe", scenario);
     let prober = IpAddr::V4(Ipv4Addr::new(100, 70, 0, 9));
     // (time, tie-break tag, name, client)

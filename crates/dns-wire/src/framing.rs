@@ -128,7 +128,9 @@ fn unframe_http(buf: &[u8], start_ok: impl FnOnce(&str) -> bool) -> WireResult<(
     };
     let body_start = head_end + 4;
     if buf.len() < body_start + len {
-        return Err(WireError::Truncated { context: "doh body" });
+        return Err(WireError::Truncated {
+            context: "doh body",
+        });
     }
     Ok((&buf[body_start..body_start + len], body_start + len))
 }

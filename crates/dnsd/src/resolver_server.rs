@@ -50,7 +50,10 @@ use std::time::{Duration, Instant};
 
 use dns_wire::Message;
 use netsim::SimTime;
-use resolver::{Admission, FlightTable, Resolver, ResolverConfig, SharedEcsCache, Step};
+use resolver::{
+    Admission, FlightTable, Resolver, ResolverConfig, SharedEcsCache, Step, TransportFaults,
+    TransportUpstream, Upstream, UpstreamError,
+};
 
 use crate::batch::{RecvBatch, SendBatch, DEFAULT_BATCH};
 use crate::upstream::SocketUpstream;
@@ -89,6 +92,7 @@ pub struct UdpResolverServer {
     batch: usize,
     cache_shards: usize,
     upstream_timeout: Duration,
+    upstream_faults: Option<(TransportFaults, u64)>,
     metrics: FrontEndMetrics,
 }
 
@@ -113,8 +117,20 @@ impl UdpResolverServer {
             batch: DEFAULT_BATCH,
             cache_shards: 0, // 0 = follow the worker count
             upstream_timeout: Duration::from_millis(500),
+            upstream_faults: None,
             metrics: FrontEndMetrics::new(),
         })
+    }
+
+    /// Scan/soak mode: every worker's upstream is wrapped in a
+    /// [`resolver::TransportUpstream`] carrying `faults` as standing
+    /// per-transport faults, seeded with `seed + worker index` so each
+    /// worker draws an independent deterministic fault stream. Without
+    /// this call the serving path is untouched (no wrapper, bit-identical
+    /// to before the scan mode existed).
+    pub fn with_upstream_faults(mut self, faults: TransportFaults, seed: u64) -> Self {
+        self.upstream_faults = Some((faults, seed));
+        self
     }
 
     /// Sets how many worker threads [`UdpResolverServer::spawn`] starts
@@ -174,8 +190,14 @@ impl UdpResolverServer {
         let mut threads = Vec::with_capacity(self.workers);
         for w in 0..self.workers {
             let socket = self.socket.try_clone()?;
-            let upstream =
+            let plain =
                 SocketUpstream::new(self.upstream_addr)?.with_timeout(self.upstream_timeout);
+            let upstream = match self.upstream_faults {
+                None => WorkerUpstream::Plain(plain),
+                Some((faults, seed)) => WorkerUpstream::Faulted(Box::new(
+                    TransportUpstream::new(plain, seed.wrapping_add(w as u64)).with_faults(faults),
+                )),
+            };
             let engine = Resolver::with_shared_cache(self.config.clone(), Arc::clone(&cache));
             let worker = Worker {
                 socket,
@@ -276,11 +298,60 @@ impl Drop for ResolverServerHandle {
     }
 }
 
+/// A worker's upstream: the bare socket, or — in scan/soak mode — the
+/// same socket behind a [`TransportUpstream`] injecting standing
+/// per-transport faults. An enum rather than an unconditional wrapper so
+/// the default path stays byte-identical to the pre-scan-mode server
+/// (the differential tests compare it against the event-driven engine).
+enum WorkerUpstream {
+    Plain(SocketUpstream),
+    Faulted(Box<TransportUpstream<SocketUpstream>>),
+}
+
+impl Upstream for WorkerUpstream {
+    fn query(
+        &mut self,
+        q: &Message,
+        from: std::net::IpAddr,
+        now: SimTime,
+    ) -> Result<Message, UpstreamError> {
+        match self {
+            WorkerUpstream::Plain(u) => u.query(q, from, now),
+            WorkerUpstream::Faulted(u) => u.query(q, from, now),
+        }
+    }
+
+    fn query_tcp(
+        &mut self,
+        q: &Message,
+        from: std::net::IpAddr,
+        now: SimTime,
+    ) -> Result<Message, UpstreamError> {
+        match self {
+            WorkerUpstream::Plain(u) => u.query_tcp(q, from, now),
+            WorkerUpstream::Faulted(u) => u.query_tcp(q, from, now),
+        }
+    }
+
+    fn query_via(
+        &mut self,
+        q: &Message,
+        from: std::net::IpAddr,
+        now: SimTime,
+        transport: netsim::Transport,
+    ) -> Result<Message, UpstreamError> {
+        match self {
+            WorkerUpstream::Plain(u) => u.query_via(q, from, now, transport),
+            WorkerUpstream::Faulted(u) => u.query_via(q, from, now, transport),
+        }
+    }
+}
+
 /// One worker thread's state.
 struct Worker {
     socket: UdpSocket,
     engine: Resolver,
-    upstream: SocketUpstream,
+    upstream: WorkerUpstream,
     flights: Arc<FlightTable>,
     stop: Arc<AtomicBool>,
     metrics: FrontEndMetrics,

@@ -174,7 +174,10 @@ fn tcp_primary_policy_never_touches_udp() {
 
     assert_eq!(resp.answer_addrs().len(), 1, "served entirely over TCP");
     let s = r.stats();
-    assert_eq!(s.upstream_timeouts, 0, "the hostile UDP path was never used");
+    assert_eq!(
+        s.upstream_timeouts, 0,
+        "the hostile UDP path was never used"
+    );
     assert_eq!(s.retries, 0);
     assert_eq!(s.transport_fallbacks, 0, "first rung worked; no edge taken");
     // Exactly one exchange reached the shared authoritative — through the
@@ -226,7 +229,11 @@ fn udp_truncation_climbs_the_ladder_to_the_tcp_listener() {
         &mut up,
     );
 
-    assert_eq!(resp.answer_addrs().len(), 1, "TCP rung recovered the answer");
+    assert_eq!(
+        resp.answer_addrs().len(),
+        1,
+        "TCP rung recovered the answer"
+    );
     assert!(!resp.flags.tc);
     let s = r.stats();
     assert_eq!(s.tcp_fallbacks, 1, "the RFC 7766 trigger fired");

@@ -13,6 +13,7 @@ pub mod fig67;
 pub mod fig8;
 pub mod overload;
 pub mod probing;
+pub mod scan;
 pub mod table1;
 pub mod table2;
 pub mod transports;
@@ -121,6 +122,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "transports",
             "extension: transport fallback ladders on fragmenting paths",
             transports::run_default,
+        ),
+        (
+            "scan",
+            "dataset (ii): mass-scan robustness sweep",
+            scan::run_default,
         ),
     ]
 }

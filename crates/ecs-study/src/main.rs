@@ -56,6 +56,11 @@ fn telemetry_runner(id: &str) -> Option<fn() -> (Report, Telemetry)> {
                 ecs_study::experiments::overload::run_telemetry(&Default::default());
             (report, telemetry)
         }),
+        "scan" => Some(|| {
+            let (_, report, telemetry) =
+                ecs_study::experiments::scan::run_telemetry(&Default::default());
+            (report, telemetry)
+        }),
         _ => None,
     }
 }

@@ -3,7 +3,8 @@
 //! A [`FaultPlan`] describes, per directed link (with a plan-wide default),
 //! which failures packets experience: probabilistic loss, extra latency
 //! jitter, a silent blackhole, and — for DNS-shaped reply payloads —
-//! truncation (TC bit) and RCODE rewriting (SERVFAIL/FORMERR). The plan is
+//! truncation (TC bit) and RCODE rewriting (SERVFAIL/FORMERR/REFUSED). The
+//! plan is
 //! consulted on [`crate::Simulation`]'s send path, draws all randomness
 //! from the simulation's single seeded RNG, and counts every injected
 //! fault in [`FaultStats`], so two runs with the same seed inject exactly
@@ -44,6 +45,10 @@ pub struct LinkFaults {
     /// Probability a DNS reply's RCODE is rewritten to FORMERR (records
     /// stripped, as a pre-EDNS server would answer).
     pub formerr_replies: f64,
+    /// Probability a DNS reply's RCODE is rewritten to REFUSED (records
+    /// stripped, as a policy-refusing forwarder answers) — the signal the
+    /// scanner's circuit breakers trip on.
+    pub refused_replies: f64,
 }
 
 impl LinkFaults {
@@ -55,6 +60,7 @@ impl LinkFaults {
         truncate_replies: 0.0,
         servfail_replies: 0.0,
         formerr_replies: 0.0,
+        refused_replies: 0.0,
     };
 
     /// Pure packet loss at probability `p`.
@@ -182,6 +188,9 @@ impl FaultPlan {
                 stats.rcode_injected += 1;
             } else if f.formerr_replies > 0.0 && rng.gen::<f64>() < f.formerr_replies {
                 dns_set_rcode(payload, 1); // FORMERR
+                stats.rcode_injected += 1;
+            } else if f.refused_replies > 0.0 && rng.gen::<f64>() < f.refused_replies {
+                dns_set_rcode(payload, 5); // REFUSED
                 stats.rcode_injected += 1;
             }
         }
@@ -360,6 +369,13 @@ mod tests {
                     ..LinkFaults::NONE
                 },
                 1,
+            ),
+            (
+                LinkFaults {
+                    refused_replies: 1.0,
+                    ..LinkFaults::NONE
+                },
+                5,
             ),
         ] {
             let plan = FaultPlan::uniform(spec);

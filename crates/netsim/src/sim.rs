@@ -288,6 +288,19 @@ impl Simulation {
         self.run_until(SimTime::from_micros(u64::MAX))
     }
 
+    /// Number of nodes added so far (equivalently: the id the next
+    /// [`Simulation::add_node`] will assign).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether any event (delivery or timer) is still scheduled. Lets
+    /// sliced drivers ([`Simulation::run_until`] in a loop) distinguish
+    /// "nothing due in this slice" from "the world has gone quiet".
+    pub fn events_pending(&self) -> bool {
+        self.queue.next_time().is_some()
+    }
+
     /// Runs until the queue empties or the next event would fire after
     /// `deadline`. The clock never exceeds the last processed event's time.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {

@@ -339,10 +339,7 @@ impl TransportPlan {
 
     /// A fresh stateful model for the directed link `src → dst`.
     pub fn model_for(&self, src: usize, dst: usize) -> TransportModel {
-        self.links
-            .get(&(src, dst))
-            .unwrap_or(&self.default)
-            .clone()
+        self.links.get(&(src, dst)).unwrap_or(&self.default).clone()
     }
 }
 
@@ -354,9 +351,10 @@ mod tests {
 
     #[test]
     fn ladder_order_and_labels() {
-        assert_eq!(Transport::ALL.map(Transport::label), [
-            "udp", "tcp", "dot", "doh"
-        ]);
+        assert_eq!(
+            Transport::ALL.map(Transport::label),
+            ["udp", "tcp", "dot", "doh"]
+        );
         assert!(!Transport::Udp.is_stream());
         assert!(Transport::Tcp.is_stream() && !Transport::Tcp.is_encrypted());
         assert!(Transport::Dot.is_encrypted() && Transport::Doh.is_encrypted());
@@ -426,10 +424,13 @@ mod tests {
 
     #[test]
     fn datagram_fate_orders_truncation_before_fragmentation() {
-        let mut m = TransportModel::new(HandshakeCosts::default(), PathProfile {
-            mtu: 1500,
-            frag_loss: 1.0,
-        });
+        let mut m = TransportModel::new(
+            HandshakeCosts::default(),
+            PathProfile {
+                mtu: 1500,
+                frag_loss: 1.0,
+            },
+        );
         let no_roll = || panic!("deterministic endpoint must not draw RNG");
         // Over the advertised buffer: truncate, even though it also
         // exceeds the MTU (the sender truncates before the path sees it).
@@ -452,15 +453,21 @@ mod tests {
             lossless.datagram_fate(1600, 4096, || panic!("rolled at 0.0")),
             DatagramFate::Deliver
         );
-        let mut coin = TransportModel::new(HandshakeCosts::default(), PathProfile {
-            mtu: 1500,
-            frag_loss: 0.5,
-        });
+        let mut coin = TransportModel::new(
+            HandshakeCosts::default(),
+            PathProfile {
+                mtu: 1500,
+                frag_loss: 0.5,
+            },
+        );
         assert_eq!(
             coin.datagram_fate(1600, 4096, || 0.25),
             DatagramFate::FragmentDrop
         );
-        assert_eq!(coin.datagram_fate(1600, 4096, || 0.75), DatagramFate::Deliver);
+        assert_eq!(
+            coin.datagram_fate(1600, 4096, || 0.75),
+            DatagramFate::Deliver
+        );
     }
 
     #[test]
@@ -478,10 +485,13 @@ mod tests {
         plan.set_link(
             1,
             2,
-            TransportModel::new(HandshakeCosts::default(), PathProfile {
-                mtu: 512,
-                frag_loss: 1.0,
-            }),
+            TransportModel::new(
+                HandshakeCosts::default(),
+                PathProfile {
+                    mtu: 512,
+                    frag_loss: 1.0,
+                },
+            ),
         );
         let mut narrow = plan.model_for(1, 2);
         let mut wide = plan.model_for(2, 1);
@@ -490,7 +500,10 @@ mod tests {
             narrow.datagram_fate(600, 4096, no_roll),
             DatagramFate::FragmentDrop
         );
-        assert_eq!(wide.datagram_fate(600, 4096, no_roll), DatagramFate::Deliver);
+        assert_eq!(
+            wide.datagram_fate(600, 4096, no_roll),
+            DatagramFate::Deliver
+        );
         // Stateful warmth stays per-model: warming `narrow` leaves a
         // second checkout of the same link cold.
         let t0 = SimTime::ZERO;

@@ -1,17 +1,21 @@
 //! `obs-validate` — check exported telemetry artifacts in CI.
 //!
 //! ```text
-//! obs-validate metrics <snapshot.json> [--require name1,name2,...]
+//! obs-validate metrics <snapshot.json> [--require name1,name2,...] [--require-scanner]
 //! obs-validate trace <trace.jsonl>
 //! ```
+//!
+//! `--require-scanner` appends the scanner profile
+//! ([`obs::validate::SCANNER_REQUIRED_SERIES`]): every `scanner_*`
+//! probe-outcome counter, the in-flight gauge, and the latency histogram.
 //!
 //! Exits 0 when the artifact is well-formed (and, for metrics, carries
 //! every required series), 1 on validation failure, 2 on usage/IO errors.
 
-use obs::validate::{validate_metrics_json, validate_trace};
+use obs::validate::{validate_metrics_json, validate_trace, SCANNER_REQUIRED_SERIES};
 
 fn usage() -> ! {
-    eprintln!("usage: obs-validate metrics <snapshot.json> [--require a,b,c]");
+    eprintln!("usage: obs-validate metrics <snapshot.json> [--require a,b,c] [--require-scanner]");
     eprintln!("       obs-validate trace <trace.jsonl>");
     std::process::exit(2);
 }
@@ -41,6 +45,9 @@ fn main() {
                         }
                         None => usage(),
                     },
+                    "--require-scanner" => {
+                        required.extend(SCANNER_REQUIRED_SERIES.iter().map(|s| s.to_string()))
+                    }
                     _ => usage(),
                 }
             }

@@ -193,6 +193,31 @@ pub enum EventKind {
         /// Client-observed latency on the SimTime axis.
         latency_us: u64,
     },
+    /// Root span: the mass-scan pipeline launched a probe at a target.
+    ScanProbe {
+        /// Probed forwarder address (presentation format).
+        target: String,
+    },
+    /// Terminal span for a probe: how it left the pipeline.
+    ScanOutcome {
+        /// `"answered"`, `"refused"`, `"retry_exhausted"`,
+        /// `"shed_rate_limit"`, or `"shed_breaker"`.
+        outcome: &'static str,
+        /// Probe latency on the SimTime axis (0 for shed probes).
+        latency_us: u64,
+    },
+    /// A per-target circuit breaker changed state.
+    BreakerTransition {
+        /// State left (`"closed"`, `"open"`, `"half_open"`).
+        from: &'static str,
+        /// State entered.
+        to: &'static str,
+    },
+    /// A probe launch was deferred by a per-AS token bucket.
+    RateLimited {
+        /// How long the probe waited for a token.
+        wait_us: u64,
+    },
 }
 
 impl EventKind {
@@ -213,6 +238,10 @@ impl EventKind {
             EventKind::StaleServe => "stale_serve",
             EventKind::EvictionPressure { .. } => "eviction_pressure",
             EventKind::Answered { .. } => "answered",
+            EventKind::ScanProbe { .. } => "scan_probe",
+            EventKind::ScanOutcome { .. } => "scan_outcome",
+            EventKind::BreakerTransition { .. } => "breaker_transition",
+            EventKind::RateLimited { .. } => "rate_limited",
         }
     }
 
@@ -232,6 +261,10 @@ impl EventKind {
         "stale_serve",
         "eviction_pressure",
         "answered",
+        "scan_probe",
+        "scan_outcome",
+        "breaker_transition",
+        "rate_limited",
     ];
 
     /// The event-specific JSON fields, starting with `,` when non-empty.
@@ -271,6 +304,15 @@ impl EventKind {
                     escape(rcode)
                 )
             }
+            EventKind::ScanProbe { target } => format!(",\"target\":\"{}\"", escape(target)),
+            EventKind::ScanOutcome {
+                outcome,
+                latency_us,
+            } => format!(",\"outcome\":\"{outcome}\",\"latency_us\":{latency_us}"),
+            EventKind::BreakerTransition { from, to } => {
+                format!(",\"from\":\"{from}\",\"to\":\"{to}\"")
+            }
+            EventKind::RateLimited { wait_us } => format!(",\"wait_us\":{wait_us}"),
         }
     }
 }
@@ -474,6 +516,18 @@ mod tests {
                 rcode: String::new(),
                 latency_us: 0,
             },
+            EventKind::ScanProbe {
+                target: String::new(),
+            },
+            EventKind::ScanOutcome {
+                outcome: "answered",
+                latency_us: 0,
+            },
+            EventKind::BreakerTransition {
+                from: "closed",
+                to: "open",
+            },
+            EventKind::RateLimited { wait_us: 1 },
         ];
         assert_eq!(kinds.len(), EventKind::NAMES.len());
         for kind in &kinds {

@@ -6,6 +6,25 @@
 use crate::json::{parse, Value};
 use crate::trace::EventKind;
 
+/// The series a scanner metrics snapshot must carry (the `obs-validate
+/// metrics --require-scanner` profile): every probe-outcome counter in the
+/// reconciliation identity, the in-flight gauge, and the probe-latency
+/// histogram.
+pub const SCANNER_REQUIRED_SERIES: &[&str] = &[
+    "scanner_probes_total",
+    "scanner_attempts_total",
+    "scanner_answered_total",
+    "scanner_refused_total",
+    "scanner_retries_total",
+    "scanner_retry_exhausted_total",
+    "scanner_shed_rate_limit_total",
+    "scanner_shed_breaker_total",
+    "scanner_breaker_opens_total",
+    "scanner_rate_deferrals_total",
+    "scanner_in_flight",
+    "scanner_probe_latency_us",
+];
+
 /// Checks a [`crate::MetricsSnapshot::to_json`] document: the three
 /// sections must be objects, and every name in `required` must appear in
 /// one of them.
@@ -100,6 +119,28 @@ mod tests {
         .expect("valid snapshot");
         let err = validate_metrics_json(&json, &["resolver_retries_total"]).unwrap_err();
         assert!(err.contains("resolver_retries_total"), "{err}");
+    }
+
+    #[test]
+    fn scanner_profile_names_every_scanner_series() {
+        let reg = MetricsRegistry::new();
+        for name in SCANNER_REQUIRED_SERIES {
+            assert!(name.starts_with("scanner_"), "{name}");
+            match *name {
+                "scanner_in_flight" => {
+                    reg.gauge(name).set(0);
+                }
+                "scanner_probe_latency_us" => {
+                    reg.histogram(name).record(1);
+                }
+                _ => reg.counter(name).inc(),
+            }
+        }
+        validate_metrics_json(&reg.snapshot().to_json(), SCANNER_REQUIRED_SERIES)
+            .expect("scanner profile snapshot");
+        // A snapshot without the scanner series fails the profile.
+        let empty = MetricsRegistry::new().snapshot().to_json();
+        assert!(validate_metrics_json(&empty, SCANNER_REQUIRED_SERIES).is_err());
     }
 
     #[test]

@@ -33,8 +33,15 @@ pub struct RelayActor {
     pub upstream: NodeId,
     pending: HashMap<u16, (NodeId, u16)>,
     next_id: u16,
+    /// Maximum outstanding relayed queries; `0` means unbounded. A full
+    /// table answers REFUSED instead of relaying — how resource-starved
+    /// open forwarders behave under scan load, and the organic source of
+    /// the REFUSED signal the scanner's circuit breakers key on.
+    pending_cap: usize,
     /// Queries relayed (for assertions).
     pub relayed: u64,
+    /// Queries refused because the pending table was full.
+    pub refused: u64,
 }
 
 impl RelayActor {
@@ -44,8 +51,17 @@ impl RelayActor {
             upstream,
             pending: HashMap::new(),
             next_id: 1,
+            pending_cap: 0,
             relayed: 0,
+            refused: 0,
         }
+    }
+
+    /// Caps the outstanding-query table at `cap` (≥ 1): further queries
+    /// are answered REFUSED until responses drain the table.
+    pub fn with_pending_cap(mut self, cap: usize) -> Self {
+        self.pending_cap = cap.max(1);
+        self
     }
 }
 
@@ -63,6 +79,15 @@ impl Node for RelayActor {
                 }
             }
         } else {
+            if self.pending_cap > 0 && self.pending.len() >= self.pending_cap {
+                self.refused += 1;
+                let mut resp = Message::response_to(&msg);
+                resp.rcode = dns_wire::Rcode::Refused;
+                if let Ok(bytes) = resp.to_bytes() {
+                    ctx.send(pkt.src, bytes);
+                }
+                return;
+            }
             let fresh = self.next_id;
             self.next_id = self.next_id.wrapping_add(1).max(1);
             self.pending.insert(fresh, (pkt.src, msg.id));

@@ -325,9 +325,10 @@ mod tests {
     fn policy_defaults_and_builders() {
         assert_eq!(TransportPolicy::default(), TransportPolicy::udp_only());
         assert_eq!(TransportPolicy::default().edns_buf(), 4096);
-        assert_eq!(TransportPolicy::prefer(Transport::Dot).ladder, vec![
-            Transport::Dot
-        ]);
+        assert_eq!(
+            TransportPolicy::prefer(Transport::Dot).ladder,
+            vec![Transport::Dot]
+        );
         assert_eq!(TransportPolicy::full_ladder().ladder.len(), 4);
     }
 
@@ -453,10 +454,10 @@ mod tests {
         // Warm follow-up 1 s later: no setup.
         up.query_via(&query(4096), RES, SimTime::from_secs(1), Transport::Dot)
             .unwrap();
-        assert_eq!(up.inner().0, vec![
-            rtt.mul(2).as_micros(),
-            SimTime::from_secs(1).as_micros()
-        ]);
+        assert_eq!(
+            up.inner().0,
+            vec![rtt.mul(2).as_micros(), SimTime::from_secs(1).as_micros()]
+        );
         assert_eq!(up.stats().handshakes, 1);
         assert_eq!(up.stats().reused_connections, 1);
     }

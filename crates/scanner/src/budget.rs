@@ -1,0 +1,119 @@
+//! Per-probe retry/timeout budgets: a fixed number of send attempts,
+//! exponentially backed-off per-attempt timeouts on the SimTime axis, and
+//! bounded jitter drawn from the caller's seeded RNG — so two scans with
+//! the same seed arm byte-identical timers.
+
+use netsim::SimDuration;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The retry/timeout budget every probe gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryBudget {
+    /// Total send attempts per probe (≥ 1). Once spent, the probe is
+    /// accounted as retry-exhausted.
+    pub attempts: u32,
+    /// Timeout for attempt 0.
+    pub initial_timeout: SimDuration,
+    /// Per-attempt timeout multiplier (2 = classic exponential backoff).
+    pub backoff_mult: u32,
+    /// Maximum extra jitter per attempt, as per-mille of that attempt's
+    /// base timeout. 0 disables jitter and draws nothing from the RNG.
+    pub jitter_pm: u32,
+}
+
+impl Default for RetryBudget {
+    fn default() -> Self {
+        RetryBudget {
+            attempts: 3,
+            initial_timeout: SimDuration::from_secs(2),
+            backoff_mult: 2,
+            jitter_pm: 100, // up to +10%
+        }
+    }
+}
+
+impl RetryBudget {
+    /// The base (jitter-free) timeout for a 0-based attempt:
+    /// `initial_timeout * backoff_mult^attempt`. Monotone non-decreasing
+    /// in `attempt` for any `backoff_mult >= 1`.
+    pub fn timeout_for(&self, attempt: u32) -> SimDuration {
+        let mult = self
+            .backoff_mult
+            .max(1)
+            .checked_pow(attempt)
+            .unwrap_or(u32::MAX);
+        self.initial_timeout * mult as u64
+    }
+
+    /// The armed timeout for an attempt: the base plus jitter uniform in
+    /// `[0, jitter_pm/1000 * base]`. With `jitter_pm == 0` the RNG is
+    /// untouched, so a jitter-free budget is bit-identical to hand-armed
+    /// timers.
+    pub fn timeout_with_jitter(&self, attempt: u32, rng: &mut SmallRng) -> SimDuration {
+        let base = self.timeout_for(attempt);
+        if self.jitter_pm == 0 {
+            return base;
+        }
+        let span_us = base.as_micros() * self.jitter_pm as u64 / 1000;
+        if span_us == 0 {
+            return base;
+        }
+        base + SimDuration::from_micros(rng.gen_range(0..=span_us))
+    }
+
+    /// Whether a 0-based attempt number is still within budget.
+    pub fn allows(&self, attempt: u32) -> bool {
+        attempt < self.attempts.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let b = RetryBudget {
+            attempts: 4,
+            initial_timeout: SimDuration::from_millis(500),
+            backoff_mult: 2,
+            jitter_pm: 0,
+        };
+        assert_eq!(b.timeout_for(0), SimDuration::from_millis(500));
+        assert_eq!(b.timeout_for(1), SimDuration::from_millis(1000));
+        assert_eq!(b.timeout_for(2), SimDuration::from_millis(2000));
+        assert!(b.allows(3));
+        assert!(!b.allows(4));
+    }
+
+    #[test]
+    fn zero_jitter_draws_no_randomness() {
+        let b = RetryBudget {
+            jitter_pm: 0,
+            ..RetryBudget::default()
+        };
+        let mut rng1 = SmallRng::seed_from_u64(9);
+        let mut rng2 = SmallRng::seed_from_u64(9);
+        assert_eq!(b.timeout_with_jitter(1, &mut rng1), b.timeout_for(1));
+        assert_eq!(rng1.gen::<u64>(), rng2.gen::<u64>(), "stream untouched");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seed_deterministic() {
+        let b = RetryBudget::default(); // 10% jitter
+        let draw = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..16)
+                .map(|a| b.timeout_with_jitter(a % 3, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(5), draw(5), "same seed, same timers");
+        for (i, t) in draw(5).into_iter().enumerate() {
+            let base = b.timeout_for(i as u32 % 3);
+            assert!(t >= base);
+            assert!(t.as_micros() <= base.as_micros() + base.as_micros() / 10);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The live counterpart of the simulated pipeline: the same bounded
+//! window, retry budget, and circuit breaker driven over a real
+//! `UdpSocket` against a running `dnsd` instance — the
+//! adversarial-concurrency soak rig for the multi-worker serving path.
+//!
+//! Timeouts come from the same [`RetryBudget`] (SimDuration microseconds
+//! mapped onto the wall clock), and the accounting identity is the same
+//! four doors plus one live-only door: a mid-window shutdown accounts
+//! every abandoned in-flight probe as `aborted` instead of dropping it
+//! silently.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+use dns_wire::{Message, Name, Question, Rcode};
+use netsim::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::breaker::CircuitBreaker;
+use crate::budget::RetryBudget;
+use crate::pipeline::ScanStats;
+use crate::slots::{SlotRef, SlotTable};
+
+/// Live pipeline knobs (a target-less subset of
+/// [`crate::pipeline::ScanConfig`] — one target, no AS grid).
+#[derive(Debug, Clone)]
+pub struct LiveScanConfig {
+    /// In-flight window.
+    pub window: usize,
+    /// Retry/timeout budget per probe.
+    pub budget: RetryBudget,
+    /// Consecutive failures that open the target's breaker.
+    pub breaker_threshold: u32,
+    /// Open-breaker cooldown.
+    pub breaker_cooldown: SimDuration,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for LiveScanConfig {
+    fn default() -> Self {
+        LiveScanConfig {
+            window: 32,
+            budget: RetryBudget {
+                attempts: 2,
+                initial_timeout: SimDuration::from_millis(250),
+                backoff_mult: 2,
+                jitter_pm: 100,
+            },
+            breaker_threshold: 5,
+            breaker_cooldown: SimDuration::from_millis(500),
+            seed: 1,
+        }
+    }
+}
+
+struct LiveSlot {
+    qname: Name,
+    attempt: u32,
+    deadline: Instant,
+}
+
+/// A bounded-window prober over a real UDP socket, aimed at one target.
+pub struct LiveScanner {
+    socket: UdpSocket,
+    target: SocketAddr,
+    cfg: LiveScanConfig,
+    breaker: CircuitBreaker,
+    rng: SmallRng,
+    stats: ScanStats,
+    started: Instant,
+}
+
+impl LiveScanner {
+    /// Binds a loopback socket aimed at `target`.
+    pub fn new(target: SocketAddr, cfg: LiveScanConfig) -> io::Result<Self> {
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        socket.set_read_timeout(Some(Duration::from_millis(5)))?;
+        Ok(LiveScanner {
+            socket,
+            target,
+            breaker: CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown),
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+            stats: ScanStats::default(),
+            started: Instant::now(),
+        })
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ScanStats {
+        self.stats
+    }
+
+    /// Wall-clock elapsed mapped onto the SimTime axis (what the breaker
+    /// and budget reason in).
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.started.elapsed().as_micros() as u64)
+    }
+
+    fn send(&mut self, r: SlotRef, slots: &mut SlotTable<LiveSlot>) {
+        let Some(slot) = slots.get(r) else { return };
+        let timeout = self
+            .cfg
+            .budget
+            .timeout_with_jitter(slot.attempt, &mut self.rng);
+        let q = Message::query(r.index, Question::a(slot.qname.clone()));
+        self.stats.attempts += 1;
+        if let Ok(bytes) = q.to_bytes() {
+            let _ = self.socket.send_to(&bytes, self.target);
+        }
+        let slot = slots.get_mut(r).expect("live slot");
+        slot.deadline = Instant::now() + Duration::from_micros(timeout.as_micros());
+    }
+
+    /// Drives `qnames` through the window until the feed drains or
+    /// `wall_budget` elapses; on the deadline, every still-in-flight probe
+    /// is accounted as `aborted` (never silently dropped). Returns the
+    /// final stats; `stats().reconciles()` holds on return.
+    pub fn run(
+        &mut self,
+        mut qnames: impl Iterator<Item = Name>,
+        wall_budget: Duration,
+    ) -> ScanStats {
+        let deadline = Instant::now() + wall_budget;
+        let mut slots: SlotTable<LiveSlot> = SlotTable::new(self.cfg.window.max(1));
+        let mut feed_done = false;
+        let mut buf = [0u8; 4096];
+        loop {
+            // Fill the window.
+            while !slots.is_full() && !feed_done && Instant::now() < deadline {
+                let Some(qname) = qnames.next() else {
+                    feed_done = true;
+                    break;
+                };
+                self.stats.probes += 1;
+                let now = self.now();
+                if !self.breaker.allow(now) {
+                    self.stats.shed_breaker += 1;
+                    continue;
+                }
+                let r = slots
+                    .insert(LiveSlot {
+                        qname,
+                        attempt: 0,
+                        deadline: Instant::now(),
+                    })
+                    .expect("checked not full");
+                self.stats.max_in_flight = self.stats.max_in_flight.max(slots.live() as u64);
+                self.send(r, &mut slots);
+            }
+            if feed_done && slots.live() == 0 {
+                break;
+            }
+            if Instant::now() >= deadline {
+                // Mid-window shutdown: account everything still out.
+                let live: Vec<SlotRef> = slots.iter().map(|(r, _)| r).collect();
+                for r in live {
+                    slots.remove(r);
+                    self.stats.aborted += 1;
+                }
+                break;
+            }
+
+            // Receive.
+            if let Ok((n, from)) = self.socket.recv_from(&mut buf) {
+                if from == self.target {
+                    if let Ok(msg) = Message::from_bytes(&buf[..n]) {
+                        if msg.is_response() {
+                            let hit = slots.get_index(msg.id).and_then(|(r, slot)| {
+                                (msg.questions.first().map(|q| &q.name) == Some(&slot.qname))
+                                    .then_some(r)
+                            });
+                            if let Some(r) = hit {
+                                slots.remove(r);
+                                self.stats.answered += 1;
+                                let now = self.now();
+                                if msg.rcode == Rcode::Refused {
+                                    self.stats.refused += 1;
+                                    self.breaker.record_failure(now);
+                                    if self.breaker.opens > self.stats.breaker_opens {
+                                        self.stats.breaker_opens = self.breaker.opens;
+                                    }
+                                } else {
+                                    if msg.rcode == Rcode::ServFail {
+                                        self.stats.servfail += 1;
+                                    }
+                                    self.breaker.record_success();
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Expire timeouts.
+            let now_wall = Instant::now();
+            let expired: Vec<SlotRef> = slots
+                .iter()
+                .filter(|(_, s)| s.deadline <= now_wall)
+                .map(|(r, _)| r)
+                .collect();
+            for r in expired {
+                let attempt = slots.get(r).map(|s| s.attempt + 1).unwrap_or(u32::MAX);
+                if self.cfg.budget.allows(attempt) {
+                    if let Some(slot) = slots.get_mut(r) {
+                        slot.attempt = attempt;
+                    }
+                    self.stats.retries += 1;
+                    self.send(r, &mut slots);
+                } else {
+                    slots.remove(r);
+                    self.stats.retry_exhausted += 1;
+                    let now = self.now();
+                    self.breaker.record_failure(now);
+                    if self.breaker.opens > self.stats.breaker_opens {
+                        self.stats.breaker_opens = self.breaker.opens;
+                    }
+                }
+            }
+        }
+        debug_assert!(self.stats.reconciles(), "{:?}", self.stats);
+        self.stats
+    }
+}

@@ -1,0 +1,222 @@
+//! The bounded in-flight window: a fixed-size slot table with a free
+//! list and per-slot generations.
+//!
+//! The table is the *only* per-probe state the pipeline holds — there is
+//! no queue behind it, so memory is bounded by the window size no matter
+//! how many probes a scan issues. Generations make slot handles (and the
+//! timer tokens derived from them) ABA-safe: a timeout timer armed for a
+//! probe that has since completed finds a stale generation and is ignored
+//! instead of cancelling an unrelated probe that reused the slot.
+
+/// A generation-stamped handle to one slot. Packs into a `u64` timer
+/// token: the low 16 bits are the index, the high 48 the generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotRef {
+    /// Slot index (doubles as the probe's DNS transaction id).
+    pub index: u16,
+    /// Generation the slot had when the handle was issued.
+    pub generation: u64,
+}
+
+impl SlotRef {
+    /// Packs the handle into a timer token. Generations above 2^48 would
+    /// alias; a scan would need ~10^14 probes per slot to get there.
+    pub fn token(self) -> u64 {
+        (self.generation << 16) | self.index as u64
+    }
+
+    /// Reverses [`SlotRef::token`].
+    pub fn from_token(token: u64) -> Self {
+        SlotRef {
+            index: (token & 0xFFFF) as u16,
+            generation: token >> 16,
+        }
+    }
+}
+
+struct Entry<T> {
+    generation: u64,
+    value: Option<T>,
+}
+
+/// Fixed-capacity slot table: O(1) insert/remove, no growth, LIFO reuse.
+pub struct SlotTable<T> {
+    slots: Vec<Entry<T>>,
+    free: Vec<u16>,
+    live: usize,
+}
+
+impl<T> SlotTable<T> {
+    /// A table with `capacity` slots (at most 65536 so indices fit the
+    /// DNS transaction-id space).
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            (1..=u16::MAX as usize + 1).contains(&capacity),
+            "slot capacity must be in 1..=65536"
+        );
+        let mut slots = Vec::with_capacity(capacity);
+        // Generation starts at 1 so a zero token never matches a slot.
+        slots.resize_with(capacity, || Entry {
+            generation: 1,
+            value: None,
+        });
+        // LIFO: low indices are handed out first.
+        let free = (0..capacity as u32).rev().map(|i| i as u16).collect();
+        SlotTable {
+            slots,
+            free,
+            live: 0,
+        }
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Occupied slots.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Whether every slot is occupied.
+    pub fn is_full(&self) -> bool {
+        self.live == self.slots.len()
+    }
+
+    /// Claims a free slot for `value`; `None` when the window is full
+    /// (callers must shed or defer — there is no queue).
+    pub fn insert(&mut self, value: T) -> Option<SlotRef> {
+        let index = self.free.pop()?;
+        let entry = &mut self.slots[index as usize];
+        debug_assert!(entry.value.is_none());
+        entry.value = Some(value);
+        self.live += 1;
+        Some(SlotRef {
+            index,
+            generation: entry.generation,
+        })
+    }
+
+    /// The slot behind a handle, if the generation still matches.
+    pub fn get(&self, r: SlotRef) -> Option<&T> {
+        let entry = self.slots.get(r.index as usize)?;
+        (entry.generation == r.generation)
+            .then_some(entry.value.as_ref())
+            .flatten()
+    }
+
+    /// Mutable access with the same generation check.
+    pub fn get_mut(&mut self, r: SlotRef) -> Option<&mut T> {
+        let entry = self.slots.get_mut(r.index as usize)?;
+        (entry.generation == r.generation)
+            .then_some(entry.value.as_mut())
+            .flatten()
+    }
+
+    /// The live slot at a bare index (responses are matched by DNS id =
+    /// index), along with its current handle.
+    pub fn get_index(&self, index: u16) -> Option<(SlotRef, &T)> {
+        let entry = self.slots.get(index as usize)?;
+        entry.value.as_ref().map(|v| {
+            (
+                SlotRef {
+                    index,
+                    generation: entry.generation,
+                },
+                v,
+            )
+        })
+    }
+
+    /// Frees the slot: bumps its generation (invalidating outstanding
+    /// handles and timer tokens) and returns the value.
+    pub fn remove(&mut self, r: SlotRef) -> Option<T> {
+        let entry = self.slots.get_mut(r.index as usize)?;
+        if entry.generation != r.generation || entry.value.is_none() {
+            return None;
+        }
+        entry.generation += 1;
+        self.live -= 1;
+        self.free.push(r.index);
+        entry.value.take()
+    }
+
+    /// Iterates the live slots (index order).
+    pub fn iter(&self) -> impl Iterator<Item = (SlotRef, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, e)| {
+            e.value.as_ref().map(|v| {
+                (
+                    SlotRef {
+                        index: i as u16,
+                        generation: e.generation,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_to_capacity_then_refuses() {
+        let mut t = SlotTable::new(3);
+        let a = t.insert("a").unwrap();
+        let b = t.insert("b").unwrap();
+        let c = t.insert("c").unwrap();
+        assert!(t.is_full());
+        assert_eq!(t.insert("d"), None, "no queue behind the window");
+        assert_eq!(t.live(), 3);
+        assert_eq!(t.get(a), Some(&"a"));
+        assert_eq!(t.remove(b), Some("b"));
+        assert!(!t.is_full());
+        let d = t.insert("d").unwrap();
+        assert_eq!(d.index, b.index, "LIFO reuse of the freed slot");
+        assert_ne!(d.generation, b.generation);
+        assert_eq!(t.get(c), Some(&"c"));
+    }
+
+    #[test]
+    fn stale_handles_are_dead() {
+        let mut t = SlotTable::new(2);
+        let a = t.insert(1u32).unwrap();
+        t.remove(a);
+        let b = t.insert(2u32).unwrap();
+        assert_eq!(b.index, a.index);
+        // The old handle no longer reads, writes, or removes.
+        assert_eq!(t.get(a), None);
+        assert_eq!(t.get_mut(a), None);
+        assert_eq!(t.remove(a), None);
+        assert_eq!(t.get(b), Some(&2));
+        assert_eq!(t.live(), 1);
+    }
+
+    #[test]
+    fn tokens_round_trip() {
+        let r = SlotRef {
+            index: 0xBEEF,
+            generation: 123_456_789,
+        };
+        assert_eq!(SlotRef::from_token(r.token()), r);
+        let zero = SlotRef {
+            index: 0,
+            generation: 1,
+        };
+        assert_ne!(zero.token(), 0, "generation 1 keeps tokens nonzero");
+    }
+
+    #[test]
+    fn index_lookup_sees_only_live_slots() {
+        let mut t = SlotTable::new(2);
+        let a = t.insert("x").unwrap();
+        let (r, v) = t.get_index(a.index).unwrap();
+        assert_eq!((r, *v), (a, "x"));
+        t.remove(a);
+        assert!(t.get_index(a.index).is_none());
+        assert_eq!(t.iter().count(), 0);
+    }
+}

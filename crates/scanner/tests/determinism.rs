@@ -1,0 +1,78 @@
+//! Acceptance: two scans with the same spec and seed are byte-identical —
+//! the full report JSON and the classification JSON, over a world that
+//! exercises every robustness control at once (loss-driven retries, dead
+//! and refusing populations tripping breakers, per-AS rate limiting with
+//! deferrals and sheds).
+
+use netsim::SimDuration;
+use scanner::{
+    run_scan, ForwarderChainSpec, ForwarderHealth, RoundRobinFeed, ScanCapture, ScanConfig,
+};
+
+fn spec(seed: u64) -> ForwarderChainSpec {
+    ForwarderChainSpec::new(seed)
+        .group(6, ForwarderHealth::Healthy, 64500)
+        .group(3, ForwarderHealth::Lossy(0.35), 64501)
+        .group(2, ForwarderHealth::Dead, 64502)
+        .group(2, ForwarderHealth::Refusing, 64503)
+}
+
+fn cfg() -> ScanConfig {
+    ScanConfig {
+        window: 24,
+        rate_per_sec: 40,
+        burst: 8,
+        ..ScanConfig::default()
+    }
+}
+
+/// One full scan → (report JSON, classification JSON).
+fn run(seed: u64, probes: u64) -> (String, String) {
+    let mut world = spec(seed).build(cfg(), |targets| {
+        RoundRobinFeed::new(targets.to_vec(), probes)
+    });
+    let mut capture = ScanCapture::new(1024);
+    let report = run_scan(&mut world, SimDuration::from_secs(60), &mut capture);
+    assert!(report.reconciled, "{report:?}");
+    (report.to_json(), capture.to_json(60))
+}
+
+#[test]
+fn same_seed_scans_are_byte_identical() {
+    let (report_a, class_a) = run(97, 600);
+    let (report_b, class_b) = run(97, 600);
+    assert_eq!(report_a, report_b, "report JSON must be reproducible");
+    assert_eq!(class_a, class_b, "classification JSON must be reproducible");
+    // And the run was not trivially empty: the jittery world actually
+    // drew from every door.
+    for key in [
+        "\"retries\":",
+        "\"retry_exhausted\":",
+        "\"shed_breaker\":",
+        "\"breaker_opens\":",
+    ] {
+        let v = report_a
+            .split(key)
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        assert!(
+            v > 0,
+            "{key} stayed zero — world exercised nothing: {report_a}"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_diverge_but_both_reconcile() {
+    // The sanity check on the check: if a different seed produced the
+    // same bytes, the "determinism" above would be vacuous (timers and
+    // loss draws not actually flowing from the seed).
+    let (report_a, _) = run(97, 600);
+    let (report_b, _) = run(98, 600);
+    assert_ne!(
+        report_a, report_b,
+        "independent seeds should draw different loss/jitter patterns"
+    );
+}

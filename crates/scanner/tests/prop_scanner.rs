@@ -1,0 +1,242 @@
+//! Property tests for the scanner's three robustness primitives:
+//!
+//! * token bucket — never exceeds the configured rate (any window of
+//!   duration `D` holds at most `burst + D/interval` launches), booked
+//!   launch times are monotone, refill never penalizes waiting;
+//! * retry budget — a driven probe makes exactly `attempts` sends,
+//!   backoff is monotone non-decreasing, jitter stays within its bound
+//!   and is a pure function of the seed;
+//! * circuit breaker — opens exactly when a failure streak reaches the
+//!   threshold (checked against an independent streak model), sheds for
+//!   the whole cooldown, and half-open admits exactly one canary.
+
+use netsim::{SimDuration, SimTime};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use scanner::{BreakerState, CircuitBreaker, RetryBudget, TokenBucket};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// GCRA conformance: take `n` reservations at arbitrary (sorted)
+    /// request times; every window of duration `D` over the *booked*
+    /// launch times contains at most `burst + D/interval` launches, and
+    /// the booked times never go backwards or precede their request.
+    #[test]
+    fn token_bucket_never_exceeds_rate(
+        rate in 1u64..2000,
+        burst in 1u64..32,
+        nows in vec(0u64..5_000_000, 1..120),
+    ) {
+        let mut nows = nows;
+        nows.sort_unstable();
+        let mut bucket = TokenBucket::new(rate, burst);
+        let interval = bucket.interval_us();
+        let mut launches = Vec::with_capacity(nows.len());
+        let mut prev = SimTime::ZERO;
+        for &now_us in &nows {
+            let now = SimTime::from_micros(now_us);
+            let at = bucket.reserve(now);
+            prop_assert!(at >= now, "booked launch precedes request");
+            prop_assert!(at >= prev, "booked launches must be monotone");
+            prev = at;
+            launches.push(at.as_micros());
+        }
+        // Sliding-window rate check over every pair of launches.
+        for i in 0..launches.len() {
+            for j in i..launches.len() {
+                let span = launches[j] - launches[i];
+                let allowed = burst + span / interval;
+                prop_assert!(
+                    (j - i + 1) as u64 <= allowed,
+                    "{} launches within {span} us exceeds burst {burst} + span/interval {}",
+                    j - i + 1,
+                    span / interval,
+                );
+            }
+        }
+    }
+
+    /// Refill is monotone: the wait a caller faces (`earliest(now) - now`)
+    /// never grows as `now` advances, and peeking books nothing.
+    #[test]
+    fn token_bucket_refill_is_monotone_and_peek_is_free(
+        rate in 1u64..2000,
+        burst in 1u64..32,
+        drained in 0u64..200,
+        probes in vec(0u64..10_000_000, 2..40),
+    ) {
+        let mut bucket = TokenBucket::new(rate, burst);
+        for _ in 0..drained {
+            bucket.reserve(SimTime::ZERO);
+        }
+        let mut probes = probes;
+        probes.sort_unstable();
+        let mut prev_wait = u64::MAX;
+        for &now_us in &probes {
+            let now = SimTime::from_micros(now_us);
+            let first = bucket.earliest(now);
+            prop_assert_eq!(bucket.earliest(now), first, "peek must not book");
+            let wait = first.as_micros() - now.as_micros();
+            prop_assert!(
+                wait <= prev_wait,
+                "waiting longer increased the wait: {wait} > {prev_wait}"
+            );
+            prev_wait = wait;
+        }
+        // The booked launch is exactly what the peek promised.
+        let last = SimTime::from_micros(*probes.last().unwrap());
+        let promised = bucket.earliest(last);
+        prop_assert_eq!(bucket.reserve(last), promised);
+    }
+
+    /// Driving a probe to exhaustion makes exactly `attempts` sends —
+    /// never more — and each armed timeout is within its jitter bound.
+    #[test]
+    fn retry_budget_caps_attempts_and_bounds_jitter(
+        attempts in 1u32..8,
+        initial_ms in 1u64..5_000,
+        mult in 1u32..5,
+        jitter_pm in 0u32..1000,
+        seed in any::<u64>(),
+    ) {
+        let budget = RetryBudget {
+            attempts,
+            initial_timeout: SimDuration::from_millis(initial_ms),
+            backoff_mult: mult,
+            jitter_pm,
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // The pipeline's retry loop: send attempt 0, then retry while the
+        // next attempt is allowed.
+        let mut sends = 0u32;
+        let mut attempt = 0u32;
+        loop {
+            let armed = budget.timeout_with_jitter(attempt, &mut rng);
+            sends += 1;
+            let base = budget.timeout_for(attempt);
+            prop_assert!(armed >= base, "jitter must only extend");
+            let bound = base.as_micros() + base.as_micros() * jitter_pm as u64 / 1000;
+            prop_assert!(armed.as_micros() <= bound, "jitter exceeded {jitter_pm}/1000");
+            if !budget.allows(attempt + 1) {
+                break;
+            }
+            attempt += 1;
+        }
+        prop_assert_eq!(sends, attempts, "attempts made != budget");
+        // Same seed, same timers: the armed sequence is reproducible.
+        let mut rng2 = SmallRng::seed_from_u64(seed);
+        let replay: Vec<_> = (0..attempts)
+            .map(|a| budget.timeout_with_jitter(a, &mut rng2))
+            .collect();
+        let mut rng3 = SmallRng::seed_from_u64(seed);
+        let replay2: Vec<_> = (0..attempts)
+            .map(|a| budget.timeout_with_jitter(a, &mut rng3))
+            .collect();
+        prop_assert_eq!(replay, replay2);
+    }
+
+    /// Backoff is monotone non-decreasing in the attempt number (the
+    /// overflow guard saturates rather than wrapping).
+    #[test]
+    fn retry_backoff_is_monotone(
+        initial_ms in 1u64..10_000,
+        mult in 1u32..8,
+        upto in 1u32..24,
+    ) {
+        let budget = RetryBudget {
+            attempts: upto,
+            initial_timeout: SimDuration::from_millis(initial_ms),
+            backoff_mult: mult,
+            jitter_pm: 0,
+        };
+        for a in 0..upto {
+            prop_assert!(
+                budget.timeout_for(a + 1) >= budget.timeout_for(a),
+                "backoff regressed at attempt {a}"
+            );
+        }
+    }
+
+    /// The breaker opens exactly when an independent streak model says a
+    /// run of `threshold` consecutive failures occurred (successes reset
+    /// the streak; failures while already open don't re-trip).
+    #[test]
+    fn breaker_opens_match_the_streak_model(
+        threshold in 1u32..8,
+        ops in vec(any::<bool>(), 1..200),
+    ) {
+        let now = SimTime::from_secs(1);
+        let mut breaker = CircuitBreaker::new(threshold, SimDuration::from_secs(60));
+        // Reference model: `true` = failure, `false` = success.
+        let mut streak = 0u32;
+        let mut open = false;
+        let mut opens = 0u64;
+        for &fail in &ops {
+            if fail {
+                breaker.record_failure(now);
+                if !open {
+                    streak += 1;
+                    if streak >= threshold {
+                        open = true;
+                        opens += 1;
+                        streak = 0;
+                    }
+                }
+            } else {
+                breaker.record_success();
+                open = false;
+                streak = 0;
+            }
+            prop_assert_eq!(breaker.opens, opens, "trip count diverged from model");
+            prop_assert_eq!(
+                breaker.state() == BreakerState::Open, open,
+                "open/closed position diverged from model"
+            );
+        }
+    }
+
+    /// A tripped breaker sheds for the whole cooldown, then admits exactly
+    /// one half-open canary whose verdict closes or re-opens it.
+    #[test]
+    fn breaker_cooldown_gates_a_single_canary(
+        threshold in 1u32..6,
+        cooldown_s in 1u64..600,
+        trip_at in 0u64..1_000,
+        canary_succeeds in any::<bool>(),
+        inside in vec(0u64..600, 1..20),
+    ) {
+        let cooldown = SimDuration::from_secs(cooldown_s);
+        let mut breaker = CircuitBreaker::new(threshold, cooldown);
+        let t0 = SimTime::from_secs(trip_at);
+        for _ in 0..threshold {
+            prop_assert!(breaker.allow(t0));
+            breaker.record_failure(t0);
+        }
+        prop_assert_eq!(breaker.state(), BreakerState::Open);
+        let reopen = t0 + cooldown;
+        // Any instant strictly inside the cooldown sheds.
+        for &frac in &inside {
+            let t = t0 + SimDuration::from_secs(frac.min(cooldown_s.saturating_sub(1)));
+            prop_assert!(!breaker.allow(t), "admitted during cooldown");
+        }
+        // At the deadline: exactly one canary.
+        prop_assert!(breaker.allow(reopen), "cooldown over, canary due");
+        prop_assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        prop_assert!(!breaker.allow(reopen), "second probe during half-open");
+        prop_assert!(!breaker.allow(reopen + cooldown), "time alone can't close it");
+        if canary_succeeds {
+            breaker.record_success();
+            prop_assert_eq!(breaker.state(), BreakerState::Closed);
+            prop_assert!(breaker.allow(reopen));
+        } else {
+            breaker.record_failure(reopen);
+            prop_assert_eq!(breaker.state(), BreakerState::Open);
+            prop_assert_eq!(breaker.opens, 2);
+            prop_assert!(!breaker.allow(reopen + SimDuration::from_secs(cooldown_s - 1)));
+            prop_assert!(breaker.allow(reopen + cooldown), "second cooldown ends");
+        }
+    }
+}

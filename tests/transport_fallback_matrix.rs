@@ -76,7 +76,10 @@ fn fragment_loss_exhausts_udp_and_falls_to_tcp() {
     assert_eq!(resp.answers.len(), 60, "TCP rung delivered the full answer");
 
     let stats = r.stats();
-    assert_eq!(stats.upstream_timeouts, 2, "both UDP attempts fragmented away");
+    assert_eq!(
+        stats.upstream_timeouts, 2,
+        "both UDP attempts fragmented away"
+    );
     assert_eq!(stats.transport_fallbacks, 1);
     assert_eq!(counter(&r, "resolver_transport_fallbacks_total"), 1);
     assert_eq!(counter(&r, "resolver_transport_fallbacks_to_tcp_total"), 1);
@@ -178,7 +181,10 @@ fn all_rungs_faulted_ends_in_servfail() {
     let stats = r.stats();
     assert_eq!(stats.servfail_responses, 1);
     assert_eq!(stats.upstream_timeouts, 1);
-    assert_eq!(stats.transport_fallbacks, 1, "the one available edge was tried");
+    assert_eq!(
+        stats.transport_fallbacks, 1,
+        "the one available edge was tried"
+    );
     assert_eq!(up.inner().log().len(), 0, "nothing ever reached the server");
 }
 
