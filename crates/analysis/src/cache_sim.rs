@@ -137,7 +137,7 @@ impl ResolverCacheResult {
 }
 
 /// Whole-trace outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheSimResult {
     /// Per-resolver results, in resolver-address order.
     pub per_resolver: Vec<ResolverCacheResult>,
@@ -538,7 +538,7 @@ impl CacheSimulator {
     /// Runs both modes over the trace, sharded across
     /// `config.parallelism` workers.
     pub fn run(&self, trace: &TraceSet) -> CacheSimResult {
-        self.run_impl(trace, false).0
+        self.run_impl(trace, false, false).0
     }
 
     /// Like [`CacheSimulator::run`], additionally returning a telemetry
@@ -546,15 +546,43 @@ impl CacheSimulator {
     /// histograms) merged from per-shard registries. The snapshot is
     /// identical at every `parallelism`, like the result itself.
     pub fn run_instrumented(&self, trace: &TraceSet) -> (CacheSimResult, obs::MetricsSnapshot) {
-        let (result, snap) = self.run_impl(trace, true);
+        let (result, snap, _) = self.run_impl(trace, true, false);
         (result, snap.expect("instrumented run builds a snapshot"))
+    }
+
+    /// Like [`CacheSimulator::run_instrumented`], additionally returning
+    /// the stage profile of the run: index build, partition pass, and
+    /// per-shard replay spans (one [`obs::StageProfiler`] per shard
+    /// worker, folded after the join). The *result* stays
+    /// parallelism-invariant; the profile's shape reflects the actual
+    /// sharding (replay self time splits across workers).
+    pub fn run_profiled(
+        &self,
+        trace: &TraceSet,
+    ) -> (CacheSimResult, obs::MetricsSnapshot, obs::ProfileSnapshot) {
+        let (result, snap, prof) = self.run_impl(trace, true, true);
+        (
+            result,
+            snap.expect("instrumented run builds a snapshot"),
+            prof.expect("profiled run builds a profile"),
+        )
     }
 
     fn run_impl(
         &self,
         trace: &TraceSet,
         instrument: bool,
-    ) -> (CacheSimResult, Option<obs::MetricsSnapshot>) {
+        profile: bool,
+    ) -> (
+        CacheSimResult,
+        Option<obs::MetricsSnapshot>,
+        Option<obs::ProfileSnapshot>,
+    ) {
+        let mut prof = profile.then(obs::StageProfiler::new);
+        if let Some(p) = prof.as_mut() {
+            p.enter("cache_sim");
+            p.enter("index");
+        }
         let built;
         let index = match trace.index() {
             Some(idx) => idx,
@@ -565,26 +593,61 @@ impl CacheSimulator {
         };
         let num_resolvers = index.num_resolvers();
         let num_shards = self.config.parallelism.clamp(1, num_resolvers.max(1));
-
+        if let Some(p) = prof.as_mut() {
+            p.exit(); // index
+            p.enter("partition");
+        }
         let packed = partition_records(&trace.records, index, &self.config, num_shards);
+        if let Some(p) = prof.as_mut() {
+            p.exit(); // partition
+        }
+        let mut shard_profiles: Vec<obs::ProfileSnapshot> = Vec::new();
         let shards: Vec<ShardStats> = if num_shards == 1 {
-            vec![simulate_shard(&packed[0], num_resolvers, &self.config)]
+            if let Some(p) = prof.as_mut() {
+                p.enter("replay_shard");
+            }
+            let stats = simulate_shard(&packed[0], num_resolvers, &self.config);
+            if let Some(p) = prof.as_mut() {
+                p.exit();
+            }
+            vec![stats]
         } else {
             let config = &self.config;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = packed
-                    .iter()
-                    .enumerate()
-                    .map(|(w, stream)| {
-                        let locals = shard_width(num_resolvers, w, num_shards);
-                        scope.spawn(move || simulate_shard(stream, locals, config))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("cache-sim shard worker panicked"))
-                    .collect()
-            })
+            let results: Vec<(ShardStats, Option<obs::ProfileSnapshot>)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = packed
+                        .iter()
+                        .enumerate()
+                        .map(|(w, stream)| {
+                            let locals = shard_width(num_resolvers, w, num_shards);
+                            scope.spawn(move || {
+                                let mut wp = profile.then(obs::StageProfiler::new);
+                                if let Some(p) = wp.as_mut() {
+                                    p.enter("cache_sim");
+                                    p.enter("replay_shard");
+                                }
+                                let stats = simulate_shard(stream, locals, config);
+                                if let Some(p) = wp.as_mut() {
+                                    p.exit();
+                                    p.exit();
+                                }
+                                (stats, wp.map(|p| p.snapshot()))
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("cache-sim shard worker panicked"))
+                        .collect()
+                });
+            let mut stats = Vec::with_capacity(results.len());
+            for (s, wp) in results {
+                stats.push(s);
+                if let Some(wp) = wp {
+                    shard_profiles.push(wp);
+                }
+            }
+            stats
         };
 
         let snapshot = instrument.then(|| {
@@ -621,7 +684,15 @@ impl CacheSimulator {
             });
         }
         per_resolver.sort_by_key(|r| r.resolver);
-        (CacheSimResult { per_resolver }, snapshot)
+        let profile = prof.map(|mut p| {
+            p.exit(); // cache_sim (the merge tail rides in its self time)
+            let mut folded = p.snapshot();
+            for wp in &shard_profiles {
+                folded.merge(wp);
+            }
+            folded
+        });
+        (CacheSimResult { per_resolver }, snapshot, profile)
     }
 }
 
@@ -988,6 +1059,48 @@ mod tests {
             })
             .run_instrumented(&t);
             assert_eq!(sharded, sequential, "parallelism={parallelism}");
+        }
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_result_and_captures_shard_spans() {
+        let records: Vec<TraceRecord> = (0..120u64)
+            .map(|i| {
+                let mut r = rec(
+                    i / 5,
+                    &format!("p{}.example.com", i % 11),
+                    &format!("10.3.{}.0", i % 17),
+                    24,
+                    60,
+                );
+                r.resolver = IpAddr::V4(Ipv4Addr::new(9, 9, 9, (i % 4) as u8 + 1));
+                r
+            })
+            .collect();
+        let mut t = TraceSet::new("t");
+        t.records = records;
+        t.sort_by_time();
+
+        let plain = CacheSimulator::new(CacheSimConfig::default()).run(&t);
+        for parallelism in [1, 4] {
+            let sim = CacheSimulator::new(CacheSimConfig {
+                parallelism,
+                ..CacheSimConfig::default()
+            });
+            let (result, snap, profile) = sim.run_profiled(&t);
+            assert_eq!(result, plain, "profiling must not change the result");
+            assert!(snap.counter("cache_sim_lookups_total").is_some());
+            assert!(!profile.is_empty());
+            let folded = profile.to_folded();
+            assert!(folded.contains("cache_sim;partition"), "{folded}");
+            assert!(folded.contains("cache_sim;replay_shard"), "{folded}");
+            // One replay span per shard worker (4 resolvers → 4 shards max).
+            let replay_calls = profile
+                .stacks
+                .get("cache_sim;replay_shard")
+                .map(|s| s.calls)
+                .unwrap_or(0);
+            assert_eq!(replay_calls, parallelism.min(4) as u64);
         }
     }
 

@@ -16,7 +16,13 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_cache_sim
+//! cargo run --release -p bench --bin bench_cache_sim -- --queries 50000 --out /tmp/smoke.json
 //! ```
+//!
+//! Flags: `--queries N` trace size (default 1000000), `--out PATH` for the
+//! JSON report (default `BENCH_cache_sim.json`), `--history PATH` appends
+//! one JSONL line per measurement with run metadata for the `bench_check`
+//! regression gate's trend data.
 
 use std::time::Instant;
 
@@ -205,11 +211,27 @@ fn time_runs(
 }
 
 fn main() {
+    let mut queries = 1_000_000usize;
+    let mut out = "BENCH_cache_sim.json".to_string();
+    let mut history: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--queries" => queries = take("--queries").parse().expect("integer"),
+            "--out" => out = take("--out"),
+            "--history" => history = Some(take("--history")),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
     let gen = PublicCdnTraceGen {
         resolvers: 32,
         subnets_per_resolver: 40,
         hostnames: 150,
-        queries: 1_000_000,
+        queries: queries.max(1),
         duration: netsim::SimDuration::from_secs(900),
         ttl: 20,
         seed: 0,
@@ -318,8 +340,11 @@ fn main() {
         "instrumented run lost lookups"
     );
     let telemetry_overhead = 1.0 - on_m.records_per_sec / off_m.records_per_sec;
+    // The 5% budget is only meaningful at full trace size; a smoke-sized
+    // `--queries` run finishes in microseconds where the ratio is pure
+    // scheduler noise. The value still lands in the JSON either way.
     assert!(
-        telemetry_overhead < 0.05,
+        records < 500_000 || telemetry_overhead < 0.05,
         "telemetry overhead {telemetry_overhead:.4} exceeds the 5% budget"
     );
     measurements.push(off_m);
@@ -373,7 +398,23 @@ fn main() {
     json.push_str("  \"results_identical_across_engines_and_threads\": true\n");
     json.push_str("}\n");
 
-    std::fs::write("BENCH_cache_sim.json", &json).expect("write BENCH_cache_sim.json");
+    std::fs::write(&out, &json).expect("write report");
     println!("{json}");
-    eprintln!("wrote BENCH_cache_sim.json");
+    eprintln!("wrote {out}");
+
+    if let Some(path) = &history {
+        for m in &measurements {
+            let line = bench::regression::history_line(
+                "bench_cache_sim",
+                &[
+                    ("engine", format!("\"{}\"", m.label)),
+                    ("parallelism", m.parallelism.to_string()),
+                    ("records", records.to_string()),
+                    ("records_per_sec", format!("{:.0}", m.records_per_sec)),
+                ],
+            );
+            bench::regression::append_history(path, &line).expect("append history");
+        }
+        eprintln!("appended {} rows to {path}", measurements.len());
+    }
 }

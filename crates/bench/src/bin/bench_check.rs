@@ -1,0 +1,61 @@
+//! `bench_check` — the bench-history regression gate for CI.
+//!
+//! ```text
+//! bench_check [--baseline ci/bench_baseline.json] [--dir .]
+//! ```
+//!
+//! Reads the pinned baseline, loads every report it references from
+//! `--dir`, and prints one PASS/FAIL line per check. Exits 0 when every
+//! check holds, 1 on any regression (including missing reports or dangling
+//! paths — a gate that errors out green is no gate), 2 on usage or
+//! baseline-parse errors.
+
+use bench::regression;
+
+fn main() {
+    let mut baseline = "ci/bench_baseline.json".to_string();
+    let mut dir = ".".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("bench_check: {what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = take("--baseline"),
+            "--dir" => dir = take("--dir"),
+            other => {
+                eprintln!("bench_check: unknown flag {other:?}");
+                eprintln!("usage: bench_check [--baseline FILE] [--dir DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_check: cannot read baseline {baseline}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = match regression::run_gate(&baseline_text, |file| {
+        let path = format!("{dir}/{file}");
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_check: bad baseline {baseline}: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", report.to_text());
+    if report.pass() {
+        println!("bench_check: no regression against {baseline}");
+    } else {
+        println!("bench_check: REGRESSION against {baseline}");
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,15 @@
 //! W` bounded in-flight datagrams (default 64), `--out PATH` for the JSON
 //! report. The query mix is seeded (name choice and ECS attachment from a
 //! fixed-seed RNG), so every row and every run drives the same sequence.
+//!
+//! Diagnosis flags: `--profile [stacks.folded]` turns on the per-worker
+//! stage profiler and shard/flight lock contention monitors — rows gain
+//! the `lock_*` contention columns and the folded flamegraph stacks of
+//! every row merge into the given path. `--shards N` overrides the shared
+//! cache's shard count (default follows the worker count, floor 4).
+//! `--history PATH` appends one JSONL line per row with run metadata
+//! (unix time, host parallelism) for the `bench_check` regression gate's
+//! trend data.
 
 use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
@@ -46,6 +55,13 @@ struct Args {
     queries: usize,
     window: usize,
     out: String,
+    /// `Some(path)` turns on profiling + contention monitors; the merged
+    /// folded stacks of every row land at `path`.
+    profile: Option<String>,
+    /// Explicit shared-cache shard count (None = server default).
+    shards: Option<usize>,
+    /// JSONL history file to append one line per row to.
+    history: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -53,9 +69,22 @@ fn parse_args() -> Args {
         queries: 200_000,
         window: 64,
         out: "BENCH_dnsd.json".to_string(),
+        profile: None,
+        shards: None,
+        history: None,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
+        if arg == "--profile" {
+            // An optional path may follow; a flag or nothing means the
+            // default output name.
+            let path = match args.peek() {
+                Some(a) if !a.starts_with("--") => args.next().expect("peeked"),
+                _ => "stacks.folded".to_string(),
+            };
+            parsed.profile = Some(path);
+            continue;
+        }
         let mut take = |what: &str| {
             args.next()
                 .unwrap_or_else(|| panic!("{what} needs a value"))
@@ -64,6 +93,8 @@ fn parse_args() -> Args {
             "--queries" => parsed.queries = take("--queries").parse().expect("integer"),
             "--window" => parsed.window = take("--window").parse().expect("integer"),
             "--out" => parsed.out = take("--out"),
+            "--shards" => parsed.shards = Some(take("--shards").parse().expect("integer")),
+            "--history" => parsed.history = Some(take("--history")),
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -127,6 +158,49 @@ struct RunOutcome {
     completed: usize,
     lost: usize,
     snapshot: obs::MetricsSnapshot,
+    profile: obs::ProfileSnapshot,
+}
+
+/// Contention columns pulled from one row's metrics snapshot. All-zero
+/// unless the row ran with `--profile` (the monitors are off otherwise —
+/// measuring the lock-wait tax costs a try_lock on every acquisition).
+struct Contention {
+    shard_acq: u64,
+    shard_contended: u64,
+    shard_wait_us: u64,
+    flight_acq: u64,
+    flight_contended: u64,
+    flight_wait_us: u64,
+    flight_depth_max: u64,
+    /// Mean datagrams per recvmmsg/sendmmsg crossing — the batching
+    /// efficiency the worker count is buying (or destroying).
+    recv_batch_avg: f64,
+    send_batch_avg: f64,
+}
+
+impl Contention {
+    fn from_snapshot(s: &obs::MetricsSnapshot) -> Self {
+        let hist_sum = |name: &str| s.histogram(name).map(|h| h.sum).unwrap_or(0);
+        let hist_avg = |name: &str| {
+            s.histogram(name)
+                .filter(|h| h.count > 0)
+                .map(|h| h.sum as f64 / h.count as f64)
+                .unwrap_or(0.0)
+        };
+        Contention {
+            shard_acq: s
+                .counter("lock_cache_shard_acquisitions_total")
+                .unwrap_or(0),
+            shard_contended: s.counter("lock_cache_shard_contended_total").unwrap_or(0),
+            shard_wait_us: hist_sum("lock_cache_shard_wait_us"),
+            flight_acq: s.counter("lock_flight_acquisitions_total").unwrap_or(0),
+            flight_contended: s.counter("lock_flight_contended_total").unwrap_or(0),
+            flight_wait_us: hist_sum("lock_flight_wait_us"),
+            flight_depth_max: s.gauge("flight_in_flight_depth").unwrap_or(0),
+            recv_batch_avg: hist_avg("dnsd_recv_batch_size"),
+            send_batch_avg: hist_avg("dnsd_send_batch_size"),
+        }
+    }
 }
 
 /// One measured row: a fresh resolver pool at `workers`, warmed, then
@@ -137,13 +211,20 @@ fn run_row(
     queries: usize,
     window: usize,
     templates: &[Vec<u8>],
+    shards: Option<usize>,
+    profile: bool,
 ) -> RunOutcome {
     let config = ResolverConfig::rfc_compliant(std::net::IpAddr::V4(Ipv4Addr::LOCALHOST));
-    let handle = UdpResolverServer::bind("127.0.0.1:0", auth_addr, config)
+    let mut server = UdpResolverServer::bind("127.0.0.1:0", auth_addr, config)
         .expect("bind resolver")
-        .with_workers(workers)
-        .spawn()
-        .expect("spawn resolver pool");
+        .with_workers(workers);
+    if let Some(shards) = shards {
+        server = server.with_cache_shards(shards);
+    }
+    if profile {
+        server = server.with_profiling();
+    }
+    let handle = server.spawn().expect("spawn resolver pool");
     let server = handle.local_addr();
 
     let client = UdpSocket::bind("127.0.0.1:0").expect("bind client");
@@ -199,12 +280,13 @@ fn run_row(
         }
     }
     let seconds = started.elapsed().as_secs_f64();
-    let snapshot = handle.shutdown();
+    let (snapshot, profile) = handle.shutdown_profiled();
     RunOutcome {
         seconds,
         completed,
         lost: sent - completed,
         snapshot,
+        profile,
     }
 }
 
@@ -219,17 +301,44 @@ fn main() {
     let auth_handle = auth.spawn();
 
     let mut rows = Vec::new();
+    let mut merged_profile = obs::ProfileSnapshot::default();
     for &workers in &worker_counts {
         eprintln!(
-            "bench_dnsd: {} queries at {workers} worker(s), window {} ...",
-            args.queries, args.window
+            "bench_dnsd: {} queries at {workers} worker(s), window {}{}{} ...",
+            args.queries,
+            args.window,
+            args.shards
+                .map(|s| format!(", {s} shards"))
+                .unwrap_or_default(),
+            if args.profile.is_some() {
+                ", profiled"
+            } else {
+                ""
+            }
         );
-        let o = run_row(auth_addr, workers, args.queries, args.window, &templates);
+        let o = run_row(
+            auth_addr,
+            workers,
+            args.queries,
+            args.window,
+            &templates,
+            args.shards,
+            args.profile.is_some(),
+        );
         let qps = o.completed as f64 / o.seconds;
-        eprintln!(
-            "bench_dnsd:   {:>9.0} qps ({} completed, {} lost, {:.3}s)",
-            qps, o.completed, o.lost, o.seconds
-        );
+        let c = Contention::from_snapshot(&o.snapshot);
+        if args.profile.is_some() {
+            eprintln!(
+                "bench_dnsd:   {:>9.0} qps ({} completed, {} lost, {:.3}s; shard locks {}/{} contended, {} us waited)",
+                qps, o.completed, o.lost, o.seconds, c.shard_contended, c.shard_acq, c.shard_wait_us
+            );
+        } else {
+            eprintln!(
+                "bench_dnsd:   {:>9.0} qps ({} completed, {} lost, {:.3}s)",
+                qps, o.completed, o.lost, o.seconds
+            );
+        }
+        merged_profile.merge(&o.profile);
         rows.push((workers, o, qps));
     }
     auth_handle.shutdown();
@@ -256,8 +365,13 @@ fn main() {
     let mut json = String::from("{\n");
     json.push_str("  \"benchmark\": \"dnsd_multiworker_loopback\",\n");
     json.push_str(&format!(
-        "  \"config\": {{\"queries_per_row\": {}, \"names\": {NAMES}, \"ecs_pct\": {ECS_PCT}, \"window\": {}, \"seeded\": true}},\n",
-        args.queries, args.window
+        "  \"config\": {{\"queries_per_row\": {}, \"names\": {NAMES}, \"ecs_pct\": {ECS_PCT}, \"window\": {}, \"seeded\": true, \"profiled\": {}, \"shards\": {}}},\n",
+        args.queries,
+        args.window,
+        args.profile.is_some(),
+        args.shards
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "null".to_string()),
     ));
     json.push_str("  \"rows\": [\n");
     let last = rows.len() - 1;
@@ -271,12 +385,22 @@ fn main() {
             .snapshot
             .counter("resolver_upstream_queries_total")
             .unwrap_or(0);
+        let c = Contention::from_snapshot(&o.snapshot);
         json.push_str(&format!(
-            "    {{\"workers\": {workers}, \"seconds\": {:.4}, \"qps\": {:.0}, \"completed\": {}, \"lost\": {}, \"cache_hits\": {hits}, \"coalesced\": {coalesced}, \"upstream_queries\": {upstream}}}{}\n",
+            "    {{\"workers\": {workers}, \"seconds\": {:.4}, \"qps\": {:.0}, \"completed\": {}, \"lost\": {}, \"cache_hits\": {hits}, \"coalesced\": {coalesced}, \"upstream_queries\": {upstream}, \"lock_shard_acq\": {}, \"lock_shard_contended\": {}, \"lock_shard_wait_us\": {}, \"lock_flight_acq\": {}, \"lock_flight_contended\": {}, \"lock_flight_wait_us\": {}, \"flight_depth_max\": {}, \"recv_batch_avg\": {:.2}, \"send_batch_avg\": {:.2}}}{}\n",
             o.seconds,
             qps,
             o.completed,
             o.lost,
+            c.shard_acq,
+            c.shard_contended,
+            c.shard_wait_us,
+            c.flight_acq,
+            c.flight_contended,
+            c.flight_wait_us,
+            c.flight_depth_max,
+            c.recv_batch_avg,
+            c.send_batch_avg,
             if i < last { "," } else { "" }
         ));
     }
@@ -291,4 +415,52 @@ fn main() {
     std::fs::write(&args.out, &json).expect("write report");
     println!("{json}");
     eprintln!("wrote {}", args.out);
+
+    if let Some(path) = &args.profile {
+        // Merged across every row: the shape (which stages dominate) is
+        // the diagnosis artifact; per-row splits live in the lock columns.
+        std::fs::write(path, merged_profile.to_folded()).expect("write folded stacks");
+        eprintln!(
+            "wrote {path} ({} stacks, {} us self time, {} spans)",
+            merged_profile.stacks.len(),
+            merged_profile.total_self_us(),
+            merged_profile.total_calls()
+        );
+        // And the merged metrics (prof_*/lock_* series included) so
+        // `obs-validate metrics --require-prof` can gate the export.
+        let mut merged_metrics = obs::MetricsSnapshot::default();
+        for (_, o, _) in &rows {
+            merged_metrics.merge(&o.snapshot);
+        }
+        let metrics_path = format!("{path}.metrics.json");
+        std::fs::write(&metrics_path, merged_metrics.to_json()).expect("write metrics json");
+        eprintln!("wrote {metrics_path}");
+    }
+    if let Some(path) = &args.history {
+        for (workers, o, qps) in &rows {
+            let c = Contention::from_snapshot(&o.snapshot);
+            let line = bench::regression::history_line(
+                "bench_dnsd",
+                &[
+                    ("workers", workers.to_string()),
+                    ("queries", args.queries.to_string()),
+                    ("window", args.window.to_string()),
+                    (
+                        "shards",
+                        args.shards
+                            .map(|s| s.to_string())
+                            .unwrap_or_else(|| "null".to_string()),
+                    ),
+                    ("profiled", args.profile.is_some().to_string()),
+                    ("qps", format!("{qps:.0}")),
+                    ("lost", o.lost.to_string()),
+                    ("lock_shard_contended", c.shard_contended.to_string()),
+                    ("lock_shard_wait_us", c.shard_wait_us.to_string()),
+                    ("lock_flight_contended", c.flight_contended.to_string()),
+                ],
+            );
+            bench::regression::append_history(path, &line).expect("append history");
+        }
+        eprintln!("appended {} rows to {path}", rows.len());
+    }
 }

@@ -1,1 +1,5 @@
-//! Criterion benches live under `benches/`; this crate has no library code.
+//! Criterion benches live under `benches/`; the library side carries the
+//! bench-history regression gate shared by the harness binaries and the
+//! `bench_check` CI gate.
+
+pub mod regression;

@@ -96,6 +96,8 @@ impl RecvBatch {
 #[derive(Default)]
 pub struct SendBatch {
     items: Vec<(Vec<u8>, SocketAddr)>,
+    #[cfg(target_os = "linux")]
+    sys: linux::SendSys,
 }
 
 impl SendBatch {
@@ -126,7 +128,7 @@ impl SendBatch {
         let sent;
         #[cfg(target_os = "linux")]
         {
-            sent = linux::send_all(socket, &self.items)?;
+            sent = self.sys.send_all(socket, &self.items)?;
         }
         #[cfg(not(target_os = "linux"))]
         {
@@ -270,17 +272,59 @@ mod linux {
         }
     }
 
-    /// Receive-side scratch space reused across calls: one sockaddr slot
-    /// per window entry (the mmsghdr/iovec arrays are rebuilt per call —
-    /// they hold raw pointers into the caller's buffers).
+    /// Receive-side scratch reused across calls: the sockaddr slots, the
+    /// iovecs, and the mmsghdr array are all wired up **once** (the
+    /// buffers they point into are boxed and never move, and the scratch
+    /// vectors never reallocate after construction). A fragmented load —
+    /// many workers splitting the queue into 1–2-datagram wakeups — pays
+    /// thousands of crossings per second, so the per-call cost here must
+    /// be a few field resets, not two heap allocations and a full window
+    /// rebuild.
     pub(super) struct RecvSys {
         addrs: Vec<SockAddrStorage>,
+        iovecs: Vec<IoVec>,
+        headers: Vec<MMsgHdr>,
     }
 
     impl RecvSys {
         pub(super) fn new(capacity: usize) -> Self {
             RecvSys {
                 addrs: vec![SockAddrStorage { bytes: [0; 128] }; capacity],
+                iovecs: Vec::with_capacity(capacity),
+                headers: Vec::with_capacity(capacity),
+            }
+        }
+
+        /// Builds the iovec/mmsghdr arrays against `bufs` on the first
+        /// call; later calls only reset the fields the kernel overwrites.
+        fn wire(&mut self, bufs: &mut [Box<[u8; MAX_DATAGRAM]>]) {
+            if !self.headers.is_empty() {
+                for h in &mut self.headers {
+                    h.hdr.namelen = 128;
+                    h.hdr.flags = 0;
+                    h.len = 0;
+                }
+                return;
+            }
+            for b in bufs.iter_mut() {
+                self.iovecs.push(IoVec {
+                    base: b.as_mut_ptr(),
+                    len: MAX_DATAGRAM,
+                });
+            }
+            for i in 0..bufs.len() {
+                self.headers.push(MMsgHdr {
+                    hdr: MsgHdr {
+                        name: self.addrs[i].bytes.as_mut_ptr(),
+                        namelen: 128,
+                        iov: &mut self.iovecs[i],
+                        iovlen: 1,
+                        control: std::ptr::null_mut(),
+                        controllen: 0,
+                        flags: 0,
+                    },
+                    len: 0,
+                });
             }
         }
 
@@ -291,27 +335,8 @@ mod linux {
             meta: &mut Vec<(usize, SocketAddr)>,
         ) -> io::Result<usize> {
             let capacity = bufs.len();
-            let mut iovecs: Vec<IoVec> = bufs
-                .iter_mut()
-                .map(|b| IoVec {
-                    base: b.as_mut_ptr(),
-                    len: MAX_DATAGRAM,
-                })
-                .collect();
-            let mut headers: Vec<MMsgHdr> = (0..capacity)
-                .map(|i| MMsgHdr {
-                    hdr: MsgHdr {
-                        name: self.addrs[i].bytes.as_mut_ptr(),
-                        namelen: 128,
-                        iov: &mut iovecs[i],
-                        iovlen: 1,
-                        control: std::ptr::null_mut(),
-                        controllen: 0,
-                        flags: 0,
-                    },
-                    len: 0,
-                })
-                .collect();
+            self.wire(bufs);
+            let headers = &mut self.headers;
             let rc = unsafe {
                 recvmmsg(
                     socket.as_raw_fd(),
@@ -340,65 +365,76 @@ mod linux {
         }
     }
 
-    pub(super) fn send_all(
-        socket: &UdpSocket,
-        items: &[(Vec<u8>, SocketAddr)],
-    ) -> io::Result<usize> {
-        let mut sent = 0usize;
-        let mut offset = 0usize;
-        let mut addrs = vec![SockAddrStorage { bytes: [0; 128] }; items.len()];
-        while offset < items.len() {
-            let window = &items[offset..];
-            let mut iovecs: Vec<IoVec> = window
-                .iter()
-                .map(|(payload, _)| IoVec {
+    /// Send-side scratch reused across flushes. Payload pointers change
+    /// every flush, so the arrays are re-filled per call — but into
+    /// retained capacity, never through the allocator (after the first
+    /// flush at a given queue depth).
+    #[derive(Default)]
+    pub(super) struct SendSys {
+        addrs: Vec<SockAddrStorage>,
+        iovecs: Vec<IoVec>,
+        headers: Vec<MMsgHdr>,
+    }
+
+    impl SendSys {
+        pub(super) fn send_all(
+            &mut self,
+            socket: &UdpSocket,
+            items: &[(Vec<u8>, SocketAddr)],
+        ) -> io::Result<usize> {
+            self.addrs
+                .resize(items.len(), SockAddrStorage { bytes: [0; 128] });
+            self.iovecs.clear();
+            self.headers.clear();
+            self.iovecs.reserve(items.len());
+            self.headers.reserve(items.len());
+            for (payload, _) in items {
+                self.iovecs.push(IoVec {
                     // sendmmsg never writes through the iov; the mut cast
                     // only satisfies the shared msghdr layout.
                     base: payload.as_ptr() as *mut u8,
                     len: payload.len(),
-                })
-                .collect();
-            let mut headers: Vec<MMsgHdr> = window
-                .iter()
-                .enumerate()
-                .map(|(i, (_, peer))| {
-                    let namelen = encode_addr(peer, &mut addrs[offset + i]);
-                    MMsgHdr {
-                        hdr: MsgHdr {
-                            name: addrs[offset + i].bytes.as_mut_ptr(),
-                            namelen,
-                            iov: &mut iovecs[i],
-                            iovlen: 1,
-                            control: std::ptr::null_mut(),
-                            controllen: 0,
-                            flags: 0,
-                        },
-                        len: 0,
+                });
+            }
+            for (i, (_, peer)) in items.iter().enumerate() {
+                let namelen = encode_addr(peer, &mut self.addrs[i]);
+                self.headers.push(MMsgHdr {
+                    hdr: MsgHdr {
+                        name: self.addrs[i].bytes.as_mut_ptr(),
+                        namelen,
+                        iov: &mut self.iovecs[i],
+                        iovlen: 1,
+                        control: std::ptr::null_mut(),
+                        controllen: 0,
+                        flags: 0,
+                    },
+                    len: 0,
+                });
+            }
+            let mut sent = 0usize;
+            while sent < items.len() {
+                let rc = unsafe {
+                    sendmmsg(
+                        socket.as_raw_fd(),
+                        self.headers.as_mut_ptr().add(sent),
+                        (items.len() - sent) as u32,
+                        0,
+                    )
+                };
+                if rc < 0 {
+                    let err = io::Error::last_os_error();
+                    if sent > 0 && err.kind() == io::ErrorKind::WouldBlock {
+                        return Ok(sent);
                     }
-                })
-                .collect();
-            let rc = unsafe {
-                sendmmsg(
-                    socket.as_raw_fd(),
-                    headers.as_mut_ptr(),
-                    headers.len() as u32,
-                    0,
-                )
-            };
-            if rc < 0 {
-                let err = io::Error::last_os_error();
-                if sent > 0 && err.kind() == io::ErrorKind::WouldBlock {
-                    return Ok(sent);
+                    return Err(err);
                 }
-                return Err(err);
+                if rc == 0 {
+                    break; // no forward progress; avoid spinning
+                }
+                sent += rc as usize;
             }
-            if rc == 0 {
-                break; // no forward progress; avoid spinning
-            }
-            sent += rc as usize;
-            offset += rc as usize;
+            Ok(sent)
         }
-        Ok(sent)
     }
 }
 

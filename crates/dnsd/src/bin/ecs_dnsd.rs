@@ -2,10 +2,14 @@
 //!
 //! ```text
 //! ecs-dnsd [bind-addr] [--workers N] [--metrics [http-addr]]
+//!          [--profile [stacks.folded]] [--duration SECS]
 //! # bind-addr defaults to 127.0.0.1:5353; --workers N serves with N
 //! # threads over the shared socket (default 1); --metrics serves
 //! # Prometheus text on GET /metrics and JSON on GET /metrics.json
-//! # (default http-addr 127.0.0.1:9153)
+//! # (default http-addr 127.0.0.1:9153). --profile runs the per-worker
+//! # stage profiler and, on exit, writes collapsed flamegraph stacks to
+//! # the given path (default stacks.folded) — pair with --duration to
+//! # serve for a fixed window and exit cleanly (profiles fold at join).
 //! ```
 //!
 //! The demo zone is `cdn.example` with `www.cdn.example` accelerated by a
@@ -27,6 +31,8 @@ fn main() {
     let mut bind = "127.0.0.1:5353".to_string();
     let mut metrics_bind: Option<String> = None;
     let mut workers = 1usize;
+    let mut profile_path: Option<String> = None;
+    let mut duration: Option<u64> = None;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         if arg == "--metrics" {
@@ -37,6 +43,21 @@ fn main() {
                 _ => "127.0.0.1:9153".to_string(),
             };
             metrics_bind = Some(addr);
+        } else if arg == "--profile" {
+            let path = match args.peek() {
+                Some(a) if !a.starts_with("--") => args.next().expect("peeked"),
+                _ => "stacks.folded".to_string(),
+            };
+            profile_path = Some(path);
+        } else if arg == "--duration" {
+            let n = args.next().unwrap_or_default();
+            duration = match n.parse() {
+                Ok(secs) => Some(secs),
+                Err(_) => {
+                    eprintln!("ecs-dnsd: --duration needs seconds, got {n:?}");
+                    std::process::exit(2);
+                }
+            };
         } else if arg == "--workers" {
             let n = args.next().unwrap_or_default();
             workers = match n.parse() {
@@ -80,7 +101,14 @@ fn main() {
     .with_cdn(CdnBehavior::cdn1(footprint), geodb);
 
     let server = match UdpAuthServer::bind(&bind, auth) {
-        Ok(s) => s.with_workers(workers),
+        Ok(s) => {
+            let s = s.with_workers(workers);
+            if profile_path.is_some() {
+                s.with_profiling()
+            } else {
+                s
+            }
+        }
         Err(e) => {
             eprintln!("ecs-dnsd: cannot bind {bind}: {e}");
             std::process::exit(1);
@@ -101,9 +129,32 @@ fn main() {
             }
         }
     });
-    // The worker pool serves until the process is killed.
-    let _handle = server.spawn();
-    loop {
-        std::thread::park();
+    if let Some(path) = &profile_path {
+        println!("ecs-dnsd: profiling on; folded stacks will be written to {path}");
+    }
+    let handle = server.spawn();
+    match duration {
+        // Fixed serving window: join cleanly so profiles fold.
+        Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+        // Serve until the process is killed (no profile fold on SIGKILL:
+        // pair --profile with --duration for a complete capture).
+        None => loop {
+            std::thread::park();
+        },
+    }
+    let profile = handle.shutdown_profiled();
+    if let Some(path) = profile_path {
+        // Even an idle window is non-empty: each worker's 50 ms recv
+        // timeouts accumulate auth;recv self-time.
+        if let Err(e) = std::fs::write(&path, profile.to_folded()) {
+            eprintln!("ecs-dnsd: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "ecs-dnsd: wrote {path} ({} stacks, {} us self time, {} spans)",
+            profile.stacks.len(),
+            profile.total_self_us(),
+            profile.total_calls()
+        );
     }
 }

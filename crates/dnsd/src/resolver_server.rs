@@ -67,6 +67,11 @@ struct FrontEndMetrics {
     responses: obs::Counter,
     malformed_drops: obs::Counter,
     handle_latency: obs::Histogram,
+    /// Datagrams pulled per recv syscall / flushed per send syscall.
+    /// Recorded only when profiling is on (they measure queue depth under
+    /// load — exactly what the 4→8-worker investigation needs).
+    recv_batch: obs::Histogram,
+    send_batch: obs::Histogram,
 }
 
 impl FrontEndMetrics {
@@ -77,6 +82,8 @@ impl FrontEndMetrics {
             responses: registry.counter("resolverd_responses_total"),
             malformed_drops: registry.counter("resolverd_malformed_drops_total"),
             handle_latency: registry.histogram("resolverd_handle_latency_us"),
+            recv_batch: registry.histogram("dnsd_recv_batch_size"),
+            send_batch: registry.histogram("dnsd_send_batch_size"),
             registry,
         }
     }
@@ -94,6 +101,7 @@ pub struct UdpResolverServer {
     upstream_timeout: Duration,
     upstream_faults: Option<(TransportFaults, u64)>,
     metrics: FrontEndMetrics,
+    profile: bool,
 }
 
 impl UdpResolverServer {
@@ -119,7 +127,18 @@ impl UdpResolverServer {
             upstream_timeout: Duration::from_millis(500),
             upstream_faults: None,
             metrics: FrontEndMetrics::new(),
+            profile: false,
         })
+    }
+
+    /// Turns on the profiling/diagnosis layer: per-worker stage profilers
+    /// (folded after the join into a flamegraph-ready
+    /// [`obs::ProfileSnapshot`]), lock-contention telemetry on the shared
+    /// cache shards and the flight table, and the recv/send batch-size
+    /// histograms. Off by default; the serving path is untouched when off.
+    pub fn with_profiling(mut self) -> Self {
+        self.profile = true;
+        self
     }
 
     /// Scan/soak mode: every worker's upstream is wrapped in a
@@ -178,8 +197,14 @@ impl UdpResolverServer {
         } else {
             self.cache_shards
         };
-        let cache = Arc::new(SharedEcsCache::for_config(&self.config, shards));
-        let flights = Arc::new(FlightTable::for_config(&self.config.overload));
+        let mut cache = SharedEcsCache::for_config(&self.config, shards);
+        let mut flights = FlightTable::for_config(&self.config.overload);
+        if self.profile {
+            cache.enable_contention(&self.metrics.registry);
+            flights.enable_contention(&self.metrics.registry);
+        }
+        let cache = Arc::new(cache);
+        let flights = Arc::new(flights);
         let stop = Arc::new(AtomicBool::new(false));
         let started = Instant::now();
         // A joiner waits as long as its flight's owner could legitimately
@@ -209,6 +234,7 @@ impl UdpResolverServer {
                 batch: self.batch,
                 started,
                 join_wait,
+                profiler: self.profile.then(obs::StageProfiler::new),
             };
             threads.push(
                 std::thread::Builder::new()
@@ -236,7 +262,7 @@ impl UdpResolverServer {
 /// into one exact, post-join [`obs::MetricsSnapshot`].
 pub struct ResolverServerHandle {
     stop: Arc<AtomicBool>,
-    threads: Vec<std::thread::JoinHandle<obs::MetricsSnapshot>>,
+    threads: Vec<std::thread::JoinHandle<(obs::MetricsSnapshot, Option<obs::ProfileSnapshot>)>>,
     local_addr: SocketAddr,
     cache: Arc<SharedEcsCache>,
     flights: Arc<FlightTable>,
@@ -269,26 +295,44 @@ impl ResolverServerHandle {
         &self.metrics.registry
     }
 
-    fn stop_and_join(&mut self) -> obs::MetricsSnapshot {
+    fn stop_and_join(&mut self) -> (obs::MetricsSnapshot, obs::ProfileSnapshot) {
         self.stop.store(true, Ordering::SeqCst);
         let mut folded = obs::MetricsSnapshot::default();
+        let mut profile = obs::ProfileSnapshot::default();
         for t in self.threads.drain(..) {
-            if let Ok(snap) = t.join() {
+            if let Ok((snap, prof)) = t.join() {
                 folded.merge(&snap);
+                if let Some(prof) = prof {
+                    profile.merge(&prof);
+                }
             }
         }
-        folded
+        (folded, profile)
     }
 
     /// Stops and joins every worker, then returns the complete folded
     /// metrics: every engine's counters, the shared cache's (counted once
     /// — the cache registries are shared, not per-worker), and the socket
     /// front end's.
-    pub fn shutdown(mut self) -> obs::MetricsSnapshot {
-        let mut folded = self.stop_and_join();
+    pub fn shutdown(self) -> obs::MetricsSnapshot {
+        self.shutdown_profiled().0
+    }
+
+    /// Like [`ResolverServerHandle::shutdown`], additionally returning
+    /// the folded per-worker stage profile. Empty unless the server was
+    /// built [`UdpResolverServer::with_profiling`]; the profile's stage
+    /// totals are also exported into the metrics snapshot as `prof_*`
+    /// counters ([`obs::ProfileSnapshot::to_metrics`]).
+    pub fn shutdown_profiled(mut self) -> (obs::MetricsSnapshot, obs::ProfileSnapshot) {
+        let (mut folded, profile) = self.stop_and_join();
         folded.merge(&self.cache.snapshot());
+        if !profile.is_empty() {
+            let reg = obs::MetricsRegistry::new();
+            profile.to_metrics(&reg);
+            folded.merge(&reg.snapshot());
+        }
         folded.merge(&self.metrics.registry.snapshot());
-        folded
+        (folded, profile)
     }
 }
 
@@ -358,27 +402,59 @@ struct Worker {
     batch: usize,
     started: Instant,
     join_wait: Duration,
+    /// Per-worker stage profiler (profiling mode only); folded into one
+    /// [`obs::ProfileSnapshot`] after the join, like the metrics.
+    profiler: Option<obs::StageProfiler>,
 }
 
 impl Worker {
-    /// The serve loop. Returns this worker's engine metrics snapshot so
-    /// the handle can fold it after the join.
-    fn run(mut self) -> obs::MetricsSnapshot {
+    /// The serve loop. Returns this worker's engine metrics snapshot (and
+    /// its stage profile when profiling) so the handle can fold them
+    /// after the join.
+    fn run(mut self) -> (obs::MetricsSnapshot, Option<obs::ProfileSnapshot>) {
         let mut rx = RecvBatch::new(self.batch);
         let mut tx = SendBatch::new();
+        let mut prof = self.profiler.take();
         while !self.stop.load(Ordering::SeqCst) {
+            if let Some(p) = prof.as_mut() {
+                p.enter("worker");
+                p.enter("recv");
+            }
             let n = match rx.recv(&self.socket) {
-                Ok(0) => continue, // read timeout: re-check stop
                 Ok(n) => n,
                 Err(e) => {
                     eprintln!("ecs-dnsd resolver worker: socket error: {e}");
+                    if let Some(p) = prof.as_mut() {
+                        p.exit();
+                        p.exit();
+                    }
                     break;
                 }
             };
+            if let Some(p) = prof.as_mut() {
+                p.exit(); // recv
+                if n > 0 {
+                    self.metrics.recv_batch.record(n as u64);
+                }
+            }
+            if n == 0 {
+                // Read timeout: close the worker span and re-check stop.
+                if let Some(p) = prof.as_mut() {
+                    p.exit();
+                }
+                continue;
+            }
             for i in 0..n {
                 let (payload, peer) = rx.datagram(i);
                 let received = self.started.elapsed();
-                let Ok(query) = Message::from_bytes(payload) else {
+                if let Some(p) = prof.as_mut() {
+                    p.enter("decode");
+                }
+                let decoded = Message::from_bytes(payload);
+                if let Some(p) = prof.as_mut() {
+                    p.exit();
+                }
+                let Ok(query) = decoded else {
                     self.metrics.malformed_drops.inc();
                     continue;
                 };
@@ -387,7 +463,7 @@ impl Worker {
                 }
                 self.metrics.queries.inc();
                 let now = SimTime::from_micros(received.as_micros() as u64);
-                let resp = self.handle_query(&query, peer, now);
+                let resp = self.handle_query(&query, peer, now, &mut prof);
                 if let Ok(bytes) = resp.to_bytes() {
                     tx.push(bytes, peer);
                     self.metrics.responses.inc();
@@ -396,28 +472,70 @@ impl Worker {
                         .record((self.started.elapsed() - received).as_micros() as u64);
                 }
             }
-            if tx.flush(&self.socket).is_err() {
+            if let Some(p) = prof.as_mut() {
+                self.metrics.send_batch.record(tx.len() as u64);
+                p.enter("send");
+            }
+            let flushed = tx.flush(&self.socket);
+            if let Some(p) = prof.as_mut() {
+                p.exit(); // send
+                p.exit(); // worker
+            }
+            if flushed.is_err() {
                 break;
             }
         }
-        self.engine.metrics_snapshot()
+        (self.engine.metrics_snapshot(), prof.map(|p| p.snapshot()))
     }
 
     /// Resolves one client query, routing any upstream exchange through
     /// the shared flight table. The admission order matches the
     /// event-driven actor path exactly: join, then shed, then own.
-    fn handle_query(&mut self, query: &Message, peer: SocketAddr, now: SimTime) -> Message {
+    fn handle_query(
+        &mut self,
+        query: &Message,
+        peer: SocketAddr,
+        now: SimTime,
+        prof: &mut Option<obs::StageProfiler>,
+    ) -> Message {
+        if let Some(p) = prof.as_mut() {
+            p.enter("resolve");
+        }
+        let resp = self.handle_query_inner(query, peer, now, prof);
+        if let Some(p) = prof.as_mut() {
+            p.exit();
+        }
+        resp
+    }
+
+    fn handle_query_inner(
+        &mut self,
+        query: &Message,
+        peer: SocketAddr,
+        now: SimTime,
+        prof: &mut Option<obs::StageProfiler>,
+    ) -> Message {
         let pending = match self.engine.begin(query, peer.ip(), now) {
-            Step::Answer(resp) => return resp,
+            Step::Answer(resp) => {
+                // Cache hit / refusal / local answer: no upstream leg.
+                if let Some(p) = prof.as_mut() {
+                    p.enter("local");
+                    p.exit();
+                }
+                return resp;
+            }
             Step::NeedUpstream(pending) => pending,
         };
         match self.flights.admit(&pending.flight_key()) {
             Admission::Joiner(flight) => {
+                if let Some(p) = prof.as_mut() {
+                    p.enter("join_wait");
+                }
                 // Ride the identical outstanding flight: retract the
                 // upstream send `begin` counted, wait for the owner's raw
                 // response, and build this client's own answer from it.
                 self.engine.note_coalesced(&pending.upstream_query);
-                match flight.wait(self.join_wait) {
+                let resp = match flight.wait(self.join_wait) {
                     Some(up) => self.engine.joiner_response(&pending.client_query, &up),
                     // Owner failed (or timed out): each joiner falls back
                     // to its own serve-stale/SERVFAIL decision.
@@ -428,16 +546,32 @@ impl Worker {
                         pending.client_addr,
                         now,
                     ),
+                };
+                if let Some(p) = prof.as_mut() {
+                    p.exit();
                 }
+                resp
             }
-            Admission::Shed => self.engine.shed(&pending),
+            Admission::Shed => {
+                if let Some(p) = prof.as_mut() {
+                    p.enter("shed");
+                    p.exit();
+                }
+                self.engine.shed(&pending)
+            }
             Admission::Owner(token) => {
+                if let Some(p) = prof.as_mut() {
+                    p.enter("own_upstream");
+                }
                 let (answer, raw) =
                     self.engine
                         .drive_upstream_capturing(pending, now, &mut self.upstream);
                 // Publish before answering our own client: joiners are
                 // other workers' clients and should not wait on our send.
                 token.complete(raw);
+                if let Some(p) = prof.as_mut() {
+                    p.exit();
+                }
                 answer
             }
         }
@@ -569,6 +703,67 @@ mod tests {
         assert_eq!(resp.ecs().unwrap().scope_prefix_len(), 20);
         handle.shutdown();
         auth_handle.shutdown();
+    }
+
+    #[test]
+    fn profiled_serving_yields_reconciled_folded_stacks_and_lock_series() {
+        let auth = UdpAuthServer::bind("127.0.0.1:0", demo_auth()).unwrap();
+        let auth_addr = auth.local_addr().unwrap();
+        let auth_handle = auth.spawn();
+
+        let handle = UdpResolverServer::bind("127.0.0.1:0", auth_addr, cfg())
+            .unwrap()
+            .with_workers(2)
+            .with_profiling()
+            .spawn()
+            .unwrap();
+        let addr = handle.local_addr();
+
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        for i in 0..8u16 {
+            ask(&client, addr, i, "www.demo.example");
+        }
+        let (snap, profile) = handle.shutdown_profiled();
+        auth_handle.shutdown();
+
+        assert!(!profile.is_empty(), "profiling on must capture spans");
+        let folded = profile.to_folded();
+        assert!(folded.contains("worker;recv"), "{folded}");
+        assert!(folded.contains("worker;resolve"), "{folded}");
+        // Folded stage totals reconcile with the exported prof_* series:
+        // same accumulators, two serializations.
+        assert_eq!(
+            snap.counter("prof_self_us_total"),
+            Some(profile.total_self_us())
+        );
+        assert_eq!(
+            snap.counter("prof_spans_total"),
+            Some(profile.total_calls())
+        );
+        // Lock telemetry was live: the 8 queries (1 miss + 7 hits) each
+        // took at least one shard acquisition.
+        assert!(snap.counter("lock_cache_shard_acquisitions_total").unwrap() >= 8);
+        assert!(snap.counter("lock_flight_acquisitions_total").unwrap() >= 2);
+        assert_eq!(snap.gauge("flight_in_flight_depth"), Some(1));
+        // Batch-size histograms recorded under profiling.
+        assert!(snap.histogram("dnsd_recv_batch_size").is_some());
+    }
+
+    #[test]
+    fn profiling_off_leaves_no_prof_series() {
+        let upstream = "127.0.0.1:1".parse().unwrap(); // never queried
+        let handle = UdpResolverServer::bind("127.0.0.1:0", upstream, cfg())
+            .unwrap()
+            .spawn()
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        let (snap, profile) = handle.shutdown_profiled();
+        assert!(profile.is_empty());
+        assert_eq!(snap.counter("prof_spans_total"), None);
+        assert_eq!(snap.counter("lock_cache_shard_acquisitions_total"), None);
     }
 
     #[test]

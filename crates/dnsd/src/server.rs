@@ -83,6 +83,9 @@ pub struct UdpAuthServer {
     /// legacy [`ServerHandle::malformed_drops`] accessor read one source
     /// of truth.
     metrics: ServerMetrics,
+    /// Profiling mode: each worker runs a per-thread stage profiler,
+    /// folded after the join ([`ServerHandle::shutdown_profiled`]).
+    profile: bool,
 }
 
 /// Handle to a spawned server's worker threads.
@@ -97,10 +100,12 @@ pub struct UdpAuthServer {
 /// (the price of running without a self-pipe or non-blocking poll loop).
 pub struct ServerHandle {
     stop: Arc<AtomicBool>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    threads: Vec<std::thread::JoinHandle<Option<obs::ProfileSnapshot>>>,
     /// Shared access to the server state (query log inspection).
     pub auth: Arc<Mutex<AuthServer>>,
     metrics: ServerMetrics,
+    /// Per-worker profiles folded at join time (empty when profiling off).
+    profile: obs::ProfileSnapshot,
 }
 
 impl ServerHandle {
@@ -110,7 +115,9 @@ impl ServerHandle {
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         for t in self.threads.drain(..) {
-            let _ = t.join();
+            if let Ok(Some(prof)) = t.join() {
+                self.profile.merge(&prof);
+            }
         }
     }
 
@@ -118,6 +125,14 @@ impl ServerHandle {
     /// docs for the shutdown-latency bound).
     pub fn shutdown(mut self) {
         self.stop_and_join();
+    }
+
+    /// Like [`ServerHandle::shutdown`], additionally returning the folded
+    /// per-worker stage profile (empty unless the server was built
+    /// [`UdpAuthServer::with_profiling`]).
+    pub fn shutdown_profiled(mut self) -> obs::ProfileSnapshot {
+        self.stop_and_join();
+        std::mem::take(&mut self.profile)
     }
 
     /// Worker threads still attached to this handle (0 after shutdown).
@@ -160,7 +175,16 @@ impl UdpAuthServer {
             drop_remaining: AtomicU32::new(0),
             truncate_udp: false,
             metrics: ServerMetrics::new(),
+            profile: false,
         })
+    }
+
+    /// Turns on per-worker stage profiling. Off by default; the serve
+    /// loop is untouched when off. Retrieve the folded profile with
+    /// [`ServerHandle::shutdown_profiled`].
+    pub fn with_profiling(mut self) -> Self {
+        self.profile = true;
+        self
     }
 
     /// Arms deterministic fault injection (see [`ServerFaults`]).
@@ -205,8 +229,33 @@ impl UdpAuthServer {
     /// Serves one datagram if one arrives before the read timeout.
     /// Returns `Ok(true)` when a query was handled.
     pub fn serve_once(&self) -> io::Result<bool> {
+        self.serve_once_prof(&mut None)
+    }
+
+    /// [`UdpAuthServer::serve_once`] with optional stage profiling: the
+    /// caller owns the per-thread profiler (`None` is the zero-cost
+    /// no-profiling path the public method uses).
+    fn serve_once_prof(&self, prof: &mut Option<obs::StageProfiler>) -> io::Result<bool> {
+        if let Some(p) = prof.as_mut() {
+            p.enter("auth");
+        }
+        let r = self.serve_once_inner(prof);
+        if let Some(p) = prof.as_mut() {
+            p.exit();
+        }
+        r
+    }
+
+    fn serve_once_inner(&self, prof: &mut Option<obs::StageProfiler>) -> io::Result<bool> {
         let mut buf = [0u8; MAX_DATAGRAM];
-        let (n, peer) = match self.socket.recv_from(&mut buf) {
+        if let Some(p) = prof.as_mut() {
+            p.enter("recv");
+        }
+        let recv = self.socket.recv_from(&mut buf);
+        if let Some(p) = prof.as_mut() {
+            p.exit();
+        }
+        let (n, peer) = match recv {
             Ok(r) => r,
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
@@ -216,8 +265,15 @@ impl UdpAuthServer {
             Err(e) => return Err(e),
         };
         let received = self.started.elapsed();
+        if let Some(p) = prof.as_mut() {
+            p.enter("decode");
+        }
+        let decoded = Message::from_bytes(&buf[..n]);
+        if let Some(p) = prof.as_mut() {
+            p.exit();
+        }
         // Malformed packets are dropped, as real servers drop them.
-        let Ok(query) = Message::from_bytes(&buf[..n]) else {
+        let Ok(query) = decoded else {
             self.metrics.malformed_drops.inc();
             return Ok(false);
         };
@@ -236,10 +292,17 @@ impl UdpAuthServer {
             return Ok(true);
         }
         let now = SimTime::from_micros(received.as_micros() as u64);
+        if let Some(p) = prof.as_mut() {
+            p.enter("handle");
+        }
         let mut resp = self.auth.lock().handle(&query, peer.ip(), now);
         if self.truncate_udp {
             resp.flags.tc = true;
             resp.answers.clear();
+        }
+        if let Some(p) = prof.as_mut() {
+            p.exit();
+            p.enter("send");
         }
         if let Ok(bytes) = resp.to_bytes() {
             let _ = self.socket.send_to(&bytes, peer);
@@ -248,6 +311,9 @@ impl UdpAuthServer {
             self.metrics
                 .handle_latency
                 .record((served - received).as_micros() as u64);
+        }
+        if let Some(p) = prof.as_mut() {
+            p.exit();
         }
         Ok(true)
     }
@@ -262,6 +328,7 @@ impl UdpAuthServer {
         let auth = self.auth.clone();
         let metrics = self.metrics.clone();
         let workers = self.workers;
+        let profiling = self.profile;
         let shared = Arc::new(self);
         let threads = (0..workers)
             .map(|w| {
@@ -269,12 +336,14 @@ impl UdpAuthServer {
                 std::thread::Builder::new()
                     .name(format!("dnsd-auth-{w}"))
                     .spawn(move || {
+                        let mut prof = profiling.then(obs::StageProfiler::new);
                         while !server.stop.load(Ordering::SeqCst) {
-                            if let Err(e) = server.serve_once() {
+                            if let Err(e) = server.serve_once_prof(&mut prof) {
                                 eprintln!("ecs-dnsd: socket error: {e}");
                                 break;
                             }
                         }
+                        prof.map(|p| p.snapshot())
                     })
                     .expect("spawn dnsd worker thread")
             })
@@ -284,6 +353,7 @@ impl UdpAuthServer {
             threads,
             auth,
             metrics,
+            profile: obs::ProfileSnapshot::default(),
         }
     }
 }
@@ -402,6 +472,37 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter("dnsd_queries_total"), Some(32));
         assert_eq!(snap.counter("dnsd_responses_total"), Some(32));
+    }
+
+    #[test]
+    fn profiled_auth_serving_folds_worker_stacks() {
+        let server = UdpAuthServer::bind("127.0.0.1:0", demo_auth())
+            .unwrap()
+            .with_workers(2)
+            .with_profiling();
+        let addr = server.local_addr().unwrap();
+        let handle = server.spawn();
+
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut buf = [0u8; 4096];
+        for i in 0..4u16 {
+            let q = Message::query(
+                i,
+                Question::a(Name::from_ascii("www.demo.example").unwrap()),
+            );
+            client.send_to(&q.to_bytes().unwrap(), addr).unwrap();
+            client.recv_from(&mut buf).unwrap();
+        }
+        let profile = handle.shutdown_profiled();
+        assert!(!profile.is_empty());
+        let folded = profile.to_folded();
+        assert!(folded.contains("auth;recv"), "{folded}");
+        assert!(folded.contains("auth;handle"), "{folded}");
+        // 4 queries handled → at least 4 handle spans across the pool.
+        assert!(profile.subtree_us("auth") <= profile.total_self_us());
     }
 
     #[test]

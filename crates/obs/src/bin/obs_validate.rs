@@ -1,22 +1,36 @@
-//! `obs-validate` — check exported telemetry artifacts in CI.
+//! `obs-validate` — check and analyze exported telemetry artifacts.
 //!
 //! ```text
-//! obs-validate metrics <snapshot.json> [--require name1,name2,...] [--require-scanner]
+//! obs-validate metrics <snapshot.json> [--require name1,name2,...] [--require-scanner] [--require-prof]
 //! obs-validate trace <trace.jsonl>
+//! obs-validate analyze <trace.jsonl> [--top N] [--json]
 //! ```
 //!
 //! `--require-scanner` appends the scanner profile
 //! ([`obs::validate::SCANNER_REQUIRED_SERIES`]): every `scanner_*`
 //! probe-outcome counter, the in-flight gauge, and the latency histogram.
+//! `--require-prof` appends the profiling profile
+//! ([`obs::validate::PROF_REQUIRED_SERIES`]): the stage-profiler roll-ups
+//! and the `lock_*` contention series.
+//!
+//! `analyze` extracts each query's critical path from a JSON-lines trace
+//! (attributing every microsecond between consecutive events to the phase
+//! the earlier event opened), prints a per-stage aggregate table and the
+//! top-N slowest query timelines. `--json` emits the machine-readable
+//! report instead.
 //!
 //! Exits 0 when the artifact is well-formed (and, for metrics, carries
-//! every required series), 1 on validation failure, 2 on usage/IO errors.
+//! every required series), 1 on validation/analysis failure, 2 on
+//! usage/IO errors.
 
-use obs::validate::{validate_metrics_json, validate_trace, SCANNER_REQUIRED_SERIES};
+use obs::validate::{
+    validate_metrics_json, validate_trace, PROF_REQUIRED_SERIES, SCANNER_REQUIRED_SERIES,
+};
 
 fn usage() -> ! {
-    eprintln!("usage: obs-validate metrics <snapshot.json> [--require a,b,c] [--require-scanner]");
+    eprintln!("usage: obs-validate metrics <snapshot.json> [--require a,b,c] [--require-scanner] [--require-prof]");
     eprintln!("       obs-validate trace <trace.jsonl>");
+    eprintln!("       obs-validate analyze <trace.jsonl> [--top N] [--json]");
     std::process::exit(2);
 }
 
@@ -48,6 +62,9 @@ fn main() {
                     "--require-scanner" => {
                         required.extend(SCANNER_REQUIRED_SERIES.iter().map(|s| s.to_string()))
                     }
+                    "--require-prof" => {
+                        required.extend(PROF_REQUIRED_SERIES.iter().map(|s| s.to_string()))
+                    }
                     _ => usage(),
                 }
             }
@@ -70,6 +87,35 @@ fn main() {
             }
             match validate_trace(&read(path)) {
                 Ok(n) => println!("obs-validate: {path} OK ({n} events)"),
+                Err(e) => {
+                    eprintln!("obs-validate: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("analyze") => {
+            let Some(path) = args.get(1) else { usage() };
+            let mut top = 5usize;
+            let mut json = false;
+            let mut rest = args[2..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--top" => match rest.next().and_then(|v| v.parse().ok()) {
+                        Some(n) => top = n,
+                        None => usage(),
+                    },
+                    "--json" => json = true,
+                    _ => usage(),
+                }
+            }
+            match obs::analyze::analyze(&read(path), top) {
+                Ok(report) => {
+                    if json {
+                        print!("{}", report.to_json());
+                    } else {
+                        print!("{}", report.to_text());
+                    }
+                }
                 Err(e) => {
                     eprintln!("obs-validate: {path}: {e}");
                     std::process::exit(1);

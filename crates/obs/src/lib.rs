@@ -24,8 +24,10 @@
 //! cycles. Durations are recorded as plain `u64` microseconds, matching
 //! the simulator's `SimTime` axis.
 
+pub mod analyze;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod trace;
 pub mod validate;
 
@@ -33,4 +35,5 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot,
     TimerGuard,
 };
+pub use prof::{LockMonitor, ProfileSnapshot, StackStats, StageProfiler};
 pub use trace::{EventKind, MemorySink, NoopRecorder, TraceCtx, TraceSink, Tracer, WriterSink};

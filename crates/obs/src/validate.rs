@@ -25,6 +25,23 @@ pub const SCANNER_REQUIRED_SERIES: &[&str] = &[
     "scanner_probe_latency_us",
 ];
 
+/// The series a profiled run must carry (the `obs-validate metrics
+/// --require-prof` profile): the stage-profiler roll-ups exported by
+/// [`crate::ProfileSnapshot::to_metrics`] plus the lock-contention
+/// series the dnsd serving path records around the shared cache and the
+/// flight table.
+pub const PROF_REQUIRED_SERIES: &[&str] = &[
+    "prof_spans_total",
+    "prof_self_us_total",
+    "prof_dropped_paths_total",
+    "lock_cache_shard_acquisitions_total",
+    "lock_cache_shard_contended_total",
+    "lock_cache_shard_wait_us",
+    "lock_flight_acquisitions_total",
+    "lock_flight_contended_total",
+    "lock_flight_wait_us",
+];
+
 /// Checks a [`crate::MetricsSnapshot::to_json`] document: the three
 /// sections must be objects, and every name in `required` must appear in
 /// one of them.
@@ -141,6 +158,26 @@ mod tests {
         // A snapshot without the scanner series fails the profile.
         let empty = MetricsRegistry::new().snapshot().to_json();
         assert!(validate_metrics_json(&empty, SCANNER_REQUIRED_SERIES).is_err());
+    }
+
+    #[test]
+    fn prof_profile_names_every_prof_series() {
+        let reg = MetricsRegistry::new();
+        for name in PROF_REQUIRED_SERIES {
+            assert!(
+                name.starts_with("prof_") || name.starts_with("lock_"),
+                "{name}"
+            );
+            if name.ends_with("_wait_us") {
+                reg.histogram(name).record(1);
+            } else {
+                reg.counter(name).inc();
+            }
+        }
+        validate_metrics_json(&reg.snapshot().to_json(), PROF_REQUIRED_SERIES)
+            .expect("prof profile snapshot");
+        let empty = MetricsRegistry::new().snapshot().to_json();
+        assert!(validate_metrics_json(&empty, PROF_REQUIRED_SERIES).is_err());
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Stage-profiler properties:
+//!
+//! * merging N per-worker profile snapshots of the same recorded spans is
+//!   order- and sharding-invariant (the guarantee fold-after-join rests
+//!   on: a profile folded from 8 workers equals the same spans recorded
+//!   on 1);
+//! * the folded-stack export is deterministic under a seeded workload —
+//!   same ops, any sharding, byte-identical `stacks.folded`;
+//! * self-times reconcile: `to_metrics` totals equal the snapshot's own
+//!   accounting regardless of how the work was split.
+
+use obs::{ProfileSnapshot, StageProfiler};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Stage vocabulary for generated workloads (interned names must be
+/// `&'static str`, so ops index into this table).
+const STAGES: [&str; 6] = ["recv", "decode", "resolve", "cache", "upstream", "send"];
+
+/// One recorded call path: up to three stage levels plus a duration.
+/// Levels index STAGES; `depth` picks how many apply.
+type Op = (u8, u8, u8, u8, u32);
+
+fn path_of(op: &Op) -> Vec<&'static str> {
+    let (a, b, c, depth, _) = *op;
+    let full = [
+        STAGES[a as usize % STAGES.len()],
+        STAGES[b as usize % STAGES.len()],
+        STAGES[c as usize % STAGES.len()],
+    ];
+    full[..(1 + depth as usize % 3)].to_vec()
+}
+
+/// Replays `ops` into `shards` profilers (op `i` to shard `i % shards`)
+/// and folds the snapshots in the given order.
+fn record_sharded(
+    ops: &[Op],
+    shards: usize,
+    fold_order: impl Iterator<Item = usize>,
+) -> ProfileSnapshot {
+    let mut profs: Vec<StageProfiler> = (0..shards).map(|_| StageProfiler::new()).collect();
+    for (i, op) in ops.iter().enumerate() {
+        profs[i % shards].record(&path_of(op), op.4 as u64);
+    }
+    let snaps: Vec<ProfileSnapshot> = profs.into_iter().map(|p| p.snapshot()).collect();
+    let mut merged = ProfileSnapshot::default();
+    for idx in fold_order {
+        merged.merge(&snaps[idx]);
+    }
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The same spans, recorded across 1/2/3/8 workers and folded in any
+    /// order, always merge to the same profile — and therefore the same
+    /// folded stacks and the same totals.
+    #[test]
+    fn merge_is_order_and_parallelism_invariant(
+        ops in vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), 0u32..1_000_000), 1..120),
+    ) {
+        let sequential = record_sharded(&ops, 1, std::iter::once(0));
+        for shards in [2usize, 3, 8] {
+            let forward = record_sharded(&ops, shards, 0..shards);
+            let backward = record_sharded(&ops, shards, (0..shards).rev());
+            prop_assert_eq!(forward.to_folded(), sequential.to_folded(), "shards={} forward", shards);
+            prop_assert_eq!(backward.to_folded(), sequential.to_folded(), "shards={} backward", shards);
+            prop_assert_eq!(forward.total_self_us(), sequential.total_self_us());
+            prop_assert_eq!(forward.total_calls(), sequential.total_calls());
+        }
+    }
+
+    /// Folded output is a deterministic function of the recorded spans:
+    /// two independent replays of the same seeded workload are
+    /// byte-identical, and every line parses back as `path space value`
+    /// with values summing to the snapshot's total self time.
+    #[test]
+    fn folded_export_is_deterministic_and_well_formed(
+        ops in vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), 0u32..1_000_000), 1..120),
+        shards in 1usize..6,
+    ) {
+        let a = record_sharded(&ops, shards, 0..shards);
+        let b = record_sharded(&ops, shards, 0..shards);
+        prop_assert_eq!(a.to_folded(), b.to_folded(), "replay must be byte-identical");
+
+        let folded = a.to_folded();
+        let mut sum = 0u64;
+        for line in folded.lines() {
+            let split = line.rsplit_once(' ');
+            prop_assert!(split.is_some(), "bad folded line {:?}", line);
+            let (path, value) = split.expect("checked");
+            prop_assert!(!path.is_empty() && !path.ends_with(';'), "bad path {:?}", path);
+            let parsed = value.parse::<u64>();
+            prop_assert!(parsed.is_ok(), "bad value in {:?}", line);
+            sum += parsed.expect("checked");
+        }
+        prop_assert_eq!(sum, a.total_self_us(), "folded self-times must sum to the total");
+    }
+
+    /// The metrics export reconciles with the profile by construction:
+    /// `prof_self_us_total` and `prof_spans_total` equal the snapshot's
+    /// own totals however the recording was sharded.
+    #[test]
+    fn to_metrics_reconciles_with_totals(
+        ops in vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), 0u32..1_000_000), 1..80),
+        shards in 1usize..6,
+    ) {
+        let profile = record_sharded(&ops, shards, 0..shards);
+        let reg = obs::MetricsRegistry::new();
+        profile.to_metrics(&reg);
+        let snap = reg.snapshot();
+        prop_assert_eq!(snap.counter("prof_self_us_total"), Some(profile.total_self_us()));
+        prop_assert_eq!(snap.counter("prof_spans_total"), Some(profile.total_calls()));
+        prop_assert_eq!(snap.counter("prof_dropped_paths_total"), Some(profile.dropped));
+    }
+}

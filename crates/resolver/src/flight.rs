@@ -32,7 +32,8 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 use dns_wire::Message;
-use parking_lot::Mutex;
+use obs::LockMonitor;
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::engine::FlightKey;
 
@@ -107,6 +108,10 @@ pub struct FlightTable {
     coalesce: bool,
     max_in_flight: Option<usize>,
     state: Mutex<TableState>,
+    /// Lock-contention monitor for the single global table lock plus the
+    /// in-flight depth high-water gauge. `None` (the default) costs
+    /// nothing on the admission path.
+    contention: Option<(LockMonitor, obs::Gauge)>,
 }
 
 /// What [`FlightTable::admit`] decided for one upstream-bound query.
@@ -164,6 +169,38 @@ impl FlightTable {
                 flights: HashMap::new(),
                 owners: 0,
             }),
+            contention: None,
+        }
+    }
+
+    /// Turns on lock-contention telemetry: every admission/release
+    /// acquisition records into `lock_flight_*` series of `reg`, and the
+    /// `flight_in_flight_depth` gauge tracks the owner high-water mark.
+    /// Call before the table goes behind an `Arc`.
+    pub fn enable_contention(&mut self, reg: &obs::MetricsRegistry) {
+        self.contention = Some((
+            LockMonitor::new(reg, "lock_flight"),
+            reg.gauge("flight_in_flight_depth"),
+        ));
+    }
+
+    /// Acquires the table lock, measuring the wait when contention
+    /// telemetry is on: `try_lock` first, timed blocking fall-back.
+    fn lock_state(&self) -> MutexGuard<'_, TableState> {
+        let Some((mon, _)) = &self.contention else {
+            return self.state.lock();
+        };
+        match self.state.try_lock() {
+            Some(guard) => {
+                mon.record_uncontended();
+                guard
+            }
+            None => {
+                let start = Instant::now();
+                let guard = self.state.lock();
+                mon.record_contended(start.elapsed().as_micros() as u64);
+                guard
+            }
         }
     }
 
@@ -176,7 +213,7 @@ impl FlightTable {
     /// Admits one upstream-bound query. See the module docs for the
     /// decision order.
     pub fn admit(&self, key: &FlightKey) -> Admission<'_> {
-        let mut s = self.state.lock();
+        let mut s = self.lock_state();
         if self.coalesce {
             if let Some(f) = s.flights.get(key) {
                 return Admission::Joiner(Arc::clone(f));
@@ -186,6 +223,9 @@ impl FlightTable {
             return Admission::Shed;
         }
         s.owners += 1;
+        if let Some((_, depth)) = &self.contention {
+            depth.set_max(s.owners as u64);
+        }
         let flight = self.coalesce.then(|| {
             let f = Arc::new(Flight::default());
             s.flights.insert(key.clone(), Arc::clone(&f));
@@ -211,7 +251,7 @@ impl FlightTable {
         response: Option<Message>,
     ) {
         {
-            let mut s = self.state.lock();
+            let mut s = self.lock_state();
             s.owners -= 1;
             if let Some(key) = &key {
                 s.flights.remove(key);
@@ -332,6 +372,32 @@ mod tests {
         let t0 = Instant::now();
         assert!(joiner.wait(Duration::from_millis(20)).is_none());
         assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn contention_monitor_counts_admissions_and_tracks_depth() {
+        let reg = obs::MetricsRegistry::new();
+        let mut table = FlightTable::new(true, None);
+        table.enable_contention(&reg);
+        let a = match table.admit(&key("a.test")) {
+            Admission::Owner(t) => t,
+            _ => panic!(),
+        };
+        let b = match table.admit(&key("b.test")) {
+            Admission::Owner(t) => t,
+            _ => panic!(),
+        };
+        a.complete(None);
+        b.complete(None);
+        let snap = reg.snapshot();
+        // 2 admissions + 2 releases, all uncontended single-threaded.
+        assert_eq!(snap.counter("lock_flight_acquisitions_total"), Some(4));
+        assert_eq!(snap.counter("lock_flight_contended_total"), Some(0));
+        assert_eq!(
+            snap.gauge("flight_in_flight_depth"),
+            Some(2),
+            "high-water mark of concurrently outstanding owners"
+        );
     }
 
     #[test]

@@ -30,7 +30,8 @@ use std::net::IpAddr;
 
 use dns_wire::{EcsOption, Name, Rcode, Record, RecordType};
 use netsim::SimTime;
-use parking_lot::Mutex;
+use obs::LockMonitor;
+use parking_lot::{Mutex, MutexGuard};
 use rustc_hash::FxHasher;
 
 use crate::cache::{CacheCompliance, CacheLimits, CacheStats, CachedAnswer, EcsCache};
@@ -45,6 +46,11 @@ use crate::config::ResolverConfig;
 #[derive(Debug)]
 pub struct SharedEcsCache {
     shards: Vec<Mutex<EcsCache>>,
+    /// Lock-contention monitor for the hot-path (lookup/insert) shard
+    /// acquisitions. `None` (the default) costs nothing; enabled, an
+    /// uncontended acquisition costs one counter increment and only the
+    /// contended path reads the wall clock.
+    contention: Option<LockMonitor>,
 }
 
 /// Splits a global bound evenly across `shards`, rounding up so the sum
@@ -85,6 +91,35 @@ impl SharedEcsCache {
                     Mutex::new(c)
                 })
                 .collect(),
+            contention: None,
+        }
+    }
+
+    /// Turns on lock-contention telemetry: hot-path shard acquisitions
+    /// record into `lock_cache_shard_*` series of `reg`. Call before the
+    /// cache goes behind an `Arc`.
+    pub fn enable_contention(&mut self, reg: &obs::MetricsRegistry) {
+        self.contention = Some(LockMonitor::new(reg, "lock_cache_shard"));
+    }
+
+    /// Acquires shard `idx`, measuring the wait when contention telemetry
+    /// is on: `try_lock` first (uncontended fast path), fall back to a
+    /// timed blocking acquisition.
+    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, EcsCache> {
+        let Some(mon) = &self.contention else {
+            return self.shards[idx].lock();
+        };
+        match self.shards[idx].try_lock() {
+            Some(guard) => {
+                mon.record_uncontended();
+                guard
+            }
+            None => {
+                let start = std::time::Instant::now();
+                let guard = self.shards[idx].lock();
+                mon.record_contended(start.elapsed().as_micros() as u64);
+                guard
+            }
         }
     }
 
@@ -117,11 +152,6 @@ impl SharedEcsCache {
         (h.finish() as usize) % self.shards.len()
     }
 
-    /// The shard owning `qname`.
-    fn shard(&self, qname: &Name) -> &Mutex<EcsCache> {
-        &self.shards[self.shard_index(qname)]
-    }
-
     /// [`EcsCache::lookup`] on the owning shard.
     pub fn lookup(
         &self,
@@ -130,7 +160,8 @@ impl SharedEcsCache {
         client: IpAddr,
         now: SimTime,
     ) -> Option<CachedAnswer> {
-        self.shard(qname).lock().lookup(qname, qtype, client, now)
+        self.lock_shard(self.shard_index(qname))
+            .lookup(qname, qtype, client, now)
     }
 
     /// [`EcsCache::lookup_stale`] on the owning shard.
@@ -142,8 +173,7 @@ impl SharedEcsCache {
         now: SimTime,
         serve_ttl: u32,
     ) -> Option<CachedAnswer> {
-        self.shard(qname)
-            .lock()
+        self.lock_shard(self.shard_index(qname))
             .lookup_stale(qname, qtype, client, now, serve_ttl)
     }
 
@@ -158,8 +188,7 @@ impl SharedEcsCache {
         now: SimTime,
     ) -> bool {
         let idx = self.shard_index(&qname);
-        self.shards[idx]
-            .lock()
+        self.lock_shard(idx)
             .insert(qname, qtype, records, ecs, ttl, now)
     }
 
@@ -176,8 +205,7 @@ impl SharedEcsCache {
         now: SimTime,
     ) -> bool {
         let idx = self.shard_index(&qname);
-        self.shards[idx]
-            .lock()
+        self.lock_shard(idx)
             .insert_with_rcode(qname, qtype, records, ecs, rcode, ttl, now)
     }
 
@@ -216,13 +244,38 @@ impl SharedEcsCache {
         total
     }
 
-    /// One merged snapshot of every shard's `cache_*` registry. Fold this
+    /// One merged snapshot of every shard's `cache_*` registry, plus the
+    /// shard-imbalance gauges (`cache_shard_hits_max`/`_min`,
+    /// `cache_shard_entries_max`/`_min`, `cache_shards`): a wide max/min
+    /// spread means the qname hash is parking the hot names on a few
+    /// shards and their locks become the serialization point. Fold this
     /// exactly once per cache when aggregating worker telemetry.
     pub fn snapshot(&self) -> obs::MetricsSnapshot {
         let mut merged = obs::MetricsSnapshot::default();
+        let mut hits: Vec<u64> = Vec::with_capacity(self.shards.len());
+        let mut entries: Vec<u64> = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
-            merged.merge(&shard.lock().registry().snapshot());
+            let guard = shard.lock();
+            merged.merge(&guard.registry().snapshot());
+            let s = guard.stats();
+            hits.push(s.hits);
+            entries.push(s.max_size as u64);
         }
+        let spread = obs::MetricsRegistry::new();
+        spread.gauge("cache_shards").set(self.shards.len() as u64);
+        spread
+            .gauge("cache_shard_hits_max")
+            .set(hits.iter().copied().max().unwrap_or(0));
+        spread
+            .gauge("cache_shard_hits_min")
+            .set(hits.iter().copied().min().unwrap_or(0));
+        spread
+            .gauge("cache_shard_entries_max")
+            .set(entries.iter().copied().max().unwrap_or(0));
+        spread
+            .gauge("cache_shard_entries_min")
+            .set(entries.iter().copied().min().unwrap_or(0));
+        merged.merge(&spread.snapshot());
         merged
     }
 
@@ -405,6 +458,53 @@ mod tests {
         assert_eq!(snap.counter("cache_inserts_total"), Some(9));
         assert_eq!(snap.counter("cache_hits_total"), Some(9));
         assert_eq!(snap.counter("cache_misses_total"), Some(1));
+    }
+
+    #[test]
+    fn contention_monitor_counts_every_hot_path_acquisition() {
+        let reg = obs::MetricsRegistry::new();
+        let mut cache = SharedEcsCache::new(CacheCompliance::Honor, 4);
+        cache.enable_contention(&reg);
+        let t0 = SimTime::from_secs(0);
+        cache.insert(
+            name("mon.example.com"),
+            RecordType::A,
+            vec![a_record("mon.example.com", 60, [192, 0, 2, 1])],
+            None,
+            60,
+            t0,
+        );
+        cache.lookup(&name("mon.example.com"), RecordType::A, CLIENT, t0);
+        cache.lookup_stale(&name("mon.example.com"), RecordType::A, CLIENT, t0, 30);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("lock_cache_shard_acquisitions_total"), Some(3));
+        // Single-threaded: nothing can contend.
+        assert_eq!(snap.counter("lock_cache_shard_contended_total"), Some(0));
+    }
+
+    #[test]
+    fn snapshot_exposes_shard_imbalance_gauges() {
+        let cache = SharedEcsCache::new(CacheCompliance::Honor, 4);
+        let t0 = SimTime::from_secs(0);
+        for i in 0..16 {
+            let n = format!("g{i}.example.com");
+            cache.insert(
+                name(&n),
+                RecordType::A,
+                vec![a_record(&n, 60, [192, 0, 2, i as u8])],
+                None,
+                60,
+                t0,
+            );
+            cache.lookup(&name(&n), RecordType::A, CLIENT, t0);
+        }
+        let snap = cache.snapshot();
+        assert_eq!(snap.gauge("cache_shards"), Some(4));
+        let hits_max = snap.gauge("cache_shard_hits_max").unwrap();
+        let hits_min = snap.gauge("cache_shard_hits_min").unwrap();
+        assert!(hits_max >= hits_min);
+        assert!(hits_max >= 1, "some shard served a hit");
+        assert!(snap.gauge("cache_shard_entries_max").unwrap() >= 1);
     }
 
     #[test]

@@ -272,6 +272,10 @@ pub struct ScannerNode {
     feed_done: bool,
     metrics: Option<ScannerMetrics>,
     tracer: Tracer,
+    /// Sim-time stage profiler ([`ScannerNode::enable_profiling`]):
+    /// records on the [`SimTime`] axis, so the profile is bit-identical
+    /// for a fixed seed. Pure observation, like metrics and tracing.
+    profiler: Option<obs::StageProfiler>,
 }
 
 /// The pump timer token: distinct from every slot token because slot
@@ -294,6 +298,7 @@ impl ScannerNode {
             feed_done: false,
             metrics: None,
             tracer: Tracer::disabled(),
+            profiler: None,
         }
     }
 
@@ -322,6 +327,29 @@ impl ScannerNode {
     /// `rate_limited` spans to `tracer`.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Starts sim-time stage profiling: probe outcomes and wait classes
+    /// accumulate under `scanner;...` stacks with [`SimTime`] durations,
+    /// so for a fixed seed the profile is bit-identical run to run.
+    pub fn enable_profiling(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(obs::StageProfiler::new());
+        }
+    }
+
+    /// The accumulated stage profile (empty if profiling is off).
+    pub fn profile_snapshot(&self) -> obs::ProfileSnapshot {
+        match &self.profiler {
+            Some(p) => p.snapshot(),
+            None => obs::ProfileSnapshot::default(),
+        }
+    }
+
+    fn prof_record(&mut self, path: &[&'static str], dur_us: u64) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.record(path, dur_us);
+        }
     }
 
     /// Counters so far.
@@ -438,6 +466,7 @@ impl ScannerNode {
                 self.stats.shed_breaker += 1;
                 self.counter("scanner_shed_breaker_total");
                 self.outcome_trace(trace, now, "shed_breaker", 0);
+                self.prof_record(&["scanner", "probe", "shed_breaker"], 0);
                 continue;
             }
 
@@ -448,6 +477,7 @@ impl ScannerNode {
                 self.stats.shed_rate_limit += 1;
                 self.counter("scanner_shed_rate_limit_total");
                 self.outcome_trace(trace, now, "shed_rate_limit", 0);
+                self.prof_record(&["scanner", "probe", "shed_rate_limit"], 0);
                 continue;
             }
             self.limiter.reserve(probe.target.asn, now);
@@ -476,6 +506,10 @@ impl ScannerNode {
                         &EventKind::RateLimited {
                             wait_us: token_at.since(now).as_micros(),
                         },
+                    );
+                    self.prof_record(
+                        &["scanner", "wait", "rate_token"],
+                        token_at.since(now).as_micros(),
                     );
                 }
                 ctx.set_timer(launch_at.since(now), r.token());
@@ -554,6 +588,14 @@ impl ScannerNode {
                     if refused { "refused" } else { "answered" },
                     latency.as_micros(),
                 );
+                self.prof_record(
+                    &[
+                        "scanner",
+                        "probe",
+                        if refused { "refused" } else { "answered" },
+                    ],
+                    latency.as_micros(),
+                );
             }
             ProbeOutcome::RetryExhausted => {
                 self.stats.retry_exhausted += 1;
@@ -561,6 +603,10 @@ impl ScannerNode {
                 let addr = slot.target.addr;
                 self.breaker_call(addr, slot.trace, now, |b| b.record_failure(now));
                 self.outcome_trace(slot.trace, now, "retry_exhausted", latency.as_micros());
+                self.prof_record(
+                    &["scanner", "probe", "retry_exhausted"],
+                    latency.as_micros(),
+                );
             }
             // Shed probes never allocate a slot; they are accounted in
             // `fill`.
@@ -609,16 +655,15 @@ impl Node for ScannerNode {
                 if self.cfg.budget.allows(attempt) {
                     slot.attempt = attempt;
                     let trace = slot.trace;
+                    let delay_us = self.cfg.budget.timeout_for(attempt).as_micros();
                     self.stats.retries += 1;
                     self.counter("scanner_retries_total");
                     self.tracer.event(
                         trace,
                         ctx.now().as_micros(),
-                        &EventKind::RetryBackoff {
-                            attempt,
-                            delay_us: self.cfg.budget.timeout_for(attempt).as_micros(),
-                        },
+                        &EventKind::RetryBackoff { attempt, delay_us },
                     );
+                    self.prof_record(&["scanner", "wait", "retry_backoff"], delay_us);
                     self.launch(r, ctx);
                 } else {
                     self.finish(r, ProbeOutcome::RetryExhausted, None, ctx);

@@ -64,6 +64,40 @@ fn same_seed_scans_are_byte_identical() {
     }
 }
 
+/// One profiled scan → folded stacks.
+fn run_profiled(seed: u64, probes: u64) -> String {
+    let mut world = spec(seed).build(cfg(), |targets| {
+        RoundRobinFeed::new(targets.to_vec(), probes)
+    });
+    world.scanner_mut().enable_profiling();
+    let mut capture = ScanCapture::new(1024);
+    let report = run_scan(&mut world, SimDuration::from_secs(60), &mut capture);
+    assert!(report.reconciled, "{report:?}");
+    world.scanner_mut().profile_snapshot().to_folded()
+}
+
+#[test]
+fn profile_is_bit_identical_for_a_fixed_seed() {
+    // The profiler records on the SimTime axis (explicit microsecond
+    // durations, never the wall clock), so a seeded workload folds to
+    // byte-identical stacks — the deterministic stage attribution the
+    // netsim tests rely on.
+    let folded_a = run_profiled(97, 600);
+    let folded_b = run_profiled(97, 600);
+    assert_eq!(folded_a, folded_b, "sim-time profile must be reproducible");
+    assert!(
+        folded_a.contains("scanner;probe;answered"),
+        "world answered probes: {folded_a}"
+    );
+    assert!(
+        folded_a.contains("scanner;wait;retry_backoff"),
+        "lossy group retried: {folded_a}"
+    );
+    // A different seed draws different loss/jitter → different latencies.
+    let folded_c = run_profiled(98, 600);
+    assert_ne!(folded_a, folded_c, "profile must flow from the seed");
+}
+
 #[test]
 fn different_seeds_diverge_but_both_reconcile() {
     // The sanity check on the check: if a different seed produced the
