@@ -30,6 +30,16 @@
 //! (ids from the trace's [`workload::TraceIndex`]) finds the slot holding
 //! the plain-mode and ECS-mode entries for that cache line, and compact
 //! expiry heaps of `(expiry, slot)` pairs drive TTL eviction.
+//!
+//! # Streaming
+//!
+//! [`CacheSimulator::run_streaming`] replays a
+//! [`workload::TraceStreamSource`] instead of a materialized trace: each
+//! shard worker pulls its own deterministic substream
+//! (`source.open_shard(w, n)`) and feeds generated chunks straight into
+//! the same `ShardReplayer` engine, so a 100M-record run holds the model
+//! tables plus one chunk buffer per worker — never the trace. Results are
+//! bit-identical to materialize-then-`run` at every `parallelism`.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -38,6 +48,7 @@ use std::net::IpAddr;
 use dns_wire::{IpPrefix, RecordType};
 use netsim::{SimDuration, SimTime};
 use rustc_hash::FxHashMap;
+use workload::stream::{StreamRecord, TraceStreamSource, WorkloadModel};
 use workload::{TraceIndex, TraceRecord, TraceSet};
 
 /// Configuration for one simulation run.
@@ -223,7 +234,7 @@ fn partition_records(
         .collect();
     let resolver_ids = index.resolver_ids();
     for (i, rec) in records.iter().enumerate() {
-        if !keep(config, rec) {
+        if !keep_client(config, rec.client) {
             continue;
         }
         let rid = resolver_ids[i];
@@ -353,20 +364,71 @@ fn evict_lru<E>(
 
 /// Replays one shard's packed stream, both modes in a single pass.
 fn simulate_shard(packed: &[PackedRecord], locals: usize, config: &CacheSimConfig) -> ShardStats {
-    let mut stats = ShardStats::new(locals);
-    let mut slots: Vec<Slot> = Vec::new();
-    let mut slot_ids: FxHashMap<Key, u32> = FxHashMap::default();
-    let mut heap_plain: BinaryHeap<Reverse<(SimTime, u32)>> = BinaryHeap::new();
-    let mut heap_ecs: BinaryHeap<Reverse<(SimTime, u32)>> = BinaryHeap::new();
-    // Per-resolver recency clock and slot registry (for LRU scans under a
-    // capacity bound).
-    let mut ticks: Vec<u64> = vec![0; locals];
-    let mut resolver_slots: Vec<Vec<u32>> = vec![Vec::new(); locals];
-    // A zero capacity would evict the entry just inserted forever; clamp
-    // to one entry, the smallest cache that can function.
-    let capacity = config.capacity.map(|c| c.max(1));
+    let mut replayer = ShardReplayer::new(locals, config);
+    replayer.feed(packed);
+    replayer.into_stats()
+}
 
-    for rec in packed {
+/// The stateful single-shard replay engine: all cache state for one
+/// shard's resolvers, fed packed records in trace order.
+///
+/// Both the materialized path ([`simulate_shard`] feeds the whole
+/// partitioned stream at once) and the streaming path (each worker feeds
+/// one generated chunk at a time) drive this same engine, so the two paths
+/// share the cache logic *by construction* — chunk boundaries are
+/// invisible to it.
+struct ShardReplayer {
+    stats: ShardStats,
+    slots: Vec<Slot>,
+    slot_ids: FxHashMap<Key, u32>,
+    heap_plain: BinaryHeap<Reverse<(SimTime, u32)>>,
+    heap_ecs: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// Per-resolver recency clock and slot registry (for LRU scans under a
+    /// capacity bound).
+    ticks: Vec<u64>,
+    resolver_slots: Vec<Vec<u32>>,
+    capacity: Option<usize>,
+}
+
+impl ShardReplayer {
+    fn new(locals: usize, config: &CacheSimConfig) -> Self {
+        ShardReplayer {
+            stats: ShardStats::new(locals),
+            slots: Vec::new(),
+            slot_ids: FxHashMap::default(),
+            heap_plain: BinaryHeap::new(),
+            heap_ecs: BinaryHeap::new(),
+            ticks: vec![0; locals],
+            resolver_slots: vec![Vec::new(); locals],
+            // A zero capacity would evict the entry just inserted forever;
+            // clamp to one entry, the smallest cache that can function.
+            capacity: config.capacity.map(|c| c.max(1)),
+        }
+    }
+
+    fn feed(&mut self, packed: &[PackedRecord]) {
+        for rec in packed {
+            self.step(rec);
+        }
+    }
+
+    fn into_stats(self) -> ShardStats {
+        self.stats
+    }
+
+    fn step(&mut self, rec: &PackedRecord) {
+        let ShardReplayer {
+            stats,
+            slots,
+            slot_ids,
+            heap_plain,
+            heap_ecs,
+            ticks,
+            resolver_slots,
+            capacity,
+        } = self;
+        let capacity = *capacity;
+
         let local = rec.local;
         let now = rec.now;
         let expiry = rec.expiry;
@@ -388,16 +450,16 @@ fn simulate_shard(packed: &[PackedRecord], locals: usize, config: &CacheSimConfi
             });
 
         purge(
-            &mut heap_plain,
-            &mut slots,
+            heap_plain,
+            slots,
             &mut stats.live_plain,
             now,
             |s| &mut s.plain,
             |&(e, _)| e,
         );
         purge(
-            &mut heap_ecs,
-            &mut slots,
+            heap_ecs,
+            slots,
             &mut stats.live_ecs,
             now,
             |s| &mut s.ecs,
@@ -417,7 +479,7 @@ fn simulate_shard(packed: &[PackedRecord], locals: usize, config: &CacheSimConfi
             if let Some(cap) = capacity {
                 while stats.live_plain[local as usize] > cap
                     && evict_lru(
-                        &mut slots,
+                        slots,
                         &resolver_slots[local as usize],
                         |s| &mut s.plain,
                         |&(_, t)| t,
@@ -460,7 +522,7 @@ fn simulate_shard(packed: &[PackedRecord], locals: usize, config: &CacheSimConfi
             if let Some(cap) = capacity {
                 while stats.live_ecs[local as usize] > cap
                     && evict_lru(
-                        &mut slots,
+                        slots,
                         &resolver_slots[local as usize],
                         |s| &mut s.ecs,
                         |e| e.2,
@@ -475,7 +537,6 @@ fn simulate_shard(packed: &[PackedRecord], locals: usize, config: &CacheSimConfi
             *mx = (*mx).max(lv);
         }
     }
-    stats
 }
 
 /// Folds one shard's accumulators into a fresh registry. Counters are
@@ -508,11 +569,11 @@ fn fold_shard_metrics(reg: &obs::MetricsRegistry, stats: &ShardStats) {
     }
 }
 
-fn keep(config: &CacheSimConfig, rec: &TraceRecord) -> bool {
+fn keep_client(config: &CacheSimConfig, client: Option<IpAddr>) -> bool {
     if config.sample_pct >= 100 {
         return true;
     }
-    match rec.client {
+    match client {
         None => true,
         Some(client) => {
             use std::hash::{Hash, Hasher};
@@ -566,6 +627,196 @@ impl CacheSimulator {
             snap.expect("instrumented run builds a snapshot"),
             prof.expect("profiled run builds a profile"),
         )
+    }
+
+    /// Runs both modes over a streamed workload: each shard worker pulls
+    /// its own deterministic substream from `source` and replays it
+    /// chunk-by-chunk, so peak memory is the model tables plus one chunk
+    /// buffer per worker — never the full trace.
+    ///
+    /// The result is bit-identical to materializing the same source and
+    /// calling [`CacheSimulator::run`], at every `parallelism`
+    /// (`crates/analysis/tests/stream_equivalence.rs` pins this): shard
+    /// assignment uses the model's resolver ids instead of the trace
+    /// index's first-appearance ids, but resolver caches are independent,
+    /// each resolver's records replay in stream order inside exactly one
+    /// shard, and the merge sorts by resolver address in both paths.
+    pub fn run_streaming<M: WorkloadModel>(&self, source: &TraceStreamSource<M>) -> CacheSimResult {
+        self.run_streaming_impl(source, false, false).0
+    }
+
+    /// Like [`CacheSimulator::run_streaming`], additionally returning the
+    /// merged telemetry snapshot — identical to the one
+    /// [`CacheSimulator::run_instrumented`] produces for the materialized
+    /// equivalent of `source`.
+    pub fn run_streaming_instrumented<M: WorkloadModel>(
+        &self,
+        source: &TraceStreamSource<M>,
+    ) -> (CacheSimResult, obs::MetricsSnapshot) {
+        let (result, snap, _) = self.run_streaming_impl(source, true, false);
+        (result, snap.expect("instrumented run builds a snapshot"))
+    }
+
+    /// Like [`CacheSimulator::run_streaming_instrumented`], additionally
+    /// returning the stage profile: per-shard `stream_shard` spans with
+    /// `generate` (chunk synthesis) and `replay` (cache replay) children,
+    /// so a flamegraph shows where streaming wall-time goes.
+    pub fn run_streaming_profiled<M: WorkloadModel>(
+        &self,
+        source: &TraceStreamSource<M>,
+    ) -> (CacheSimResult, obs::MetricsSnapshot, obs::ProfileSnapshot) {
+        let (result, snap, prof) = self.run_streaming_impl(source, true, true);
+        (
+            result,
+            snap.expect("instrumented run builds a snapshot"),
+            prof.expect("profiled run builds a profile"),
+        )
+    }
+
+    fn run_streaming_impl<M: WorkloadModel>(
+        &self,
+        source: &TraceStreamSource<M>,
+        instrument: bool,
+        profile: bool,
+    ) -> (
+        CacheSimResult,
+        Option<obs::MetricsSnapshot>,
+        Option<obs::ProfileSnapshot>,
+    ) {
+        let model = source.model();
+        let num_resolvers = model.resolver_addrs().len();
+        let num_shards = self.config.parallelism.clamp(1, num_resolvers.max(1));
+        let mut prof = profile.then(obs::StageProfiler::new);
+        if let Some(p) = prof.as_mut() {
+            p.enter("cache_sim");
+        }
+
+        let config = &self.config;
+        let worker = |w: usize| -> (ShardStats, Option<obs::ProfileSnapshot>) {
+            let mut wp = profile.then(obs::StageProfiler::new);
+            if let Some(p) = wp.as_mut() {
+                p.enter("cache_sim");
+                p.enter("stream_shard");
+            }
+            let locals = shard_width(num_resolvers, w, num_shards);
+            let mut replayer = ShardReplayer::new(locals, config);
+            let mut stream = source.open_shard(w, num_shards);
+            // One chunk buffer and one packed buffer per worker, reused
+            // across the whole substream: the entire per-worker footprint.
+            let mut chunk: Vec<StreamRecord> = Vec::with_capacity(source.chunk_size());
+            let mut packed: Vec<PackedRecord> = Vec::with_capacity(source.chunk_size());
+            loop {
+                if let Some(p) = wp.as_mut() {
+                    p.enter("generate");
+                }
+                let more = stream.next_chunk_into(&mut chunk);
+                if let Some(p) = wp.as_mut() {
+                    p.exit();
+                }
+                if !more {
+                    break;
+                }
+                packed.clear();
+                for r in &chunk {
+                    if !keep_client(config, r.client) {
+                        continue;
+                    }
+                    let now = SimTime::from_micros(r.at_micros);
+                    let ttl = config.ttl_override.unwrap_or(r.ttl);
+                    packed.push(PackedRecord {
+                        now,
+                        expiry: now + SimDuration::from_secs(ttl as u64),
+                        local: (r.resolver_id as usize / num_shards) as u32,
+                        name_id: r.name_id,
+                        qtype: r.qtype,
+                        ecs_source: r.ecs_source,
+                        response_scope: r.response_scope,
+                    });
+                }
+                if let Some(p) = wp.as_mut() {
+                    p.enter("replay");
+                }
+                replayer.feed(&packed);
+                if let Some(p) = wp.as_mut() {
+                    p.exit();
+                }
+            }
+            if let Some(p) = wp.as_mut() {
+                p.exit(); // stream_shard
+                p.exit(); // cache_sim
+            }
+            (replayer.into_stats(), wp.map(|p| p.snapshot()))
+        };
+
+        let mut shard_profiles: Vec<obs::ProfileSnapshot> = Vec::new();
+        let shards: Vec<ShardStats> = if num_shards == 1 {
+            let (stats, wp) = worker(0);
+            if let Some(wp) = wp {
+                shard_profiles.push(wp);
+            }
+            vec![stats]
+        } else {
+            let results: Vec<(ShardStats, Option<obs::ProfileSnapshot>)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..num_shards)
+                        .map(|w| scope.spawn(move || worker(w)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("cache-sim stream worker panicked"))
+                        .collect()
+                });
+            let mut stats = Vec::with_capacity(results.len());
+            for (s, wp) in results {
+                stats.push(s);
+                if let Some(wp) = wp {
+                    shard_profiles.push(wp);
+                }
+            }
+            stats
+        };
+
+        let snapshot = instrument.then(|| {
+            let mut merged = obs::MetricsSnapshot::default();
+            for stats in &shards {
+                let reg = obs::MetricsRegistry::new();
+                fold_shard_metrics(&reg, stats);
+                merged.merge(&reg.snapshot());
+            }
+            merged
+        });
+
+        let mut per_resolver: Vec<ResolverCacheResult> = Vec::with_capacity(num_resolvers);
+        for (rid, &addr) in model.resolver_addrs().iter().enumerate() {
+            let stats = &shards[rid % num_shards];
+            let local = rid / num_shards;
+            let lookups = stats.lookups[local];
+            if lookups == 0 {
+                // Never queried (Zipf tail) or fully sampled out — absent
+                // from the materialized path's output too.
+                continue;
+            }
+            per_resolver.push(ResolverCacheResult {
+                resolver: addr,
+                max_size_ecs: stats.max_ecs[local],
+                max_size_no_ecs: stats.max_plain[local],
+                hits_ecs: stats.hits_ecs[local],
+                hits_no_ecs: stats.hits_plain[local],
+                lookups,
+                evictions_ecs: stats.evictions_ecs[local],
+                evictions_no_ecs: stats.evictions_plain[local],
+            });
+        }
+        per_resolver.sort_by_key(|r| r.resolver);
+        let profile = prof.map(|mut p| {
+            p.exit(); // cache_sim (merge tail in self time)
+            let mut folded = p.snapshot();
+            for wp in &shard_profiles {
+                folded.merge(wp);
+            }
+            folded
+        });
+        (CacheSimResult { per_resolver }, snapshot, profile)
     }
 
     fn run_impl(
@@ -1101,6 +1352,110 @@ mod tests {
                 .map(|s| s.calls)
                 .unwrap_or(0);
             assert_eq!(replay_calls, parallelism.min(4) as u64);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_materialized_bit_identically() {
+        let source = workload::CdnStreamGen {
+            resolvers: 9,
+            subnets_per_resolver: 6,
+            hostnames: 60,
+            queries: 20_000,
+            duration: netsim::SimDuration::from_secs(600),
+            ttl: 20,
+            seed: 11,
+        }
+        .source();
+        let trace = source.materialize();
+        for parallelism in [1, 2, 4, 8] {
+            let sim = CacheSimulator::new(CacheSimConfig {
+                parallelism,
+                ..CacheSimConfig::default()
+            });
+            let streamed = sim.run_streaming(&source);
+            let materialized = sim.run(&trace);
+            assert_eq!(
+                streamed.per_resolver, materialized.per_resolver,
+                "parallelism={parallelism}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_snapshot_and_options_match_materialized() {
+        let source = workload::AllNamesStreamGen {
+            v4_subnets: 40,
+            v6_subnets: 10,
+            clients_per_subnet: 3,
+            slds: 50,
+            hostnames_per_sld: 3,
+            queries: 15_000,
+            ..workload::AllNamesStreamGen::default()
+        }
+        .source();
+        let trace = source.materialize();
+        for config in [
+            CacheSimConfig {
+                parallelism: 4,
+                ..CacheSimConfig::default()
+            },
+            CacheSimConfig {
+                ttl_override: Some(60),
+                sample_pct: 40,
+                sample_seed: 7,
+                ..CacheSimConfig::default()
+            },
+            CacheSimConfig {
+                capacity: Some(50),
+                ..CacheSimConfig::default()
+            },
+        ] {
+            let sim = CacheSimulator::new(config.clone());
+            let (streamed, stream_snap) = sim.run_streaming_instrumented(&source);
+            let (materialized, mat_snap) = sim.run_instrumented(&trace);
+            assert_eq!(
+                streamed.per_resolver, materialized.per_resolver,
+                "{config:?}"
+            );
+            assert_eq!(stream_snap, mat_snap, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_profile_captures_stream_spans() {
+        let source = workload::CdnStreamGen {
+            resolvers: 4,
+            subnets_per_resolver: 4,
+            hostnames: 40,
+            queries: 5_000,
+            duration: netsim::SimDuration::from_secs(300),
+            ttl: 20,
+            seed: 2,
+        }
+        .source()
+        .with_chunk_size(512);
+        let plain = CacheSimulator::new(CacheSimConfig::default()).run_streaming(&source);
+        for parallelism in [1, 4] {
+            let sim = CacheSimulator::new(CacheSimConfig {
+                parallelism,
+                ..CacheSimConfig::default()
+            });
+            let (result, snap, profile) = sim.run_streaming_profiled(&source);
+            assert_eq!(result, plain, "profiling must not change the result");
+            assert!(snap.counter("cache_sim_lookups_total").is_some());
+            let folded = profile.to_folded();
+            assert!(
+                folded.contains("cache_sim;stream_shard;generate"),
+                "{folded}"
+            );
+            assert!(folded.contains("cache_sim;stream_shard;replay"), "{folded}");
+            let shard_calls = profile
+                .stacks
+                .get("cache_sim;stream_shard")
+                .map(|s| s.calls)
+                .unwrap_or(0);
+            assert_eq!(shard_calls, parallelism.min(4) as u64);
         }
     }
 

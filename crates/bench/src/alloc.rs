@@ -1,0 +1,116 @@
+//! A counting global allocator for bounded-memory regression gates.
+//!
+//! [`CountingAlloc`] wraps the system allocator and tracks live bytes and
+//! the high-water mark in relaxed atomics (one `fetch_add` + `fetch_max`
+//! per allocation — cheap enough to leave on for a whole bench run).
+//! Install it in a harness binary:
+//!
+//! ```text
+//! #[global_allocator]
+//! static ALLOC: bench::alloc::CountingAlloc = bench::alloc::CountingAlloc;
+//! ```
+//!
+//! then bracket the measured phase with [`reset_peak`] / [`peak_bytes`].
+//! The streaming cache-replay gate pins `peak_bytes` under a budget in
+//! `ci/bench_baseline_stream.json`: a 10M-record streaming run must not
+//! materialize the trace, and the allocator is the witness.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// System allocator plus live/peak byte counters.
+pub struct CountingAlloc;
+
+fn on_alloc(size: usize) {
+    let live = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn on_dealloc(size: usize) {
+    CURRENT.fetch_sub(size, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            if new_size >= layout.size() {
+                on_alloc(new_size - layout.size());
+            } else {
+                on_dealloc(layout.size() - new_size);
+            }
+        }
+        new_ptr
+    }
+}
+
+/// Live heap bytes right now (as seen by this allocator).
+pub fn current_bytes() -> usize {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// High-water mark since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Restarts the high-water mark from the current live total. Call at the
+/// start of the phase whose peak you want to pin.
+pub fn reset_peak() {
+    PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary does not install the global allocator, so drive the
+    // trait methods directly: the counters are shared statics either way.
+    #[test]
+    fn tracks_live_and_peak_bytes() {
+        let layout = Layout::from_size_align(4096, 8).unwrap();
+        reset_peak();
+        let before_live = current_bytes();
+        let before_peak = peak_bytes();
+        unsafe {
+            let p = CountingAlloc.alloc(layout);
+            assert!(!p.is_null());
+            assert!(current_bytes() >= before_live + 4096);
+            assert!(peak_bytes() >= before_peak + 4096);
+            let grown = CountingAlloc.realloc(p, layout, 8192);
+            assert!(!grown.is_null());
+            assert!(current_bytes() >= before_live + 8192);
+            let grown_layout = Layout::from_size_align(8192, 8).unwrap();
+            CountingAlloc.dealloc(grown, grown_layout);
+        }
+        assert!(current_bytes() <= before_live + 4096, "dealloc not counted");
+        // The peak survives the dealloc until the next reset.
+        assert!(peak_bytes() >= before_peak + 4096);
+        reset_peak();
+        assert!(peak_bytes() <= current_bytes() + 4096);
+    }
+}

@@ -12,6 +12,15 @@
 //! overhead below 5%. Harness stages are themselves timed with
 //! [`obs::timer!`] and reported as `stage_wall_us`.
 //!
+//! A streaming section runs *first*, before any trace is materialized:
+//! `run_streaming` replays `--stream-queries` records (default 10× the
+//! materialized size) straight from the generator at 1/2/8 threads under
+//! the [`bench::alloc::CountingAlloc`] high-water mark, then cross-checks
+//! a bounded prefix-sized clone against the materialized engine for
+//! bit-identity and end-to-end throughput. The `streaming` JSON section
+//! feeds `ci/bench_baseline_stream.json`: peak allocator bytes stay under
+//! a pinned budget no matter how many records stream past.
+//!
 //! Run from the workspace root:
 //!
 //! ```text
@@ -19,7 +28,8 @@
 //! cargo run --release -p bench --bin bench_cache_sim -- --queries 50000 --out /tmp/smoke.json
 //! ```
 //!
-//! Flags: `--queries N` trace size (default 1000000), `--out PATH` for the
+//! Flags: `--queries N` trace size (default 1000000), `--stream-queries N`
+//! streaming record count (default 10× `--queries`), `--out PATH` for the
 //! JSON report (default `BENCH_cache_sim.json`), `--history PATH` appends
 //! one JSONL line per measurement with run metadata for the `bench_check`
 //! regression gate's trend data.
@@ -27,7 +37,10 @@
 use std::time::Instant;
 
 use analysis::{CacheSimConfig, CacheSimResult, CacheSimulator};
-use workload::{PublicCdnTraceGen, TraceSet};
+use workload::{CdnStreamGen, PublicCdnTraceGen, TraceSet};
+
+#[global_allocator]
+static ALLOC: bench::alloc::CountingAlloc = bench::alloc::CountingAlloc;
 
 /// The seed engine, kept verbatim-in-spirit as the measurement baseline.
 mod legacy {
@@ -212,6 +225,7 @@ fn time_runs(
 
 fn main() {
     let mut queries = 1_000_000usize;
+    let mut stream_queries: Option<u64> = None;
     let mut out = "BENCH_cache_sim.json".to_string();
     let mut history: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -222,16 +236,89 @@ fn main() {
         };
         match arg.as_str() {
             "--queries" => queries = take("--queries").parse().expect("integer"),
+            "--stream-queries" => {
+                stream_queries = Some(take("--stream-queries").parse().expect("integer"))
+            }
             "--out" => out = take("--out"),
             "--history" => history = Some(take("--history")),
             other => panic!("unknown flag {other:?}"),
         }
     }
+    let queries = queries.max(1);
+    let stream_queries = stream_queries.unwrap_or(queries as u64 * 10).max(1);
+    let stages = obs::MetricsRegistry::new();
+
+    // ---- Streaming section (before anything materializes a trace) ----
+    // The generator shape matches the materialized section below; only
+    // the volume differs. The allocator high-water mark brackets exactly
+    // the streaming replays, so the JSON's `peak_alloc_bytes` is the
+    // witness that no full-trace buffer ever existed.
+    let stream_gen = CdnStreamGen {
+        resolvers: 32,
+        subnets_per_resolver: 40,
+        hostnames: 150,
+        queries: stream_queries,
+        duration: netsim::SimDuration::from_secs(900),
+        ttl: 20,
+        seed: 0,
+    };
+    let stream_source = stream_gen.source();
+    let stage_streaming = obs::timer!(stages.histogram("stage_streaming_us"));
+    bench::alloc::reset_peak();
+    let mut stream_measurements: Vec<Measurement> = Vec::new();
+    let mut stream_reference: Option<CacheSimResult> = None;
+    for parallelism in [1usize, 2, 8] {
+        eprintln!(
+            "timing streaming engine at {parallelism} thread(s), {stream_queries} records ..."
+        );
+        let sim = CacheSimulator::new(CacheSimConfig {
+            parallelism,
+            ..CacheSimConfig::default()
+        });
+        let (result, m) = time_runs("streaming", parallelism, stream_queries as usize, || {
+            sim.run_streaming(&stream_source)
+        });
+        if let Some(reference) = &stream_reference {
+            assert_eq!(
+                result.per_resolver, reference.per_resolver,
+                "streaming results diverged at parallelism={parallelism}"
+            );
+        } else {
+            stream_reference = Some(result);
+        }
+        stream_measurements.push(m);
+    }
+    let stream_peak_bytes = bench::alloc::peak_bytes();
+    drop(stage_streaming);
+
+    // Cross-check: a bounded prefix-sized clone of the same model, both
+    // engines end to end (generation included on both sides).
+    let cross_records = stream_queries.min(queries as u64);
+    eprintln!("cross-checking streaming vs materialized on {cross_records} records ...");
+    let cross_source = CdnStreamGen {
+        queries: cross_records,
+        ..stream_gen.clone()
+    }
+    .source();
+    let cross_sim = CacheSimulator::new(CacheSimConfig::default());
+    let (cross_stream_result, cross_stream_m) =
+        time_runs("crosscheck_stream", 1, cross_records as usize, || {
+            cross_sim.run_streaming(&cross_source)
+        });
+    let (cross_mat_result, cross_mat_m) =
+        time_runs("crosscheck_materialized", 1, cross_records as usize, || {
+            cross_sim.run(&cross_source.materialize())
+        });
+    let crosscheck_ok = cross_stream_result.per_resolver == cross_mat_result.per_resolver;
+    assert!(crosscheck_ok, "streaming diverged from materialized replay");
+    let stream_ge_materialized = cross_stream_m.records_per_sec >= cross_mat_m.records_per_sec;
+
+    // ---- Materialized section (the original harness) ----
     let gen = PublicCdnTraceGen {
         resolvers: 32,
         subnets_per_resolver: 40,
         hostnames: 150,
-        queries: queries.max(1),
+        queries,
         duration: netsim::SimDuration::from_secs(900),
         ttl: 20,
         seed: 0,
@@ -240,7 +327,6 @@ fn main() {
         "generating trace: {} resolvers, {} queries ...",
         gen.resolvers, gen.queries
     );
-    let stages = obs::MetricsRegistry::new();
     let trace: TraceSet = {
         let _t = obs::timer!(stages.histogram("stage_generate_us"));
         gen.generate()
@@ -385,10 +471,36 @@ fn main() {
     json.push_str(&format!(
         "  \"telemetry\": {{\"overhead_at_parallelism_8\": {telemetry_overhead:.4}, \"lookups_recorded\": {lookups_recorded}}},\n",
     ));
+    json.push_str("  \"streaming\": {\n");
+    json.push_str(&format!(
+        "    \"records\": {stream_queries},\n    \"peak_alloc_bytes\": {stream_peak_bytes},\n    \"peak_alloc_mib\": {:.1},\n",
+        stream_peak_bytes as f64 / (1024.0 * 1024.0)
+    ));
+    json.push_str("    \"rows\": [\n");
+    for (i, m) in stream_measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"parallelism\": {}, \"seconds\": {:.4}, \"records_per_sec\": {:.0}}}{}\n",
+            m.parallelism,
+            m.seconds,
+            m.records_per_sec,
+            if i + 1 < stream_measurements.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!(
+        "    \"crosscheck\": {{\"records\": {cross_records}, \"matches_materialized\": {crosscheck_ok}, \"stream_records_per_sec\": {:.0}, \"materialized_records_per_sec\": {:.0}, \"stream_ge_materialized\": {stream_ge_materialized}}}\n",
+        cross_stream_m.records_per_sec, cross_mat_m.records_per_sec
+    ));
+    json.push_str("  },\n");
     let stage_snap = stages.snapshot();
     let stage_us = |name: &str| stage_snap.histogram(name).map(|h| h.max).unwrap_or(0);
     json.push_str(&format!(
-        "  \"stage_wall_us\": {{\"generate\": {}, \"legacy\": {}, \"sharded\": {}, \"bounded\": {}, \"telemetry\": {}}},\n",
+        "  \"stage_wall_us\": {{\"streaming\": {}, \"generate\": {}, \"legacy\": {}, \"sharded\": {}, \"bounded\": {}, \"telemetry\": {}}},\n",
+        stage_us("stage_streaming_us"),
         stage_us("stage_generate_us"),
         stage_us("stage_legacy_us"),
         stage_us("stage_sharded_us"),
@@ -403,6 +515,19 @@ fn main() {
     eprintln!("wrote {out}");
 
     if let Some(path) = &history {
+        for m in &stream_measurements {
+            let line = bench::regression::history_line(
+                "bench_cache_sim",
+                &[
+                    ("engine", "\"streaming\"".to_string()),
+                    ("parallelism", m.parallelism.to_string()),
+                    ("records", stream_queries.to_string()),
+                    ("records_per_sec", format!("{:.0}", m.records_per_sec)),
+                    ("peak_alloc_bytes", stream_peak_bytes.to_string()),
+                ],
+            );
+            bench::regression::append_history(path, &line).expect("append history");
+        }
         for m in &measurements {
             let line = bench::regression::history_line(
                 "bench_cache_sim",

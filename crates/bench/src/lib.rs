@@ -2,4 +2,5 @@
 //! bench-history regression gate shared by the harness binaries and the
 //! `bench_check` CI gate.
 
+pub mod alloc;
 pub mod regression;

@@ -11,6 +11,8 @@ pub mod fig3;
 pub mod fig45;
 pub mod fig67;
 pub mod fig8;
+pub mod hidden;
+pub mod minprefix;
 pub mod overload;
 pub mod probing;
 pub mod scan;
@@ -82,6 +84,16 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "fig7",
             "§8.3 Fig 7: mapping quality vs prefix length (CDN-2)",
             fig67::run_default_cdn2,
+        ),
+        (
+            "hidden",
+            "§8.2 pitfall: hidden resolvers, MP vs non-MP populations",
+            hidden::run_default,
+        ),
+        (
+            "minprefix",
+            "§8.3 pitfall: minimum usable ECS prefix length per CDN",
+            minprefix::run_default,
         ),
         (
             "fig8",

@@ -46,6 +46,11 @@ fn export_traces(dir: &std::path::Path) -> std::io::Result<()> {
 /// Telemetry-capable runners, by experiment id.
 fn telemetry_runner(id: &str) -> Option<fn() -> (Report, Telemetry)> {
     match id {
+        "fig1" => Some(|| {
+            let (_, report, telemetry) =
+                ecs_study::experiments::fig1::run_telemetry(&Default::default());
+            (report, telemetry)
+        }),
         "faults" => Some(|| {
             let (_, report, telemetry) =
                 ecs_study::experiments::faults::run_telemetry(&Default::default());

@@ -1,7 +1,7 @@
 //! `obs-validate` — check and analyze exported telemetry artifacts.
 //!
 //! ```text
-//! obs-validate metrics <snapshot.json> [--require name1,name2,...] [--require-scanner] [--require-prof]
+//! obs-validate metrics <snapshot.json> [--require name1,name2,...] [--require-scanner] [--require-prof] [--require-stream]
 //! obs-validate trace <trace.jsonl>
 //! obs-validate analyze <trace.jsonl> [--top N] [--json]
 //! ```
@@ -11,7 +11,10 @@
 //! probe-outcome counter, the in-flight gauge, and the latency histogram.
 //! `--require-prof` appends the profiling profile
 //! ([`obs::validate::PROF_REQUIRED_SERIES`]): the stage-profiler roll-ups
-//! and the `lock_*` contention series.
+//! and the `lock_*` contention series. `--require-stream` appends the
+//! streaming cache-replay profile
+//! ([`obs::validate::STREAM_REQUIRED_SERIES`]): the `cache_sim_*` fold
+//! from the shard-parallel streaming replay engine.
 //!
 //! `analyze` extracts each query's critical path from a JSON-lines trace
 //! (attributing every microsecond between consecutive events to the phase
@@ -25,10 +28,11 @@
 
 use obs::validate::{
     validate_metrics_json, validate_trace, PROF_REQUIRED_SERIES, SCANNER_REQUIRED_SERIES,
+    STREAM_REQUIRED_SERIES,
 };
 
 fn usage() -> ! {
-    eprintln!("usage: obs-validate metrics <snapshot.json> [--require a,b,c] [--require-scanner] [--require-prof]");
+    eprintln!("usage: obs-validate metrics <snapshot.json> [--require a,b,c] [--require-scanner] [--require-prof] [--require-stream]");
     eprintln!("       obs-validate trace <trace.jsonl>");
     eprintln!("       obs-validate analyze <trace.jsonl> [--top N] [--json]");
     std::process::exit(2);
@@ -64,6 +68,9 @@ fn main() {
                     }
                     "--require-prof" => {
                         required.extend(PROF_REQUIRED_SERIES.iter().map(|s| s.to_string()))
+                    }
+                    "--require-stream" => {
+                        required.extend(STREAM_REQUIRED_SERIES.iter().map(|s| s.to_string()))
                     }
                     _ => usage(),
                 }

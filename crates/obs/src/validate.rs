@@ -25,6 +25,22 @@ pub const SCANNER_REQUIRED_SERIES: &[&str] = &[
     "scanner_probe_latency_us",
 ];
 
+/// The series a streaming cache-replay run must carry (the `obs-validate
+/// metrics --require-stream` profile): every counter in the replay
+/// reconciliation identity plus the per-shard peak-occupancy histograms
+/// and the live-entry high-water gauge, as folded by
+/// `CacheSimulator::run_streaming_instrumented`.
+pub const STREAM_REQUIRED_SERIES: &[&str] = &[
+    "cache_sim_lookups_total",
+    "cache_sim_hits_ecs_total",
+    "cache_sim_hits_plain_total",
+    "cache_sim_evictions_ecs_total",
+    "cache_sim_evictions_plain_total",
+    "cache_sim_peak_ecs_entries",
+    "cache_sim_peak_plain_entries",
+    "cache_sim_peak_live_ecs",
+];
+
 /// The series a profiled run must carry (the `obs-validate metrics
 /// --require-prof` profile): the stage-profiler roll-ups exported by
 /// [`crate::ProfileSnapshot::to_metrics`] plus the lock-contention
@@ -158,6 +174,27 @@ mod tests {
         // A snapshot without the scanner series fails the profile.
         let empty = MetricsRegistry::new().snapshot().to_json();
         assert!(validate_metrics_json(&empty, SCANNER_REQUIRED_SERIES).is_err());
+    }
+
+    #[test]
+    fn stream_profile_names_every_stream_series() {
+        let reg = MetricsRegistry::new();
+        for name in STREAM_REQUIRED_SERIES {
+            assert!(name.starts_with("cache_sim_"), "{name}");
+            match *name {
+                "cache_sim_peak_live_ecs" => {
+                    reg.gauge(name).set(1);
+                }
+                "cache_sim_peak_ecs_entries" | "cache_sim_peak_plain_entries" => {
+                    reg.histogram(name).record(1);
+                }
+                _ => reg.counter(name).inc(),
+            }
+        }
+        validate_metrics_json(&reg.snapshot().to_json(), STREAM_REQUIRED_SERIES)
+            .expect("stream profile snapshot");
+        let empty = MetricsRegistry::new().snapshot().to_json();
+        assert!(validate_metrics_json(&empty, STREAM_REQUIRED_SERIES).is_err());
     }
 
     #[test]

@@ -10,6 +10,12 @@
 //!
 //! Missing optional fields are `-`; prefixes print as `addr/len`. The first
 //! line is a header comment `#ecs-trace v1 <label>`.
+//!
+//! The v2 framing (`#ecs-trace v2 <count> <label>`) additionally declares
+//! the record count up front so chunked readers can detect a truncated
+//! tail: [`ChunkedTraceReader`] errors with [`TraceIoError::Truncated`]
+//! when the input ends before the declared count, instead of silently
+//! yielding a short trace.
 
 use dns_wire::{IpPrefix, Name, RecordType};
 use std::fmt::Write as _;
@@ -38,6 +44,14 @@ pub enum TraceIoError {
         /// Field name.
         field: &'static str,
     },
+    /// A v2 input ended before its declared record count — a corrupt or
+    /// truncated tail, never silently accepted.
+    Truncated {
+        /// Records the header declared.
+        expected: u64,
+        /// Records actually read.
+        got: u64,
+    },
     /// Underlying I/O failure.
     Io(String),
 }
@@ -51,6 +65,12 @@ impl std::fmt::Display for TraceIoError {
             }
             TraceIoError::BadField { line, field } => {
                 write!(f, "line {line}: malformed field '{field}'")
+            }
+            TraceIoError::Truncated { expected, got } => {
+                write!(
+                    f,
+                    "truncated trace: header declared {expected} records, found {got}"
+                )
             }
             TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -68,8 +88,19 @@ impl From<std::io::Error> for TraceIoError {
 /// Writes a trace in TSV form.
 pub fn write_trace<W: Write>(trace: &TraceSet, mut out: W) -> Result<(), TraceIoError> {
     writeln!(out, "#ecs-trace v1 {}", trace.label)?;
+    write_records(&trace.records, &mut out)
+}
+
+/// Writes a trace with the v2 counted header, so readers can detect a
+/// truncated tail.
+pub fn write_trace_v2<W: Write>(trace: &TraceSet, mut out: W) -> Result<(), TraceIoError> {
+    writeln!(out, "#ecs-trace v2 {} {}", trace.records.len(), trace.label)?;
+    write_records(&trace.records, &mut out)
+}
+
+fn write_records<W: Write>(records: &[TraceRecord], out: &mut W) -> Result<(), TraceIoError> {
     let mut line = String::with_capacity(128);
-    for r in &trace.records {
+    for r in records {
         line.clear();
         write!(
             line,
@@ -112,50 +143,151 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<TraceSet, TraceIoError> {
         if line.is_empty() {
             continue;
         }
-        let lineno = i + 2;
-        let fields: Vec<&str> = line.split('\t').collect();
-        if fields.len() != 8 {
-            return Err(TraceIoError::FieldCount {
-                line: lineno,
-                got: fields.len(),
-            });
-        }
-        let bad = |field: &'static str| TraceIoError::BadField {
+        set.records.push(parse_record(i + 2, &line)?);
+    }
+    Ok(set)
+}
+
+fn parse_record(lineno: usize, line: &str) -> Result<TraceRecord, TraceIoError> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.len() != 8 {
+        return Err(TraceIoError::FieldCount {
             line: lineno,
-            field,
-        };
-        let at_micros: u64 = fields[0].parse().map_err(|_| bad("at_micros"))?;
-        let resolver: IpAddr = fields[1].parse().map_err(|_| bad("resolver"))?;
-        let qname = Name::from_ascii(fields[2]).map_err(|_| bad("qname"))?;
-        let qtype = RecordType::from_u16(fields[3].parse().map_err(|_| bad("qtype"))?);
-        let ecs_source = match fields[4] {
-            "-" => None,
-            s => {
-                let (addr, len) = s.split_once('/').ok_or_else(|| bad("ecs_source"))?;
-                let addr = IpAddr::from_str(addr).map_err(|_| bad("ecs_source"))?;
-                let len: u8 = len.parse().map_err(|_| bad("ecs_source"))?;
-                Some(IpPrefix::new(addr, len).map_err(|_| bad("ecs_source"))?)
-            }
-        };
-        let response_scope = match fields[5] {
-            "-" => None,
-            s => Some(s.parse().map_err(|_| bad("response_scope"))?),
-        };
-        let ttl: u32 = fields[6].parse().map_err(|_| bad("ttl"))?;
-        let client = match fields[7] {
-            "-" => None,
-            s => Some(s.parse().map_err(|_| bad("client"))?),
-        };
-        set.records.push(TraceRecord {
-            at_micros,
-            resolver,
-            qname,
-            qtype,
-            ecs_source,
-            response_scope,
-            ttl,
-            client,
+            got: fields.len(),
         });
+    }
+    let bad = |field: &'static str| TraceIoError::BadField {
+        line: lineno,
+        field,
+    };
+    let at_micros: u64 = fields[0].parse().map_err(|_| bad("at_micros"))?;
+    let resolver: IpAddr = fields[1].parse().map_err(|_| bad("resolver"))?;
+    let qname = Name::from_ascii(fields[2]).map_err(|_| bad("qname"))?;
+    let qtype = RecordType::from_u16(fields[3].parse().map_err(|_| bad("qtype"))?);
+    let ecs_source = match fields[4] {
+        "-" => None,
+        s => {
+            let (addr, len) = s.split_once('/').ok_or_else(|| bad("ecs_source"))?;
+            let addr = IpAddr::from_str(addr).map_err(|_| bad("ecs_source"))?;
+            let len: u8 = len.parse().map_err(|_| bad("ecs_source"))?;
+            Some(IpPrefix::new(addr, len).map_err(|_| bad("ecs_source"))?)
+        }
+    };
+    let response_scope = match fields[5] {
+        "-" => None,
+        s => Some(s.parse().map_err(|_| bad("response_scope"))?),
+    };
+    let ttl: u32 = fields[6].parse().map_err(|_| bad("ttl"))?;
+    let client = match fields[7] {
+        "-" => None,
+        s => Some(s.parse().map_err(|_| bad("client"))?),
+    };
+    Ok(TraceRecord {
+        at_micros,
+        resolver,
+        qname,
+        qtype,
+        ecs_source,
+        response_scope,
+        ttl,
+        client,
+    })
+}
+
+/// Chunked reader over the v2 counted format. Yields `Vec<TraceRecord>`
+/// chunks of at most `chunk_size` records and **errors** — never silently
+/// truncates — when the input ends before the count the header declared.
+pub struct ChunkedTraceReader<R: BufRead> {
+    lines: std::iter::Enumerate<std::io::Lines<R>>,
+    label: String,
+    expected: u64,
+    read: u64,
+    chunk_size: usize,
+    done: bool,
+}
+
+impl<R: BufRead> ChunkedTraceReader<R> {
+    /// Opens a v2 trace, consuming and validating the header.
+    pub fn new(input: R, chunk_size: usize) -> Result<Self, TraceIoError> {
+        let mut lines = input.lines().enumerate();
+        let (_, header) = lines.next().ok_or(TraceIoError::BadHeader)?;
+        let header = header?;
+        let rest = header
+            .strip_prefix("#ecs-trace v2 ")
+            .ok_or(TraceIoError::BadHeader)?;
+        let (count, label) = rest.split_once(' ').ok_or(TraceIoError::BadHeader)?;
+        let expected: u64 = count.parse().map_err(|_| TraceIoError::BadHeader)?;
+        Ok(ChunkedTraceReader {
+            lines,
+            label: label.to_string(),
+            expected,
+            read: 0,
+            chunk_size: chunk_size.max(1),
+            done: false,
+        })
+    }
+
+    /// The trace label from the header.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The record count the header declared.
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+}
+
+impl<R: BufRead> Iterator for ChunkedTraceReader<R> {
+    type Item = Result<Vec<TraceRecord>, TraceIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done || self.read == self.expected {
+            self.done = true;
+            return None;
+        }
+        let mut chunk = Vec::with_capacity(self.chunk_size);
+        while chunk.len() < self.chunk_size && self.read < self.expected {
+            let Some((i, line)) = self.lines.next() else {
+                self.done = true;
+                return Some(Err(TraceIoError::Truncated {
+                    expected: self.expected,
+                    got: self.read,
+                }));
+            };
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+            };
+            if line.is_empty() {
+                continue;
+            }
+            match parse_record(i + 1, &line) {
+                Ok(r) => {
+                    chunk.push(r);
+                    self.read += 1;
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        Some(Ok(chunk))
+    }
+}
+
+/// Reads a trace written by [`write_trace_v2`], erroring on a truncated
+/// tail.
+pub fn read_trace_v2<R: BufRead>(input: R) -> Result<TraceSet, TraceIoError> {
+    let mut reader = ChunkedTraceReader::new(input, 8192)?;
+    let mut set = TraceSet::new(reader.label().to_string());
+    set.records.reserve(reader.expected() as usize);
+    for chunk in &mut reader {
+        set.records.extend(chunk?);
     }
     Ok(set)
 }
@@ -230,6 +362,94 @@ mod tests {
                 field: "resolver"
             }
         );
+    }
+
+    #[test]
+    fn v2_roundtrips_with_count() {
+        let trace = AllNamesTraceGen {
+            v4_subnets: 20,
+            v6_subnets: 5,
+            slds: 30,
+            queries: 500,
+            ..AllNamesTraceGen::default()
+        }
+        .generate();
+        let mut buf = Vec::new();
+        write_trace_v2(&trace, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("#ecs-trace v2 500 "));
+        let back = read_trace_v2(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.label, trace.label);
+        assert_eq!(back.records, trace.records);
+    }
+
+    #[test]
+    fn chunked_reader_yields_bounded_chunks() {
+        let trace = AllNamesTraceGen {
+            v4_subnets: 20,
+            v6_subnets: 5,
+            slds: 30,
+            queries: 500,
+            ..AllNamesTraceGen::default()
+        }
+        .generate();
+        let mut buf = Vec::new();
+        write_trace_v2(&trace, &mut buf).unwrap();
+        let reader = ChunkedTraceReader::new(std::io::Cursor::new(buf), 128).unwrap();
+        assert_eq!(reader.expected(), 500);
+        let mut total = 0usize;
+        for chunk in reader {
+            let chunk = chunk.unwrap();
+            assert!(chunk.len() <= 128);
+            total += chunk.len();
+        }
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn corrupt_tail_errors_instead_of_truncating() {
+        let trace = AllNamesTraceGen {
+            v4_subnets: 20,
+            v6_subnets: 5,
+            slds: 30,
+            queries: 500,
+            ..AllNamesTraceGen::default()
+        }
+        .generate();
+        let mut buf = Vec::new();
+        write_trace_v2(&trace, &mut buf).unwrap();
+
+        // Drop whole trailing lines: the counted header catches it.
+        let text = String::from_utf8(buf.clone()).unwrap();
+        let kept: Vec<&str> = text.lines().take(401).collect(); // header + 400 records
+        let short = kept.join("\n") + "\n";
+        let err = read_trace_v2(std::io::Cursor::new(short.into_bytes())).unwrap_err();
+        assert_eq!(
+            err,
+            TraceIoError::Truncated {
+                expected: 500,
+                got: 400
+            }
+        );
+
+        // Cut mid-line: the mangled record itself errors.
+        buf.truncate(buf.len() - 7);
+        let err = read_trace_v2(std::io::Cursor::new(buf)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TraceIoError::FieldCount { .. }
+                    | TraceIoError::BadField { .. }
+                    | TraceIoError::Truncated { .. }
+            ),
+            "unexpected error: {err:?}"
+        );
+
+        // v1 header is rejected by the v2 reader.
+        let err = ChunkedTraceReader::new(std::io::Cursor::new(b"#ecs-trace v1 t\n".to_vec()), 8)
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, TraceIoError::BadHeader);
     }
 
     #[test]

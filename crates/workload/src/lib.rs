@@ -28,6 +28,7 @@ pub mod datasets;
 pub mod intern;
 pub mod io;
 pub mod names;
+pub mod stream;
 pub mod trace;
 pub mod zipf;
 
@@ -36,7 +37,13 @@ pub use datasets::{
     ResolverSpec, ScanDatasetGen,
 };
 pub use intern::{Interner, TraceIndex};
-pub use io::{read_trace, write_trace, TraceIoError};
+pub use io::{
+    read_trace, read_trace_v2, write_trace, write_trace_v2, ChunkedTraceReader, TraceIoError,
+};
 pub use names::NameUniverse;
+pub use stream::{
+    AllNamesStreamGen, CdnStreamGen, NameTable, StreamChunk, StreamRecord, SubnetSpace,
+    TraceStream, TraceStreamSource, WorkloadModel, DEFAULT_CHUNK,
+};
 pub use trace::{TraceRecord, TraceSet};
 pub use zipf::Zipf;

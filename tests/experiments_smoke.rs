@@ -32,45 +32,68 @@ fn cache_behavior_scaled() {
 #[test]
 fn fig1_scaled() {
     let (out, _) = fig1::run(&fig1::Config {
-        trace: workload::PublicCdnTraceGen {
+        stream: workload::CdnStreamGen {
             resolvers: 12,
             subnets_per_resolver: 40,
             hostnames: 100,
             queries: 150_000,
             duration: netsim::SimDuration::from_secs(600),
-            ..workload::PublicCdnTraceGen::default()
+            ..workload::CdnStreamGen::default()
         },
         ttls: vec![20, 60],
         parallelism: 4,
+        crosscheck_records: 40_000,
     });
     assert!(out.series[0].cdf.quantile(0.5) > 1.3);
     assert!(out.series[1].cdf.max() >= out.series[0].cdf.max());
+    assert!(out.crosscheck_ok, "streaming must match materialized");
 }
 
 #[test]
 fn fig2_and_fig3_scaled() {
-    let trace = workload::AllNamesTraceGen {
+    let stream = workload::AllNamesStreamGen {
         v4_subnets: 250,
         v6_subnets: 50,
         slds: 250,
         queries: 150_000,
-        ..workload::AllNamesTraceGen::default()
+        ..workload::AllNamesStreamGen::default()
     };
     let (out2, _) = fig2::run(&fig2::Config {
-        trace: trace.clone(),
+        stream: stream.clone(),
         fractions: vec![20, 100],
         samples: 2,
         parallelism: 2,
     });
     assert!(out2.points[1].1 > out2.points[0].1, "blow-up grows");
     let (out3, _) = fig3::run(&fig3::Config {
-        trace,
+        stream,
         fractions: vec![100],
         samples: 2,
         parallelism: 2,
     });
     let (_, no_ecs, with_ecs) = out3.points[0];
     assert!(with_ecs < no_ecs * 0.7, "{no_ecs} vs {with_ecs}");
+}
+
+#[test]
+fn hidden_scaled() {
+    let mut config = hidden::Config::default();
+    config.world.forwarders = 600;
+    let (out, report) = hidden::run(&config);
+    assert_eq!(out.populations.len(), 2);
+    for pop in &out.populations {
+        assert!(pop.report.total() > 0, "{}\n{report}", pop.label);
+    }
+}
+
+#[test]
+fn minprefix_scaled() {
+    let (out, report) = minprefix::run(&minprefix::Config {
+        probes: 150,
+        ..minprefix::Config::default()
+    });
+    assert_eq!(out.cdns[0].min_usable, 24, "{report}");
+    assert_eq!(out.cdns[1].min_usable, 21, "{report}");
 }
 
 #[test]
@@ -140,6 +163,8 @@ fn registry_ids_are_unique_and_complete() {
         "fig6",
         "fig7",
         "fig8",
+        "hidden",
+        "minprefix",
         "discovery",
     ] {
         assert!(ids.contains(&required), "missing {required}");
